@@ -1,0 +1,59 @@
+//! Criterion head-to-heads against the standalone baselines: BLEND SC vs
+//! JOSIE, BLEND MC vs MATE, BLEND union plan vs Starmie.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use blend::{tasks, Blend, Plan, Seeker};
+use blend_josie::JosieIndex;
+use blend_lake::{union_bench, web, workloads, UnionBenchConfig, WebLakeConfig};
+use blend_mate::MateIndex;
+use blend_starmie::{StarmieConfig, StarmieIndex};
+use blend_storage::EngineKind;
+
+fn bench_baselines(c: &mut Criterion) {
+    let lake = web::generate(&WebLakeConfig::gittables_like(0.04));
+    let blend = Blend::from_lake(&lake, EngineKind::Column);
+    let josie = JosieIndex::build(&lake);
+    let mate = MateIndex::build(&lake);
+
+    let sc_query = workloads::sc_queries(&lake, &[50], 1, 7).remove(0).1.remove(0);
+    let mc_query = workloads::mc_queries(&lake, 1, 2, 5, 8).remove(0);
+
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(15);
+
+    group.bench_function("sc_blend", |b| {
+        let mut plan = Plan::new();
+        plan.add_seeker("s", Seeker::sc(sc_query.clone()), 10).unwrap();
+        b.iter(|| blend.execute(&plan).unwrap())
+    });
+    group.bench_function("sc_josie", |b| b.iter(|| josie.query(&sc_query, 10)));
+
+    group.bench_function("mc_blend", |b| {
+        let mut plan = Plan::new();
+        plan.add_seeker("s", Seeker::mc(mc_query.rows.clone()), 10).unwrap();
+        b.iter(|| blend.execute(&plan).unwrap())
+    });
+    group.bench_function("mc_mate", |b| b.iter(|| mate.query(&lake, &mc_query.rows, 10)));
+
+    // Union search on a clustered benchmark.
+    let bench = union_bench::generate(&UnionBenchConfig {
+        n_clusters: 6,
+        tables_per_cluster: 6,
+        noise_tables: 20,
+        ..UnionBenchConfig::santos_like(0.1)
+    });
+    let ublend = Blend::from_lake(&bench.lake, EngineKind::Column);
+    let starmie = StarmieIndex::build(&bench.lake, StarmieConfig::default());
+    let qt = bench.lake.table(bench.queries[0]).clone();
+
+    group.bench_function("union_blend", |b| {
+        let plan = tasks::union_search(&qt, 10, 100).unwrap();
+        b.iter(|| ublend.execute(&plan).unwrap())
+    });
+    group.bench_function("union_starmie", |b| b.iter(|| starmie.query(&qt, 10)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

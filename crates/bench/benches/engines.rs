@@ -1,0 +1,26 @@
+//! Criterion comparison of the two storage engines on the same SC query —
+//! the row-vs-column gap behind Fig. 5 and Fig. 7.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use blend::{Blend, Plan, Seeker};
+use blend_lake::{web, workloads, WebLakeConfig};
+use blend_storage::EngineKind;
+
+fn bench_engines(c: &mut Criterion) {
+    let lake = web::generate(&WebLakeConfig::gittables_like(0.05));
+    let row = Blend::from_lake(&lake, EngineKind::Row);
+    let col = Blend::from_lake(&lake, EngineKind::Column);
+    let query = workloads::sc_queries(&lake, &[100], 1, 5).remove(0).1.remove(0);
+    let mut plan = Plan::new();
+    plan.add_seeker("s", Seeker::sc(query), 10).unwrap();
+
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(20);
+    group.bench_function("sc_row_store", |b| b.iter(|| row.execute(&plan).unwrap()));
+    group.bench_function("sc_column_store", |b| b.iter(|| col.execute(&plan).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

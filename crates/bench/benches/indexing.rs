@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the offline phase: XASH hashing throughput and
+//! whole-lake index construction (sequential vs parallel).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use blend_index::{xash_value, IndexBuilder, IndexOptions};
+use blend_lake::{web, WebLakeConfig};
+
+fn bench_indexing(c: &mut Criterion) {
+    let lake = web::generate(&WebLakeConfig::gittables_like(0.03));
+
+    let mut group = c.benchmark_group("indexing");
+    group.sample_size(15);
+
+    group.bench_function("xash_value", |b| {
+        b.iter(|| std::hint::black_box(xash_value("some moderately long value 42")))
+    });
+
+    group.bench_function("index_lake_sequential", |b| {
+        let builder = IndexBuilder::with_options(IndexOptions {
+            threads: 1,
+            ..Default::default()
+        });
+        b.iter(|| builder.index_lake(&lake.tables))
+    });
+
+    group.bench_function("index_lake_parallel_4", |b| {
+        let builder = IndexBuilder::with_options(IndexOptions {
+            threads: 4,
+            ..Default::default()
+        });
+        b.iter(|| builder.index_lake(&lake.tables))
+    });
+
+    group.bench_function("column_store_build", |b| {
+        let rows = IndexBuilder::new().index_lake(&lake.tables);
+        b.iter(|| blend_storage::ColumnStore::build(rows.clone()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexing);
+criterion_main!(benches);

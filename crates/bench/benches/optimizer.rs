@@ -1,0 +1,43 @@
+//! Criterion ablation of the plan optimizer: optimized vs B-NO on a mixed
+//! intersection plan — the design choice Table III/IV quantify.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use blend::{Blend, Combiner, Plan, Seeker};
+use blend_lake::{web, workloads, WebLakeConfig};
+use blend_storage::EngineKind;
+
+fn mixed_plan(lake: &blend_lake::DataLake) -> Plan {
+    let mc = workloads::mc_queries(lake, 1, 2, 5, 11).remove(0);
+    let broad = workloads::sc_queries(lake, &[60], 1, 12).remove(0).1.remove(0);
+    let narrow = workloads::sc_queries(lake, &[6], 1, 13).remove(0).1.remove(0);
+    let mut plan = Plan::new();
+    plan.add_seeker("mc", Seeker::mc(mc.rows), 10).unwrap();
+    plan.add_seeker("broad", Seeker::sc(broad), 10).unwrap();
+    plan.add_seeker("narrow", Seeker::sc(narrow), 10).unwrap();
+    plan.add_combiner("i", Combiner::Intersect, 10, &["mc", "broad", "narrow"])
+        .unwrap();
+    plan
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let lake = web::generate(&WebLakeConfig::gittables_like(0.05));
+    let plan = mixed_plan(&lake);
+
+    let optimized = Blend::from_lake(&lake, EngineKind::Column);
+    let mut naive = Blend::from_lake(&lake, EngineKind::Column);
+    naive.set_optimize(false);
+
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(20);
+    group.bench_function("intersection_optimized", |b| {
+        b.iter(|| optimized.execute(&plan).unwrap())
+    });
+    group.bench_function("intersection_b_no", |b| {
+        b.iter(|| naive.execute(&plan).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion microbenchmarks: one per seeker type, on a fixed
+//! Gittables-like lake. Complements the table/figure harnesses with
+//! statistically grounded per-operator numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use blend::{Blend, Plan, Seeker};
+use blend_lake::{web, workloads, WebLakeConfig};
+use blend_storage::EngineKind;
+
+fn bench_seekers(c: &mut Criterion) {
+    let lake = web::generate(&WebLakeConfig::gittables_like(0.05));
+    let system = Blend::from_lake(&lake, EngineKind::Column);
+
+    let sc_query = workloads::sc_queries(&lake, &[50], 1, 1).remove(0).1.remove(0);
+    let kw_query = workloads::kw_queries(&lake, 1, 8, 2).remove(0);
+    let mc_query = workloads::mc_queries(&lake, 1, 2, 5, 3).remove(0);
+    // Correlation query from a numeric-bearing table.
+    let c_seeker = find_c_seeker(&lake).expect("lake has numeric columns");
+
+    let mut group = c.benchmark_group("seekers");
+    group.sample_size(20);
+
+    group.bench_function("sc_50_values", |b| {
+        let mut plan = Plan::new();
+        plan.add_seeker("s", Seeker::sc(sc_query.clone()), 10).unwrap();
+        b.iter(|| system.execute(&plan).unwrap());
+    });
+    group.bench_function("kw_8_keywords", |b| {
+        let mut plan = Plan::new();
+        plan.add_seeker("s", Seeker::kw(kw_query.clone()), 10).unwrap();
+        b.iter(|| system.execute(&plan).unwrap());
+    });
+    group.bench_function("mc_2col_5rows", |b| {
+        let mut plan = Plan::new();
+        plan.add_seeker("s", Seeker::mc(mc_query.rows.clone()), 10).unwrap();
+        b.iter(|| system.execute(&plan).unwrap());
+    });
+    group.bench_function("correlation", |b| {
+        let mut plan = Plan::new();
+        plan.add_seeker("s", c_seeker.clone(), 10).unwrap();
+        b.iter(|| system.execute(&plan).unwrap());
+    });
+    group.finish();
+}
+
+fn find_c_seeker(lake: &blend_lake::DataLake) -> Option<Seeker> {
+    use blend_common::ColumnType;
+    for t in &lake.tables {
+        let cat = t
+            .columns
+            .iter()
+            .position(|c| c.column_type() == ColumnType::Categorical);
+        let num = t
+            .columns
+            .iter()
+            .position(|c| c.column_type() == ColumnType::Numeric);
+        if let (Some(cat), Some(num)) = (cat, num) {
+            let mut keys = Vec::new();
+            let mut target = Vec::new();
+            for r in 0..t.n_rows() {
+                if let (Some(k), Some(v)) = (t.cell(r, cat).normalized(), t.cell(r, num).as_f64())
+                {
+                    keys.push(k.into_owned());
+                    target.push(v);
+                }
+            }
+            if keys.len() >= 10 {
+                return Some(Seeker::c(keys, target));
+            }
+        }
+    }
+    None
+}
+
+criterion_group!(benches, bench_seekers);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerate paper Fig. 5 (SC join runtime vs query size).
+fn main() {
+    let scale = blend_bench::scale_from_env(0.15);
+    println!("{}", blend_bench::experiments::fig5::run(scale, 4));
+}

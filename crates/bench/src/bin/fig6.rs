@@ -1,0 +1,5 @@
+//! Regenerate paper Fig. 6 (Lakebench join discovery comparison).
+fn main() {
+    let scale = blend_bench::scale_from_env(0.3);
+    println!("{}", blend_bench::experiments::fig6::run(scale));
+}

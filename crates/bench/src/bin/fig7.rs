@@ -1,0 +1,5 @@
+//! Regenerate paper Fig. 7 (union search runtime).
+fn main() {
+    let scale = blend_bench::scale_from_env(0.15);
+    println!("{}", blend_bench::experiments::fig7::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerate paper Table III (complex discovery tasks).
+fn main() {
+    let scale = blend_bench::scale_from_env(0.1);
+    println!("{}", blend_bench::experiments::table3::run(scale));
+}

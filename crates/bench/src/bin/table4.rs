@@ -1,0 +1,9 @@
+//! Regenerate paper Table IV (optimizer effectiveness + z-test).
+fn main() {
+    let scale = blend_bench::scale_from_env(0.08);
+    let plans = std::env::var("BLEND_PLANS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    println!("{}", blend_bench::experiments::table4::run(scale, plans));
+}

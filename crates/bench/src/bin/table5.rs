@@ -1,0 +1,5 @@
+//! Regenerate paper Table V (multi-column join precision).
+fn main() {
+    let scale = blend_bench::scale_from_env(0.05);
+    println!("{}", blend_bench::experiments::table5::run(scale, 40));
+}

@@ -1,0 +1,5 @@
+//! Regenerate paper Table VI (union search quality).
+fn main() {
+    let scale = blend_bench::scale_from_env(0.25);
+    println!("{}", blend_bench::experiments::table6::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerate paper Table VII (correlation discovery).
+fn main() {
+    let scale = blend_bench::scale_from_env(0.3);
+    println!("{}", blend_bench::experiments::table7::run(scale));
+}

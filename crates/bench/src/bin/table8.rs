@@ -1,0 +1,5 @@
+//! Regenerate paper Table VIII (index storage).
+fn main() {
+    let scale = blend_bench::scale_from_env(0.08);
+    println!("{}", blend_bench::experiments::table8::run(scale));
+}

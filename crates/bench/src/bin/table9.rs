@@ -1,0 +1,4 @@
+//! Regenerate paper Table IX (user study; embedded published data).
+fn main() {
+    println!("{}", blend_bench::user_study::render());
+}

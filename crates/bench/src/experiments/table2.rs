@@ -1,0 +1,67 @@
+//! Table II — descriptive statistics of the (generated) data lakes.
+
+use blend_lake::{corr_bench, union_bench, web, CorrBenchConfig, UnionBenchConfig, WebLakeConfig};
+
+use crate::harness::TextTable;
+
+/// Generate every lake family at `scale` and print its statistics next to
+/// the paper's (unreachable) originals.
+pub fn run(scale: f64) -> String {
+    let mut t = TextTable::new(&[
+        "data lake",
+        "tables",
+        "columns",
+        "rows",
+        "cells",
+        "paper original (tables)",
+    ]);
+    let mut add = |name: &str, lake: &blend_lake::DataLake, paper: &str| {
+        let s = lake.stats();
+        t.row(&[
+            name.to_string(),
+            s.tables.to_string(),
+            s.columns.to_string(),
+            s.rows.to_string(),
+            s.cells.to_string(),
+            paper.to_string(),
+        ]);
+    };
+
+    let gitt = web::generate(&WebLakeConfig::gittables_like(scale));
+    add("Gittables-like", &gitt, "1.5M");
+    let wdc = web::generate(&WebLakeConfig::wdc_like(scale));
+    add("WDC-like", &wdc, "163M cols");
+    let open = web::generate(&WebLakeConfig::opendata_like(scale));
+    add("OpenData-like", &open, "17,144");
+    let dwtc = web::generate(&WebLakeConfig::dwtc_like(scale));
+    add("DWTC-like", &dwtc, "145M");
+    let santos = union_bench::generate(&UnionBenchConfig::santos_like(scale));
+    add("SANTOS-like", &santos.lake, "550");
+    let santos_l = union_bench::generate(&UnionBenchConfig::santos_large_like(scale));
+    add("SANTOS-Large-like", &santos_l.lake, "11,090");
+    let tus = union_bench::generate(&UnionBenchConfig::tus_like(scale));
+    add("TUS-like", &tus.lake, "1,530");
+    let tus_l = union_bench::generate(&UnionBenchConfig::tus_large_like(scale));
+    add("TUS-Large-like", &tus_l.lake, "5,043");
+    let nyc = corr_bench::generate(&CorrBenchConfig::nyc_cat_like(scale));
+    add("NYC-like (Cat.)", &nyc.lake, "1,063");
+    let nyc_all = corr_bench::generate(&CorrBenchConfig::nyc_all_like(scale));
+    add("NYC-like (All)", &nyc_all.lake, "1,063");
+
+    format!(
+        "Table II — generated data lakes at scale {scale} (paper lakes are \
+         listed for reference; see DESIGN.md §4 for the substitution)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_lakes() {
+        let out = super::run(0.02);
+        assert!(out.contains("Gittables-like"));
+        assert!(out.contains("NYC-like (All)"));
+        assert_eq!(out.lines().filter(|l| l.contains("-like")).count(), 10);
+    }
+}

@@ -1,0 +1,129 @@
+//! Table VI — union-search quality: BLEND's syntactic union plan vs the
+//! Starmie-style semantic baseline, at k = 10, 20, 50, 100.
+
+use blend::{tasks, Blend};
+use blend_common::stats::{average_precision_at_k, precision_at_k, recall_at_k};
+use blend_common::TableId;
+use blend_lake::{union_bench, UnionBenchConfig, UnionBenchmark};
+use blend_starmie::{StarmieConfig, StarmieIndex};
+use blend_storage::EngineKind;
+
+use crate::harness::{pct, TextTable};
+
+/// Quality triple at one k.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Quality {
+    pub p: f64,
+    pub r: f64,
+    pub map: f64,
+}
+
+/// Evaluate both systems on one benchmark at several k.
+pub fn evaluate(bench: &UnionBenchmark, ks: &[usize]) -> Vec<(usize, Quality, Quality)> {
+    let system = Blend::from_lake(&bench.lake, EngineKind::Column);
+    let starmie = StarmieIndex::build(&bench.lake, StarmieConfig::default());
+    let max_k = ks.iter().copied().max().unwrap_or(10);
+
+    let mut per_query: Vec<(Vec<TableId>, Vec<TableId>, std::collections::HashSet<TableId>)> =
+        Vec::new();
+    for q in &bench.queries {
+        let qt = bench.lake.table(*q);
+        let plan = tasks::union_search(qt, max_k, max_k * 10).expect("plan");
+        let blend_hits: Vec<TableId> = system
+            .execute(&plan)
+            .expect("execution")
+            .iter()
+            .map(|h| h.table)
+            .filter(|t| t != q)
+            .collect();
+        let starmie_hits: Vec<TableId> = starmie
+            .query(qt, max_k)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        let gt: std::collections::HashSet<TableId> =
+            bench.ground_truth[q].iter().copied().collect();
+        per_query.push((blend_hits, starmie_hits, gt));
+    }
+
+    ks.iter()
+        .map(|&k| {
+            let mut b = Quality::default();
+            let mut s = Quality::default();
+            for (bh, sh, gt) in &per_query {
+                b.p += precision_at_k(bh, gt, k);
+                b.r += recall_at_k(bh, gt, k);
+                b.map += average_precision_at_k(bh, gt, k);
+                s.p += precision_at_k(sh, gt, k);
+                s.r += recall_at_k(sh, gt, k);
+                s.map += average_precision_at_k(sh, gt, k);
+            }
+            let n = per_query.len().max(1) as f64;
+            for q in [&mut b, &mut s] {
+                q.p /= n;
+                q.r /= n;
+                q.map /= n;
+            }
+            (k, b, s)
+        })
+        .collect()
+}
+
+/// Run on SANTOS-like and TUS-like benchmarks.
+pub fn run(scale: f64) -> String {
+    let ks = [10usize, 20, 50, 100];
+    let mut t = TextTable::new(&[
+        "Lake", "k", "BLEND P@k", "BLEND R", "BLEND MAP", "Starmie P@k", "Starmie R",
+        "Starmie MAP",
+    ]);
+    for (label, bench) in [
+        (
+            "SANTOS-like",
+            union_bench::generate(&UnionBenchConfig::santos_like(scale)),
+        ),
+        (
+            "TUS-like",
+            union_bench::generate(&UnionBenchConfig::tus_like(scale)),
+        ),
+    ] {
+        for (k, b, s) in evaluate(&bench, &ks) {
+            t.row(&[
+                label.to_string(),
+                k.to_string(),
+                pct(b.p),
+                pct(b.r),
+                pct(b.map),
+                pct(s.p),
+                pct(s.r),
+                pct(s.map),
+            ]);
+        }
+    }
+    format!(
+        "Table VI — union search quality at scale {scale} \
+         (paper: Starmie slightly ahead at k=10, parity at k=20, BLEND ahead at k≥50; \
+          TUS recall is low at small k because clusters are large)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn evaluate_produces_all_ks() {
+        let bench = blend_lake::union_bench::generate(
+            &blend_lake::UnionBenchConfig {
+                n_clusters: 3,
+                tables_per_cluster: 4,
+                noise_tables: 5,
+                ..blend_lake::UnionBenchConfig::santos_like(0.05)
+            },
+        );
+        let rows = super::evaluate(&bench, &[5, 10]);
+        assert_eq!(rows.len(), 2);
+        for (_, b, s) in rows {
+            assert!((0.0..=1.0).contains(&b.p));
+            assert!((0.0..=1.0).contains(&s.p));
+        }
+    }
+}

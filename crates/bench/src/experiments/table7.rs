@@ -1,0 +1,126 @@
+//! Table VII — correlation-based discovery on NYC-like benchmarks:
+//! BLEND (convenience sampling), BLEND (rand) (pre-shuffled index), and
+//! the QCR sketch baseline, with h = 256, k = 10.
+
+use blend::{Blend, BlendOptions, Plan, Seeker};
+use blend_common::stats::{precision_at_k, recall_at_k};
+use blend_common::TableId;
+use blend_lake::{corr_bench, CorrBenchConfig, CorrBenchmark};
+use blend_qcr::QcrIndex;
+use blend_storage::EngineKind;
+
+use crate::harness::{fmt_duration, pct, TextTable, Timer};
+
+struct SystemScore {
+    p: f64,
+    r: f64,
+    time: std::time::Duration,
+}
+
+fn score_blend(bench: &CorrBenchmark, system: &Blend, k: usize) -> SystemScore {
+    let mut p = 0.0;
+    let mut r = 0.0;
+    let mut timer = Timer::new();
+    for q in &bench.queries {
+        let mut plan = Plan::new();
+        plan.add_seeker("c", Seeker::c(q.keys.clone(), q.target.clone()), k)
+            .expect("valid");
+        let hits = timer.measure(|| system.execute(&plan).expect("runs"));
+        let retrieved: Vec<TableId> = hits.iter().map(|h| h.table).collect();
+        let gt: std::collections::HashSet<TableId> =
+            corr_bench::exact_topk_tables(&bench.lake, q, k, 5)
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect();
+        p += precision_at_k(&retrieved, &gt, k);
+        r += recall_at_k(&retrieved, &gt, k);
+    }
+    let n = bench.queries.len().max(1) as f64;
+    SystemScore {
+        p: p / n,
+        r: r / n,
+        time: timer.mean(),
+    }
+}
+
+fn score_qcr(bench: &CorrBenchmark, qcr: &QcrIndex, k: usize) -> SystemScore {
+    let mut p = 0.0;
+    let mut r = 0.0;
+    let mut timer = Timer::new();
+    for q in &bench.queries {
+        let hits = timer.measure(|| qcr.query(&q.keys, &q.target, k, 3));
+        let retrieved: Vec<TableId> = hits.iter().map(|(t, _)| *t).collect();
+        let gt: std::collections::HashSet<TableId> =
+            corr_bench::exact_topk_tables(&bench.lake, q, k, 5)
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect();
+        p += precision_at_k(&retrieved, &gt, k);
+        r += recall_at_k(&retrieved, &gt, k);
+    }
+    let n = bench.queries.len().max(1) as f64;
+    SystemScore {
+        p: p / n,
+        r: r / n,
+        time: timer.mean(),
+    }
+}
+
+/// Run both NYC-like variants.
+pub fn run(scale: f64) -> String {
+    let k = 10usize;
+    let h = 256usize;
+    let mut t = TextTable::new(&["Benchmark", "System", "P@10", "R@10", "avg time"]);
+    for (label, cfg) in [
+        ("NYC-like (All)", CorrBenchConfig::nyc_all_like(scale)),
+        ("NYC-like (Cat.)", CorrBenchConfig::nyc_cat_like(scale)),
+    ] {
+        let bench = corr_bench::generate(&cfg);
+        let opts = BlendOptions {
+            h,
+            ..Default::default()
+        };
+        let fact = blend_index::IndexBuilder::new().build(&bench.lake.tables, EngineKind::Column);
+        let vanilla = Blend::with_options(fact, opts.clone());
+        let shuffled_fact = blend_index::IndexBuilder::with_options(blend_index::IndexOptions {
+            shuffle_rows: true,
+            seed: 0x7AB7,
+            ..Default::default()
+        })
+        .build(&bench.lake.tables, EngineKind::Column);
+        let rand_variant = Blend::with_options(shuffled_fact, opts);
+        let qcr = QcrIndex::build(&bench.lake, h);
+
+        for (system, score) in [
+            ("BLEND", score_blend(&bench, &vanilla, k)),
+            ("BLEND (rand)", score_blend(&bench, &rand_variant, k)),
+            ("QCR baseline", score_qcr(&bench, &qcr, k)),
+        ] {
+            t.row(&[
+                label.to_string(),
+                system.to_string(),
+                pct(score.p),
+                pct(score.r),
+                fmt_duration(score.time),
+            ]);
+        }
+    }
+    format!(
+        "Table VII — correlation discovery at scale {scale}, h={h}, k={k} \
+         (paper: BLEND beats the baseline by ~18 points on (All) because the \
+          baseline cannot index numeric join keys; near-parity on (Cat.); \
+          BLEND(rand) ≥ BLEND)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs_at_tiny_scale() {
+        let out = super::run(0.05);
+        assert!(out.contains("NYC-like (All)"));
+        assert!(out.contains("BLEND (rand)"));
+        assert!(out.contains("QCR baseline"));
+    }
+}

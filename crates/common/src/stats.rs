@@ -1,0 +1,310 @@
+//! Numeric utilities: correlation, the QCR statistic, ordinary least squares
+//! (BLEND's learned cost model), and the retrieval-quality metrics used by
+//! the evaluation harness (P@k, recall@k, MAP@k).
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length slices.
+///
+/// Returns `None` when either side has zero variance or fewer than two
+/// observations. This is the exact statistic the QCR quadrant sketch
+/// approximates; the correlation ground truth uses it directly.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        None
+    } else {
+        Some(sxy / (sxx * syy).sqrt())
+    }
+}
+
+/// The Quadrant Count Ratio statistic (Holmes 2001), the linear-correlation
+/// estimator both the QCR index and BLEND's correlation seeker compute:
+/// `QCR = (n_I + n_III - n_II - n_IV) / N`, where observations fall in
+/// quadrant I/III when both coordinates are on the same side of their means.
+pub fn qcr(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut concordant = 0i64;
+    for (x, y) in xs.iter().zip(ys) {
+        // The paper's cell-level formulation: Quadrant = (value >= mean).
+        let qx = *x >= mx;
+        let qy = *y >= my;
+        if qx == qy {
+            concordant += 1;
+        } else {
+            concordant -= 1;
+        }
+    }
+    Some(concordant as f64 / xs.len() as f64)
+}
+
+/// Ordinary least squares via normal equations with ridge damping.
+///
+/// Solves `argmin_w ||X w - y||^2 + lambda ||w||^2` for a small feature
+/// count (BLEND's cost model uses 4 features). Returns the weight vector.
+/// `rows` are feature vectors; all must share the same length.
+pub fn ols(rows: &[Vec<f64>], y: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    let n = rows.len();
+    if n == 0 || n != y.len() {
+        return None;
+    }
+    let d = rows[0].len();
+    if d == 0 || rows.iter().any(|r| r.len() != d) {
+        return None;
+    }
+    // Accumulate X^T X (d x d) and X^T y (d).
+    let mut xtx = vec![vec![0.0f64; d]; d];
+    let mut xty = vec![0.0f64; d];
+    for (r, &yi) in rows.iter().zip(y) {
+        for i in 0..d {
+            xty[i] += r[i] * yi;
+            for j in i..d {
+                xtx[i][j] += r[i] * r[j];
+            }
+        }
+    }
+    for i in 0..d {
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+        xtx[i][i] += lambda;
+    }
+    solve_gauss(xtx, xty)
+}
+
+/// Gaussian elimination with partial pivoting for the tiny systems OLS
+/// produces. Returns `None` for singular systems.
+fn solve_gauss(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let d = b.len();
+    for col in 0..d {
+        // Pivot.
+        let pivot = (col..d).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..d {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..d {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; d];
+    for col in (0..d).rev() {
+        let mut s = b[col];
+        for k in col + 1..d {
+            s -= a[col][k] * x[k];
+        }
+        x[col] = s / a[col][col];
+    }
+    Some(x)
+}
+
+/// Precision@k: fraction of the first `k` retrieved items that are relevant.
+pub fn precision_at_k<T: Eq + std::hash::Hash>(
+    retrieved: &[T],
+    relevant: &std::collections::HashSet<T>,
+    k: usize,
+) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let top = retrieved.iter().take(k);
+    let hits = top.filter(|t| relevant.contains(t)).count();
+    hits as f64 / k.min(retrieved.len()).max(1) as f64
+}
+
+/// Recall@k: fraction of relevant items found in the first `k` retrieved.
+pub fn recall_at_k<T: Eq + std::hash::Hash>(
+    retrieved: &[T],
+    relevant: &std::collections::HashSet<T>,
+    k: usize,
+) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = retrieved
+        .iter()
+        .take(k)
+        .filter(|t| relevant.contains(t))
+        .count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Average precision@k of one query (the summand of MAP@k).
+pub fn average_precision_at_k<T: Eq + std::hash::Hash>(
+    retrieved: &[T],
+    relevant: &std::collections::HashSet<T>,
+    k: usize,
+) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, t) in retrieved.iter().take(k).enumerate() {
+        if relevant.contains(t) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    if hits == 0 {
+        0.0
+    } else {
+        sum / hits.min(relevant.len()) as f64
+    }
+}
+
+/// One-sample z-test against a null proportion, as run in paper §VIII-C.4 to
+/// show the optimizer beats a random ordering. Returns `(z, p_two_sided)`.
+pub fn proportion_z_test(p_hat: f64, p0: f64, n: usize) -> (f64, f64) {
+    let se = (p0 * (1.0 - p0) / n as f64).sqrt();
+    let z = (p_hat - p0) / se;
+    (z, 2.0 * (1.0 - normal_cdf(z.abs())))
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26, max abs error 1.5e-7.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_none() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn qcr_tracks_correlation_sign() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((qcr(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((qcr(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qcr_near_zero_for_independent() {
+        // Deterministic "independent" pattern: y alternates regardless of x.
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..1000).map(|i| (i % 2) as f64).collect();
+        assert!(qcr(&xs, &ys).unwrap().abs() < 0.1);
+    }
+
+    #[test]
+    fn ols_recovers_linear_model() {
+        // y = 2 + 3a - b, exactly.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![1.0, i as f64, (i * i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 + 3.0 * r[1] - r[2]).collect();
+        let w = ols(&rows, &y, 0.0).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-8, "{w:?}");
+        assert!((w[1] - 3.0).abs() < 1e-8);
+        assert!((w[2] + 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ols_singular_returns_none_without_ridge() {
+        // Two identical columns -> singular normal equations.
+        let rows = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let y = vec![1.0, 2.0, 3.0];
+        assert!(ols(&rows, &y, 0.0).is_none());
+        // Ridge damping makes it solvable.
+        assert!(ols(&rows, &y, 1e-6).is_some());
+    }
+
+    #[test]
+    fn retrieval_metrics() {
+        let retrieved = vec![1, 2, 3, 4, 5];
+        let relevant: HashSet<i32> = [1, 3, 9].into_iter().collect();
+        assert!((precision_at_k(&retrieved, &relevant, 5) - 0.4).abs() < 1e-12);
+        assert!((recall_at_k(&retrieved, &relevant, 5) - 2.0 / 3.0).abs() < 1e-12);
+        // AP: hits at ranks 1 and 3 -> (1/1 + 2/3)/2.
+        let ap = average_precision_at_k(&retrieved, &relevant, 5);
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_with_short_result_list() {
+        let retrieved = vec![1];
+        let relevant: HashSet<i32> = [1].into_iter().collect();
+        // Only one item retrieved; it is relevant.
+        assert!((precision_at_k(&retrieved, &relevant, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_test_matches_paper_figures() {
+        // Paper §VIII-C.4: p_hat=0.86, p0=0.5, n=4000 => z ≈ 45.6, p ≈ 0.
+        let (z, p) = proportion_z_test(0.86, 0.5, 4000);
+        assert!((z - 45.54).abs() < 0.2, "z={z}");
+        assert!(p < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_sane() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(normal_cdf(3.0) > 0.998);
+        assert!(normal_cdf(-3.0) < 0.002);
+    }
+}

@@ -1,0 +1,285 @@
+//! In-memory relational tables and the identifiers used throughout the
+//! unified index.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// Identifier of a table inside a data lake (dense, 0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TableId(pub u32);
+
+/// Identifier of a column within its table (0-based position).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ColumnId(pub u32);
+
+/// Identifier of a row within its table (0-based position).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RowId(pub u32);
+
+impl std::fmt::Display for TableId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Inferred column type, used to decide which cells receive quadrant bits
+/// and which columns the correlation ground truth considers numerical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// ≥ 80% of non-null cells parse as numbers.
+    Numeric,
+    /// Everything else.
+    Categorical,
+}
+
+/// A named column of values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    /// Header name (may be empty for headerless web tables).
+    pub name: String,
+    /// Cell values, one per row.
+    pub values: Vec<Value>,
+}
+
+impl Column {
+    /// Create a column from anything convertible to values.
+    pub fn new<N: Into<String>, V: Into<Value>>(name: N, values: Vec<V>) -> Self {
+        Column {
+            name: name.into(),
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Infer the column type. A column is numeric when at least 80% of its
+    /// non-null cells have a numeric view; empty columns are categorical.
+    pub fn column_type(&self) -> ColumnType {
+        let mut non_null = 0usize;
+        let mut numeric = 0usize;
+        for v in &self.values {
+            if !v.is_null() {
+                non_null += 1;
+                if v.as_f64().is_some() {
+                    numeric += 1;
+                }
+            }
+        }
+        if non_null > 0 && numeric * 5 >= non_null * 4 {
+            ColumnType::Numeric
+        } else {
+            ColumnType::Categorical
+        }
+    }
+
+    /// Mean of the numeric cells, if any. This is the per-column average the
+    /// quadrant bit compares against (paper Section V).
+    pub fn numeric_mean(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for v in &self.values {
+            if let Some(f) = v.as_f64() {
+                sum += f;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+}
+
+/// An in-memory lake table.
+///
+/// Tables are column-major (matching the generators and the indexer's access
+/// pattern) but expose row accessors for the operators that validate value
+/// alignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Lake-wide identifier.
+    pub id: TableId,
+    /// Human-readable name (dataset/file name).
+    pub name: String,
+    /// Columns; all must share the same length.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Build a table, checking that all columns have equal length.
+    pub fn new<N: Into<String>>(id: TableId, name: N, columns: Vec<Column>) -> crate::Result<Self> {
+        if let Some(first) = columns.first() {
+            let n = first.values.len();
+            if let Some(bad) = columns.iter().find(|c| c.values.len() != n) {
+                return Err(crate::BlendError::InvalidInput(format!(
+                    "column `{}` has {} rows, expected {}",
+                    bad.name,
+                    bad.values.len(),
+                    n
+                )));
+            }
+        }
+        Ok(Table {
+            id,
+            name: name.into(),
+            columns,
+        })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.values.len())
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Cell accessor (column-major storage).
+    pub fn cell(&self, row: usize, col: usize) -> &Value {
+        &self.columns[col].values[row]
+    }
+
+    /// Iterate over one row's cells.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = &Value> {
+        self.columns.iter().map(move |c| &c.values[row])
+    }
+
+    /// Index of the column with the given (exact) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Total number of non-null cells (the number of index entries the table
+    /// contributes to `AllTables`).
+    pub fn non_null_cells(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| c.values.iter().filter(|v| !v.is_null()).count())
+            .sum()
+    }
+
+    /// Parse a simple CSV string (comma-separated, first line is the header,
+    /// no quoting — the lake generators never emit commas inside fields).
+    /// Provided so examples can load small hand-written tables.
+    pub fn from_csv(id: TableId, name: &str, csv: &str) -> crate::Result<Self> {
+        let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
+        let header = lines
+            .next()
+            .ok_or_else(|| crate::BlendError::InvalidInput("empty CSV".into()))?;
+        let names: Vec<&str> = header.split(',').map(str::trim).collect();
+        let mut columns: Vec<Column> = names
+            .iter()
+            .map(|n| Column {
+                name: n.to_string(),
+                values: Vec::new(),
+            })
+            .collect();
+        for (lineno, line) in lines.enumerate() {
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != columns.len() {
+                return Err(crate::BlendError::InvalidInput(format!(
+                    "CSV row {} has {} fields, expected {}",
+                    lineno + 2,
+                    fields.len(),
+                    columns.len()
+                )));
+            }
+            for (c, field) in columns.iter_mut().zip(fields) {
+                c.values.push(Value::parse(field));
+            }
+        }
+        Table::new(id, name, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dept_table() -> Table {
+        Table::from_csv(
+            TableId(0),
+            "S",
+            "Dep.,Head\nHR,Firenze\nMarketing,\nFinance,\nIT,\nR&D,\nSales,\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csv_parsing_shapes() {
+        let t = dept_table();
+        assert_eq!(t.n_rows(), 6);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.cell(0, 0), &Value::Text("HR".into()));
+        assert!(t.cell(1, 1).is_null());
+        assert_eq!(t.column_index("Head"), Some(1));
+    }
+
+    #[test]
+    fn mismatched_columns_rejected() {
+        let r = Table::new(
+            TableId(0),
+            "bad",
+            vec![Column::new("a", vec![1i64, 2]), Column::new("b", vec![1i64])],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn csv_row_arity_checked() {
+        let r = Table::from_csv(TableId(0), "bad", "a,b\n1,2\n3\n");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn column_type_inference() {
+        let nums = Column::new("n", vec![Value::Int(1), Value::Null, Value::Float(2.5)]);
+        assert_eq!(nums.column_type(), ColumnType::Numeric);
+        let mixed = Column::new(
+            "m",
+            vec![
+                Value::Text("a".into()),
+                Value::Int(1),
+                Value::Text("b".into()),
+            ],
+        );
+        assert_eq!(mixed.column_type(), ColumnType::Categorical);
+        // Numbers stored as text still count as numeric.
+        let texty = Column::new(
+            "t",
+            vec![Value::Text("10".into()), Value::Text("20".into())],
+        );
+        assert_eq!(texty.column_type(), ColumnType::Numeric);
+    }
+
+    #[test]
+    fn numeric_mean_ignores_nulls_and_text() {
+        let c = Column::new(
+            "n",
+            vec![Value::Int(2), Value::Null, Value::Int(4), Value::Text("x".into())],
+        );
+        assert_eq!(c.numeric_mean(), Some(3.0));
+        let empty = Column::new("e", Vec::<Value>::new());
+        assert_eq!(empty.numeric_mean(), None);
+    }
+
+    #[test]
+    fn non_null_cells_counts() {
+        assert_eq!(dept_table().non_null_cells(), 7);
+    }
+
+    #[test]
+    fn row_iteration() {
+        let t = dept_table();
+        let r0: Vec<String> = t.row(0).map(|v| v.to_string()).collect();
+        assert_eq!(r0, vec!["HR", "Firenze"]);
+    }
+}

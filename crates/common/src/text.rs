@@ -1,0 +1,100 @@
+//! Cell normalization and tokenization shared by the indexer, the SQL
+//! engine's string comparisons, and the embedding encoder.
+
+use std::borrow::Cow;
+
+/// Normalize a raw cell string: trim, lowercase, collapse whitespace runs to
+/// a single space.
+///
+/// Returns a borrowed slice when the input is already normalized, avoiding an
+/// allocation on the (common) clean-data path.
+pub fn normalize_cow(s: &str) -> Cow<'_, str> {
+    let trimmed = s.trim();
+    let needs_work = trimmed
+        .chars()
+        .any(|c| c.is_ascii_uppercase() || c.is_whitespace() && c != ' ')
+        || trimmed.contains("  ")
+        || trimmed.len() != s.len();
+    if !needs_work {
+        return Cow::Borrowed(trimmed);
+    }
+    let mut out = String::with_capacity(trimmed.len());
+    let mut last_space = false;
+    for c in trimmed.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            last_space = false;
+            if c.is_ascii_uppercase() {
+                out.push(c.to_ascii_lowercase());
+            } else {
+                out.push(c);
+            }
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Owned convenience wrapper over [`normalize_cow`].
+pub fn normalize(s: &str) -> String {
+    normalize_cow(s).into_owned()
+}
+
+/// Split a normalized cell into word tokens (alphanumeric runs).
+pub fn tokens(s: &str) -> impl Iterator<Item = &str> {
+    s.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty())
+}
+
+/// Character trigrams of a token, used by the embedding encoder to give
+/// lexically close values nearby vectors.
+pub fn trigrams(token: &str) -> Vec<String> {
+    let chars: Vec<char> = token.chars().collect();
+    if chars.len() < 3 {
+        return vec![token.to_string()];
+    }
+    chars.windows(3).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_borrows_when_clean() {
+        assert!(matches!(normalize_cow("already clean"), Cow::Borrowed(_)));
+        assert!(matches!(normalize_cow("Needs Work"), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn normalize_collapses_whitespace_and_case() {
+        assert_eq!(normalize("  Tom \t Riddle\n"), "tom riddle");
+        assert_eq!(normalize("HR"), "hr");
+        assert_eq!(normalize(""), "");
+    }
+
+    #[test]
+    fn normalize_preserves_non_ascii() {
+        assert_eq!(normalize("Universität  Hannover"), "universität hannover");
+    }
+
+    #[test]
+    fn tokens_split_on_punctuation() {
+        let ts: Vec<&str> = tokens("new-york city, ny 2024").collect();
+        assert_eq!(ts, vec!["new", "york", "city", "ny", "2024"]);
+    }
+
+    #[test]
+    fn trigrams_of_short_tokens_are_the_token() {
+        assert_eq!(trigrams("ab"), vec!["ab".to_string()]);
+        assert_eq!(trigrams("abcd"), vec!["abc".to_string(), "bcd".to_string()]);
+    }
+
+    #[test]
+    fn normalize_idempotent() {
+        let once = normalize("  A  B ");
+        assert_eq!(normalize(&once), once);
+    }
+}

@@ -1,0 +1,193 @@
+//! Bounded top-k selection.
+//!
+//! Every seeker and several baselines finish with "return the k best items
+//! by score, ties broken deterministically". A bounded binary heap keeps
+//! that O(n log k) instead of sorting the full candidate set.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An item with an `f64` score and a deterministic tiebreak key.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    score: f64,
+    tiebreak: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key() == other.cmp_key()
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Entry<T> {
+    /// Min-heap key: lowest score (then highest tiebreak) at the top, so the
+    /// heap root is always the current k-th best candidate.
+    fn cmp_key(&self) -> (std::cmp::Reverse<u64>, f64) {
+        (std::cmp::Reverse(self.tiebreak), self.score)
+    }
+}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the *worst* entry is at the
+        // root and can be evicted.
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.tiebreak.cmp(&other.tiebreak))
+    }
+}
+
+/// Collects the top `k` items by score (descending), breaking ties by the
+/// *smallest* tiebreak key (typically a table id), which keeps results
+/// deterministic across runs and storage engines.
+#[derive(Debug, Clone)]
+pub struct TopK<T> {
+    k: usize,
+    heap: BinaryHeap<Entry<T>>,
+}
+
+impl<T> TopK<T> {
+    /// New collector for `k` items. `k == 0` collects nothing;
+    /// `usize::MAX` collects everything.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            // Capacity hint only; unbounded k must not overflow or
+            // pre-allocate absurdly.
+            heap: BinaryHeap::with_capacity(k.saturating_add(1).min(4096)),
+        }
+    }
+
+    /// Offer an item.
+    pub fn push(&mut self, score: f64, tiebreak: u64, item: T) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Entry {
+                score,
+                tiebreak,
+                item,
+            });
+            return;
+        }
+        // Evict the current worst if strictly beaten (or tied with a larger
+        // tiebreak key).
+        let worst = self.heap.peek().expect("non-empty");
+        let beats = score > worst.score || (score == worst.score && tiebreak < worst.tiebreak);
+        if beats {
+            self.heap.pop();
+            self.heap.push(Entry {
+                score,
+                tiebreak,
+                item,
+            });
+        }
+    }
+
+    /// Current number of collected items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Lowest score currently kept; `None` until `k` items are held. Useful
+    /// as a pruning threshold in search loops.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|e| e.score)
+        }
+    }
+
+    /// Finish, returning `(score, item)` sorted best-first.
+    pub fn into_sorted(self) -> Vec<(f64, T)> {
+        let mut v: Vec<Entry<T>> = self.heap.into_vec();
+        v.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.tiebreak.cmp(&b.tiebreak))
+        });
+        v.into_iter().map(|e| (e.score, e.item)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut t = TopK::new(3);
+        for (i, s) in [5.0, 1.0, 9.0, 3.0, 7.0].into_iter().enumerate() {
+            t.push(s, i as u64, i);
+        }
+        let out = t.into_sorted();
+        let scores: Vec<f64> = out.iter().map(|(s, _)| *s).collect();
+        assert_eq!(scores, vec![9.0, 7.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_broken_by_smallest_key() {
+        let mut t = TopK::new(2);
+        t.push(1.0, 30, "c");
+        t.push(1.0, 10, "a");
+        t.push(1.0, 20, "b");
+        let out = t.into_sorted();
+        let items: Vec<&str> = out.iter().map(|(_, i)| *i).collect();
+        assert_eq!(items, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn zero_k_collects_nothing() {
+        let mut t = TopK::new(0);
+        t.push(1.0, 0, ());
+        assert!(t.is_empty());
+        assert!(t.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn threshold_appears_when_full() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), None);
+        t.push(5.0, 0, ());
+        assert_eq!(t.threshold(), None);
+        t.push(3.0, 1, ());
+        assert_eq!(t.threshold(), Some(3.0));
+        t.push(4.0, 2, ());
+        assert_eq!(t.threshold(), Some(4.0));
+    }
+
+    #[test]
+    fn matches_full_sort_on_random_input() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let items: Vec<(f64, u64)> = (0..500u64)
+            .map(|i| (rng.random_range(0..100) as f64, i))
+            .collect();
+        let mut t = TopK::new(25);
+        for &(s, i) in &items {
+            t.push(s, i, i);
+        }
+        let fast: Vec<u64> = t.into_sorted().into_iter().map(|(_, i)| i).collect();
+        let mut slow = items.clone();
+        slow.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let slow: Vec<u64> = slow.into_iter().take(25).map(|(_, i)| i).collect();
+        assert_eq!(fast, slow);
+    }
+}

@@ -1,0 +1,211 @@
+//! Combiner implementations (paper §IV-B): set operations over ranked
+//! table collections.
+//!
+//! Ranking semantics (the paper leaves per-combiner ordering to the
+//! implementation; ours is deterministic and documented):
+//!
+//! * **Intersect** — tables present in every input, ranked by mean input
+//!   rank (best average position first);
+//! * **Union** — all tables, ranked by their best (lowest) rank across
+//!   inputs;
+//! * **Difference** — first input's order, minus the second input's tables;
+//! * **Counter** — ranked by the number of inputs containing the table
+//!   (descending), ties by mean rank.
+
+use blend_common::{FxHashMap, FxHashSet, TableId};
+
+use crate::plan::Combiner;
+
+/// One ranked result table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableHit {
+    pub table: TableId,
+    /// Seeker-specific score (overlap count, joinable rows, |QCR|) or the
+    /// combiner's aggregate (see module docs).
+    pub score: f64,
+}
+
+/// Apply a combiner to its inputs' ranked hit lists, producing at most `k`
+/// hits.
+pub fn apply(combiner: Combiner, inputs: &[Vec<TableHit>], k: usize) -> Vec<TableHit> {
+    match combiner {
+        Combiner::Intersect => intersect(inputs, k),
+        Combiner::Union => union(inputs, k),
+        Combiner::Difference => difference(inputs, k),
+        Combiner::Counter => counter(inputs, k),
+    }
+}
+
+fn intersect(inputs: &[Vec<TableHit>], k: usize) -> Vec<TableHit> {
+    let Some(first) = inputs.first() else {
+        return Vec::new();
+    };
+    // rank maps per input.
+    let ranks: Vec<FxHashMap<TableId, usize>> = inputs
+        .iter()
+        .map(|hits| {
+            hits.iter()
+                .enumerate()
+                .map(|(i, h)| (h.table, i))
+                .collect()
+        })
+        .collect();
+    let mut topk = blend_common::topk::TopK::new(k);
+    for h in first {
+        if let Some(rank_sum) = ranks
+            .iter()
+            .map(|r| r.get(&h.table).copied())
+            .try_fold(0usize, |acc, r| r.map(|r| acc + r))
+        {
+            let mean_rank = rank_sum as f64 / inputs.len() as f64;
+            // Higher score = better = lower mean rank.
+            topk.push(-mean_rank, h.table.0 as u64, TableHit {
+                table: h.table,
+                score: 1.0 / (1.0 + mean_rank),
+            });
+        }
+    }
+    topk.into_sorted().into_iter().map(|(_, h)| h).collect()
+}
+
+fn union(inputs: &[Vec<TableHit>], k: usize) -> Vec<TableHit> {
+    let mut best_rank: FxHashMap<TableId, usize> = FxHashMap::default();
+    for hits in inputs {
+        for (i, h) in hits.iter().enumerate() {
+            let e = best_rank.entry(h.table).or_insert(usize::MAX);
+            *e = (*e).min(i);
+        }
+    }
+    let mut topk = blend_common::topk::TopK::new(k);
+    for (t, rank) in best_rank {
+        topk.push(-(rank as f64), t.0 as u64, TableHit {
+            table: t,
+            score: 1.0 / (1.0 + rank as f64),
+        });
+    }
+    topk.into_sorted().into_iter().map(|(_, h)| h).collect()
+}
+
+fn difference(inputs: &[Vec<TableHit>], k: usize) -> Vec<TableHit> {
+    let (Some(keep), Some(remove)) = (inputs.first(), inputs.get(1)) else {
+        return Vec::new();
+    };
+    let removed: FxHashSet<TableId> = remove.iter().map(|h| h.table).collect();
+    keep.iter()
+        .filter(|h| !removed.contains(&h.table))
+        .take(k)
+        .copied()
+        .collect()
+}
+
+fn counter(inputs: &[Vec<TableHit>], k: usize) -> Vec<TableHit> {
+    let mut freq: FxHashMap<TableId, (usize, usize)> = FxHashMap::default(); // (count, rank sum)
+    for hits in inputs {
+        for (i, h) in hits.iter().enumerate() {
+            let e = freq.entry(h.table).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += i;
+        }
+    }
+    let mut topk = blend_common::topk::TopK::new(k);
+    for (t, (count, rank_sum)) in freq {
+        // Frequency dominates; mean rank breaks ties (scaled to < 1).
+        let mean_rank = rank_sum as f64 / count as f64;
+        let score = count as f64 + 1.0 / (2.0 + mean_rank);
+        topk.push(score, t.0 as u64, TableHit {
+            table: t,
+            score: count as f64,
+        });
+    }
+    topk.into_sorted().into_iter().map(|(_, h)| h).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits(ids: &[u32]) -> Vec<TableHit> {
+        ids.iter()
+            .enumerate()
+            .map(|(i, &id)| TableHit {
+                table: TableId(id),
+                score: 100.0 - i as f64,
+            })
+            .collect()
+    }
+
+    fn ids(hits: &[TableHit]) -> Vec<u32> {
+        hits.iter().map(|h| h.table.0).collect()
+    }
+
+    #[test]
+    fn intersect_keeps_common_tables() {
+        let a = hits(&[1, 2, 3, 4]);
+        let b = hits(&[3, 1, 9]);
+        let out = apply(Combiner::Intersect, &[a, b], 10);
+        // 1: ranks (0,1) mean 0.5; 3: ranks (2,0) mean 1.0.
+        assert_eq!(ids(&out), vec![1, 3]);
+    }
+
+    #[test]
+    fn intersect_is_commutative_on_sets() {
+        let a = hits(&[5, 6, 7]);
+        let b = hits(&[7, 5]);
+        let ab: FxHashSet<u32> = ids(&apply(Combiner::Intersect, &[a.clone(), b.clone()], 10))
+            .into_iter()
+            .collect();
+        let ba: FxHashSet<u32> = ids(&apply(Combiner::Intersect, &[b, a], 10))
+            .into_iter()
+            .collect();
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn union_prefers_best_rank() {
+        let a = hits(&[1, 2]);
+        let b = hits(&[3]);
+        let out = apply(Combiner::Union, &[a, b], 10);
+        // Ranks: 1->0, 3->0, 2->1; ties by table id.
+        assert_eq!(ids(&out), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn difference_preserves_first_order_and_is_noncommutative() {
+        let a = hits(&[1, 2, 3]);
+        let b = hits(&[2]);
+        assert_eq!(ids(&apply(Combiner::Difference, &[a.clone(), b.clone()], 10)), vec![1, 3]);
+        assert_eq!(ids(&apply(Combiner::Difference, &[b, a], 10)), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn counter_ranks_by_frequency() {
+        let a = hits(&[1, 2, 3]);
+        let b = hits(&[2, 3]);
+        let c = hits(&[3]);
+        let out = apply(Combiner::Counter, &[a, b, c], 10);
+        assert_eq!(ids(&out), vec![3, 2, 1]);
+        assert_eq!(out[0].score, 3.0);
+        assert_eq!(out[2].score, 1.0);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let a = hits(&[1, 2, 3, 4, 5]);
+        let b = hits(&[1, 2, 3, 4, 5]);
+        assert_eq!(apply(Combiner::Intersect, &[a.clone(), b.clone()], 2).len(), 2);
+        assert_eq!(apply(Combiner::Union, &[a.clone(), b.clone()], 3).len(), 3);
+        assert_eq!(apply(Combiner::Counter, &[a, b], 1).len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(apply(Combiner::Intersect, &[], 5).is_empty());
+        assert!(apply(Combiner::Union, &[vec![], vec![]], 5).is_empty());
+        assert!(apply(Combiner::Difference, &[vec![]], 5).is_empty());
+        let only = hits(&[4]);
+        assert_eq!(
+            ids(&apply(Combiner::Difference, &[only, vec![]], 5)),
+            vec![4]
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! The two-phase plan optimizer (paper §VII-B).
+//!
+//! Execution groups (EGs) — maximal sets of inputs feeding one Intersection
+//! combiner — are the only reorderable units: Difference is
+//! non-commutative, Union and Counter gain nothing from ordering. Within an
+//! EG, seekers are ranked by:
+//!
+//! 1. **Rules** ([`rules`]): KW first, MC last, SC before C — derived from
+//!    the operators' index-scan complexity;
+//! 2. **Learned cost model** ([`costmodel`]): a per-type linear regression
+//!    over `[1, |Q|, #columns, avg value frequency]` breaks ties between
+//!    same-type seekers.
+//!
+//! The ranking decides which seeker runs first; the executor then injects
+//! each finished seeker's table ids into the next one's SQL (see
+//! [`crate::seekers::Injected`]).
+
+pub mod costmodel;
+pub mod rules;
+
+use crate::plan::Seeker;
+use crate::Blend;
+
+/// Rank seekers of one execution group: returns indices into `seekers` in
+/// the order they should execute.
+pub fn rank_execution_group(blend: &Blend, seekers: &[&Seeker]) -> Vec<usize> {
+    let models = blend.cost_models();
+    let mut keyed: Vec<(u8, f64, usize)> = seekers
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let rule = rules::type_priority(s);
+            let cost = costmodel::estimate(blend, s, &models);
+            (rule, cost, i)
+        })
+        .collect();
+    keyed.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then_with(|| a.1.total_cmp(&b.1))
+            .then_with(|| a.2.cmp(&b.2))
+    });
+    keyed.into_iter().map(|(_, _, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blend_storage::EngineKind;
+
+    fn tiny_blend() -> Blend {
+        let lake = blend_lake::web::generate(&blend_lake::WebLakeConfig {
+            name: "opt".into(),
+            n_tables: 20,
+            rows: (5, 10),
+            cols: (2, 4),
+            vocab: 100,
+            zipf_s: 1.0,
+            numeric_col_ratio: 0.3,
+            null_ratio: 0.0,
+            seed: 2,
+        });
+        Blend::from_lake(&lake, EngineKind::Column)
+    }
+
+    #[test]
+    fn rules_dominate_across_types() {
+        let blend = tiny_blend();
+        let kw = Seeker::kw(vec!["v1".into()]);
+        let sc = Seeker::sc(vec!["v1".into(), "v2".into()]);
+        let c = Seeker::c(vec!["v1".into(), "v2".into()], vec![1.0, 2.0]);
+        let mc = Seeker::mc(vec![vec!["v1".into(), "v2".into()]]);
+        // Adversarial order in, rule order out.
+        let order = rank_execution_group(&blend, &[&mc, &c, &sc, &kw]);
+        let labels: Vec<&str> = order
+            .iter()
+            .map(|&i| [&mc, &c, &sc, &kw][i].label())
+            .collect();
+        assert_eq!(labels, vec!["KW", "SC", "C", "MC"]);
+    }
+
+    #[test]
+    fn same_type_ranked_by_cost() {
+        let blend = tiny_blend();
+        // v0 is the Zipf head (frequent); a small rare query must run first
+        // under the fallback heuristic (cardinality x frequency).
+        let cheap = Seeker::sc(vec!["v99".into()]);
+        let pricey = Seeker::sc(vec![
+            "v0".into(),
+            "v1".into(),
+            "v2".into(),
+            "v3".into(),
+            "v4".into(),
+            "v5".into(),
+        ]);
+        let order = rank_execution_group(&blend, &[&pricey, &cheap]);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn ranking_is_deterministic() {
+        let blend = tiny_blend();
+        let a = Seeker::sc(vec!["v1".into()]);
+        let b = Seeker::sc(vec!["v1".into()]);
+        // Identical seekers: stable original order.
+        assert_eq!(rank_execution_group(&blend, &[&a, &b]), vec![0, 1]);
+    }
+}

@@ -1,0 +1,492 @@
+//! Seeker implementations (paper Section VI): SQL generation over
+//! `AllTables` plus the application-level phases of MC and C.
+
+use blend_common::{stats::mean, text, FxHashMap, FxHashSet, Result, TableId};
+use blend_index::Xash;
+use blend_sql::{ResultSet, SqlValue};
+
+use crate::combiners::TableHit;
+use crate::plan::Seeker;
+use crate::Blend;
+
+/// Placeholder the rewriter replaces with an injected TableId predicate
+/// (paper §VII-B "query rewriting"). Present in every seeker template.
+pub const TID_PLACEHOLDER: &str = "/*$TID$*/";
+
+/// A predicate injected by the optimizer from intermediate results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Injected {
+    /// `AND TableId IN (...)` — intersection rewriting.
+    In(Vec<u32>),
+    /// `AND TableId NOT IN (...)` — difference rewriting.
+    NotIn(Vec<u32>),
+}
+
+impl Injected {
+    /// Render the SQL fragment replacing [`TID_PLACEHOLDER`].
+    pub fn fragment(&self) -> String {
+        match self {
+            Injected::In(ids) => format!("AND TableId IN ({})", join_ids(ids)),
+            Injected::NotIn(ids) if ids.is_empty() => String::new(),
+            Injected::NotIn(ids) => format!("AND TableId NOT IN ({})", join_ids(ids)),
+        }
+    }
+}
+
+fn join_ids(ids: &[u32]) -> String {
+    let mut s = String::with_capacity(ids.len() * 4);
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&id.to_string());
+    }
+    s
+}
+
+/// SQL string literal with `'` escaping, normalized the same way the
+/// indexer normalizes cell values.
+fn sql_str(raw: &str) -> String {
+    let norm = text::normalize(raw);
+    let mut s = String::with_capacity(norm.len() + 2);
+    s.push('\'');
+    for c in norm.chars() {
+        if c == '\'' {
+            s.push('\'');
+        }
+        s.push(c);
+    }
+    s.push('\'');
+    s
+}
+
+fn join_values(values: &[String]) -> String {
+    let mut s = String::new();
+    let mut seen: FxHashSet<String> = FxHashSet::default();
+    for v in values {
+        let lit = sql_str(v);
+        if seen.insert(lit.clone()) {
+            if !s.is_empty() {
+                s.push(',');
+            }
+            s.push_str(&lit);
+        }
+    }
+    s
+}
+
+/// One executed seeker: its SQL, hits, and MC bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SeekerRun {
+    /// The SQL sent to the engine (post-rewriting).
+    pub sql: String,
+    /// Ranked results.
+    pub hits: Vec<TableHit>,
+    /// MC filter-phase statistics (None for other seekers): candidate rows
+    /// after the super-key filter and rows surviving exact validation —
+    /// the TP/FP numbers of paper Table V.
+    pub mc_stats: Option<McStats>,
+}
+
+/// MC candidate bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct McStats {
+    /// Candidate rows emitted by the SQL phase + super-key filter.
+    pub candidates: usize,
+    /// Candidates passing exact alignment validation (true positives).
+    pub validated: usize,
+}
+
+impl McStats {
+    /// Filter precision (Table V definition).
+    pub fn precision(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.validated as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// Render the SQL template(s) of a seeker (pre-injection). Exposed for the
+/// documentation tests and the LOC experiment.
+pub fn seeker_sql(seeker: &Seeker, k: usize, h: usize) -> String {
+    match seeker {
+        Seeker::Sc { values } => sc_sql(values, k, false),
+        Seeker::Kw { keywords } => sc_sql(keywords, k, true),
+        Seeker::Mc { rows } => mc_sql(rows),
+        Seeker::C { keys, target } => c_sql(keys, target, h),
+    }
+}
+
+/// Listing 1 (extended with an explicit score column and table-granularity
+/// over-fetch; see module docs). `table_wide` drops ColumnId from GROUP BY,
+/// turning SC into KW.
+fn sc_sql(values: &[String], k: usize, table_wide: bool) -> String {
+    let group = if table_wide {
+        "TableId"
+    } else {
+        "TableId, ColumnId"
+    };
+    // Over-fetch: several (table, column) groups may share a table.
+    let fetch = k.saturating_mul(4).saturating_add(8);
+    format!(
+        "SELECT TableId AS t, COUNT(DISTINCT CellValue) AS score FROM AllTables \
+         WHERE CellValue IN ({vals}) {TID_PLACEHOLDER} \
+         GROUP BY {group} \
+         ORDER BY score DESC \
+         LIMIT {fetch}",
+        vals = join_values(values),
+    )
+}
+
+/// Listing 2, generalized to any arity, with explicit projection so the
+/// application phase can read values/columns/super keys by label.
+fn mc_sql(rows: &[Vec<String>]) -> String {
+    let arity = rows.first().map_or(0, Vec::len);
+    // Per-column value lists.
+    let mut col_values: Vec<Vec<String>> = vec![Vec::new(); arity];
+    for row in rows {
+        for (c, v) in row.iter().enumerate() {
+            col_values[c].push(v.clone());
+        }
+    }
+    let mut proj = vec![
+        "q0.TableId AS tid".to_string(),
+        "q0.RowId AS rid".to_string(),
+        "q0.SuperKey AS sk".to_string(),
+    ];
+    for c in 0..arity {
+        proj.push(format!("q{c}.CellValue AS v{c}"));
+        proj.push(format!("q{c}.ColumnId AS c{c}"));
+    }
+    let mut sql = format!(
+        "SELECT {} FROM (SELECT * FROM AllTables WHERE CellValue IN ({}) {TID_PLACEHOLDER}) AS q0",
+        proj.join(", "),
+        join_values(&col_values[0]),
+    );
+    for c in 1..arity {
+        sql.push_str(&format!(
+            " INNER JOIN (SELECT * FROM AllTables WHERE CellValue IN ({})) AS q{c} \
+             ON q0.TableId = q{c}.TableId AND q0.RowId = q{c}.RowId",
+            join_values(&col_values[c]),
+        ));
+    }
+    sql
+}
+
+/// Listing 3: the correlation seeker with the in-SQL QCR score
+/// `ABS((2*SUM(concordant)-COUNT(*))/COUNT(*))`. The `k0`/`k1` key split
+/// happens here, before query generation, exactly as the paper describes.
+fn c_sql(keys: &[String], target: &[f64], h: usize) -> String {
+    let m = mean(target).unwrap_or(0.0);
+    let mut k0 = Vec::new();
+    let mut k1 = Vec::new();
+    for (k, t) in keys.iter().zip(target) {
+        if *t < m {
+            k0.push(k.clone());
+        } else {
+            k1.push(k.clone());
+        }
+    }
+    format!(
+        "SELECT keys.TableId AS t, keys.ColumnId AS kc, nums.ColumnId AS nc, \
+         ABS((2 * SUM(((keys.CellValue IN ({k0}) AND nums.Quadrant = 0) OR \
+         (keys.CellValue IN ({k1}) AND nums.Quadrant = 1))::int) - COUNT(*)) / COUNT(*)) AS score, \
+         COUNT(*) AS n \
+         FROM (SELECT * FROM AllTables WHERE RowId < {h} AND CellValue IN ({all}) {TID_PLACEHOLDER}) keys \
+         INNER JOIN (SELECT * FROM AllTables WHERE RowId < {h} AND Quadrant IS NOT NULL) nums \
+         ON keys.TableId = nums.TableId AND keys.RowId = nums.RowId \
+         AND keys.ColumnId <> nums.ColumnId \
+         GROUP BY keys.TableId, nums.ColumnId, keys.ColumnId \
+         ORDER BY score DESC",
+        k0 = join_values(&k0),
+        k1 = join_values(&k1),
+        all = join_values(keys),
+    )
+}
+
+/// Execute a seeker against the BLEND engine.
+pub fn run(
+    blend: &Blend,
+    seeker: &Seeker,
+    k: usize,
+    injected: Option<&Injected>,
+) -> Result<SeekerRun> {
+    // Short-circuit: an empty intersection filter can never match.
+    if let Some(Injected::In(ids)) = injected {
+        if ids.is_empty() {
+            return Ok(SeekerRun {
+                sql: String::new(),
+                hits: Vec::new(),
+                mc_stats: matches!(seeker, Seeker::Mc { .. }).then(McStats::default),
+            });
+        }
+    }
+    let template = seeker_sql(seeker, k, blend.options().h);
+    let fragment = injected.map(Injected::fragment).unwrap_or_default();
+    let sql = template.replace(TID_PLACEHOLDER, &fragment);
+
+    let rs = blend.engine().execute(&sql)?;
+    let (hits, mc_stats) = match seeker {
+        Seeker::Sc { .. } | Seeker::Kw { .. } => (dedup_table_scores(&rs, k), None),
+        Seeker::Mc { rows } => {
+            let (hits, stats) = mc_postprocess(&rs, rows, k);
+            (hits, Some(stats))
+        }
+        Seeker::C { .. } => (c_postprocess(&rs, k, blend.options().corr_min_matches), None),
+    };
+    Ok(SeekerRun {
+        sql,
+        hits,
+        mc_stats,
+    })
+}
+
+/// Keep the best score per table, preserving descending order; cut to `k`.
+fn dedup_table_scores(rs: &ResultSet, k: usize) -> Vec<TableHit> {
+    let (Some(t), Some(s)) = (rs.col("t"), rs.col("score")) else {
+        return Vec::new();
+    };
+    let mut seen: FxHashSet<u32> = FxHashSet::default();
+    let mut out = Vec::new();
+    for row in &rs.rows {
+        let (Some(table), Some(score)) = (row[t].as_i64(), row[s].as_f64()) else {
+            continue;
+        };
+        if seen.insert(table as u32) {
+            out.push(TableHit {
+                table: TableId(table as u32),
+                score,
+            });
+            if out.len() >= k {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// MC application phase, per the paper's two steps: (1) the super key of
+/// each candidate row prunes rows that cannot hold any full query row
+/// (bloom subset test, no value comparisons); (2) exact match validation
+/// checks that a matched value combination is an actual query row
+/// (alignment). TP/FP are counted per candidate row (Table V).
+fn mc_postprocess(rs: &ResultSet, rows: &[Vec<String>], k: usize) -> (Vec<TableHit>, McStats) {
+    let arity = rows.first().map_or(0, Vec::len);
+    // Normalized query rows for the super-key filter and exact validation.
+    let query_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|v| text::normalize(v)).collect())
+        .collect();
+    let query_row_set: FxHashSet<&[String]> =
+        query_rows.iter().map(Vec::as_slice).collect();
+
+    let tid = rs.col("tid");
+    let rid = rs.col("rid");
+    let sk = rs.col("sk");
+    let (Some(tid), Some(rid), Some(sk)) = (tid, rid, sk) else {
+        return (Vec::new(), McStats::default());
+    };
+    let vcols: Vec<usize> = (0..arity)
+        .map(|c| rs.col(&format!("v{c}")).expect("projected value column"))
+        .collect();
+    let ccols: Vec<usize> = (0..arity)
+        .map(|c| rs.col(&format!("c{c}")).expect("projected column id"))
+        .collect();
+
+    // Gather per candidate row: its super key and the matched combinations.
+    struct Candidate {
+        superkey: u128,
+        combos: Vec<Vec<String>>,
+    }
+    let mut candidates: FxHashMap<(u32, u32), Candidate> = FxHashMap::default();
+    'tuples: for row in &rs.rows {
+        let (Some(t), Some(r)) = (row[tid].as_i64(), row[rid].as_i64()) else {
+            continue;
+        };
+        // Alignment needs the values to come from distinct columns.
+        let mut cset = FxHashSet::default();
+        for &c in &ccols {
+            let Some(cid) = row[c].as_i64() else {
+                continue 'tuples;
+            };
+            if !cset.insert(cid) {
+                continue 'tuples;
+            }
+        }
+        let values: Vec<String> = vcols
+            .iter()
+            .map(|&c| match &row[c] {
+                SqlValue::Text(s) => s.to_string(),
+                other => other.to_string(),
+            })
+            .collect();
+        let superkey = match row[sk] {
+            SqlValue::U128(v) => v,
+            _ => continue,
+        };
+        candidates
+            .entry((t as u32, r as u32))
+            .or_insert_with(|| Candidate {
+                superkey,
+                combos: Vec::new(),
+            })
+            .combos
+            .push(values);
+    }
+
+    let mut stats = McStats::default();
+    let mut joinable: FxHashMap<u32, FxHashSet<u32>> = FxHashMap::default();
+    for ((t, r), cand) in candidates {
+        // Super-key bloom filter: some full query row may be present.
+        let passes = query_rows.iter().any(|qr| {
+            Xash::may_contain_all(cand.superkey, qr.iter().map(String::as_str))
+        });
+        if !passes {
+            continue;
+        }
+        stats.candidates += 1;
+        // Exact match validation on the aligned combinations.
+        if cand
+            .combos
+            .iter()
+            .any(|combo| query_row_set.contains(combo.as_slice()))
+        {
+            stats.validated += 1;
+            joinable.entry(t).or_default().insert(r);
+        }
+    }
+
+    let mut topk = blend_common::topk::TopK::new(k);
+    for (t, rows) in joinable {
+        topk.push(rows.len() as f64, t as u64, TableHit {
+            table: TableId(t),
+            score: rows.len() as f64,
+        });
+    }
+    (
+        topk.into_sorted().into_iter().map(|(_, h)| h).collect(),
+        stats,
+    )
+}
+
+/// C application phase: drop under-supported triplets, keep the best
+/// |QCR| per table, cut to `k`.
+fn c_postprocess(rs: &ResultSet, k: usize, min_matches: usize) -> Vec<TableHit> {
+    let (Some(t), Some(s), Some(n)) = (rs.col("t"), rs.col("score"), rs.col("n")) else {
+        return Vec::new();
+    };
+    let mut best: FxHashMap<u32, f64> = FxHashMap::default();
+    for row in &rs.rows {
+        let (Some(table), Some(score), Some(support)) =
+            (row[t].as_i64(), row[s].as_f64(), row[n].as_i64())
+        else {
+            continue;
+        };
+        if (support as usize) < min_matches {
+            continue;
+        }
+        let e = best.entry(table as u32).or_insert(f64::MIN);
+        if score > *e {
+            *e = score;
+        }
+    }
+    let mut topk = blend_common::topk::TopK::new(k);
+    for (table, score) in best {
+        topk.push(score, table as u64, TableHit {
+            table: TableId(table),
+            score,
+        });
+    }
+    topk.into_sorted().into_iter().map(|(_, h)| h).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_templates_contain_placeholder() {
+        let seekers = [
+            Seeker::sc(vec!["a".into()]),
+            Seeker::kw(vec!["a".into()]),
+            Seeker::mc(vec![vec!["a".into(), "b".into()]]),
+            Seeker::c(vec!["k1".into(), "k2".into()], vec![1.0, 2.0]),
+        ];
+        for s in seekers {
+            let sql = seeker_sql(&s, 10, 64);
+            assert!(sql.contains(TID_PLACEHOLDER), "{sql}");
+        }
+    }
+
+    #[test]
+    fn injected_fragments() {
+        assert_eq!(
+            Injected::In(vec![1, 2, 3]).fragment(),
+            "AND TableId IN (1,2,3)"
+        );
+        assert_eq!(
+            Injected::NotIn(vec![7]).fragment(),
+            "AND TableId NOT IN (7)"
+        );
+        // Empty NOT IN is a no-op (filters nothing out).
+        assert_eq!(Injected::NotIn(vec![]).fragment(), "");
+        // Empty IN is handled by short-circuit, but the fragment is valid SQL.
+        assert_eq!(Injected::In(vec![]).fragment(), "AND TableId IN ()");
+    }
+
+    #[test]
+    fn values_are_normalized_escaped_and_deduped() {
+        let sql = sc_sql(
+            &["O'Brien".into(), "  O'BRIEN ".into(), "x".into()],
+            5,
+            false,
+        );
+        assert!(sql.contains("'o''brien'"), "{sql}");
+        // Deduplicated after normalization.
+        assert_eq!(sql.matches("o''brien").count(), 1);
+    }
+
+    #[test]
+    fn kw_groups_table_wide() {
+        let sc = sc_sql(&["a".into()], 5, false);
+        let kw = sc_sql(&["a".into()], 5, true);
+        assert!(sc.contains("GROUP BY TableId, ColumnId"));
+        assert!(kw.contains("GROUP BY TableId "));
+        assert!(!kw.contains("ColumnId"));
+    }
+
+    #[test]
+    fn mc_sql_joins_per_column() {
+        let sql = mc_sql(&[
+            vec!["hr".into(), "firenze".into()],
+            vec!["it".into(), "riddle".into()],
+        ]);
+        assert!(sql.contains("AS q0"));
+        assert!(sql.contains("AS q1"));
+        assert!(sql.contains("q0.RowId = q1.RowId"));
+        assert!(sql.contains("'hr'") && sql.contains("'it'"));
+        // First column list holds first components, second the second.
+        let q0_part = &sql[..sql.find("INNER JOIN").unwrap()];
+        assert!(q0_part.contains("'hr'") && q0_part.contains("'it'"));
+        assert!(!q0_part.contains("'firenze'"));
+    }
+
+    #[test]
+    fn c_sql_splits_keys_by_target_mean() {
+        // mean = 2.0: k bellow -> k0, k at/above -> k1.
+        let sql = c_sql(
+            &["low".into(), "high".into()],
+            &[1.0, 3.0],
+            128,
+        );
+        let k0_pos = sql.find("'low'").unwrap();
+        let k1_pos = sql.find("'high'").unwrap();
+        let q0 = sql.find("Quadrant = 0").unwrap();
+        let q1 = sql.find("Quadrant = 1").unwrap();
+        assert!(k0_pos < q0 && q0 < k1_pos && k1_pos < q1, "{sql}");
+        assert!(sql.contains("RowId < 128"));
+        assert!(sql.contains("keys.ColumnId <> nums.ColumnId"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Prebuilt complex discovery tasks (paper §VII-A and §VIII-B).
+//!
+//! Each function assembles a [`Plan`] exactly the way the paper describes —
+//! these are the "5–8 lines of BLEND code" counted against the federated
+//! baselines' application code in Table III.
+
+use blend_common::{Result, Table};
+
+use crate::plan::{Combiner, Plan, Seeker};
+
+/// Add one SC seeker per non-empty query-table column (node ids `colN`),
+/// returning the seeker ids. The building block of union search and the
+/// multi-objective plan (paper Listing 4, lines 6-7).
+pub fn add_column_seekers(
+    plan: &mut Plan,
+    query: &Table,
+    per_column_k: usize,
+) -> Result<Vec<String>> {
+    let mut ids = Vec::new();
+    for (ci, col) in query.columns.iter().enumerate() {
+        let values: Vec<String> = col
+            .values
+            .iter()
+            .filter_map(|v| v.normalized().map(|n| n.into_owned()))
+            .collect();
+        if values.is_empty() {
+            continue;
+        }
+        let id = format!("col{ci}");
+        plan.add_seeker(&id, Seeker::sc(values), per_column_k)?;
+        ids.push(id);
+    }
+    Ok(ids)
+}
+
+/// Union search (paper §VII-A): one SC seeker per query-table column with a
+/// generous per-seeker k, aggregated by a Counter combiner with the final
+/// k — "tables become relevant when multiple columns are considered in
+/// combination".
+pub fn union_search(query: &Table, k: usize, per_column_k: usize) -> Result<Plan> {
+    // LOC-BEGIN(blend_union_search)
+    let mut plan = Plan::new();
+    let ids = add_column_seekers(&mut plan, query, per_column_k)?;
+    let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+    plan.add_combiner("counter", Combiner::Counter, k, &refs)?;
+    // LOC-END(blend_union_search)
+    Ok(plan)
+}
+
+/// Example-based data imputation (paper §VIII-B.3): an MC seeker over the
+/// complete example rows intersected with an SC seeker over the incomplete
+/// keys — tables covering both can fill the missing values.
+pub fn imputation(
+    examples: &[(String, String)],
+    queries: &[String],
+    k: usize,
+) -> Result<Plan> {
+    // LOC-BEGIN(blend_imputation)
+    let mut plan = Plan::new();
+    plan.add_seeker(
+        "examples",
+        Seeker::mc(
+            examples
+                .iter()
+                .map(|(a, b)| vec![a.clone(), b.clone()])
+                .collect(),
+        ),
+        k,
+    )?;
+    plan.add_seeker("query", Seeker::sc(queries.to_vec()), k)?;
+    plan.add_combiner("intersection", Combiner::Intersect, k, &["examples", "query"])?;
+    // LOC-END(blend_imputation)
+    Ok(plan)
+}
+
+/// Discovery with negative examples (paper §VIII-B.2): tables joinable with
+/// the positive composite keys but free of the negative ones.
+pub fn negative_examples(
+    positives: &[Vec<String>],
+    negatives: &[Vec<String>],
+    k: usize,
+) -> Result<Plan> {
+    // LOC-BEGIN(blend_negative_examples)
+    let mut plan = Plan::new();
+    plan.add_seeker("p_examples", Seeker::mc(positives.to_vec()), k)?;
+    plan.add_seeker("n_examples", Seeker::mc(negatives.to_vec()), k)?;
+    plan.add_combiner(
+        "exclude",
+        Combiner::Difference,
+        k,
+        &["p_examples", "n_examples"],
+    )?;
+    // LOC-END(blend_negative_examples)
+    Ok(plan)
+}
+
+/// Multicollinearity-aware feature discovery (paper §VIII-B.4): find
+/// columns correlating with the target but *not* with any existing feature.
+/// One correlation seeker per check, chained with Difference combiners,
+/// finally intersected with a joinability seeker over the key values.
+pub fn feature_discovery(
+    keys: &[String],
+    target: &[f64],
+    existing_features: &[Vec<f64>],
+    k: usize,
+) -> Result<Plan> {
+    // LOC-BEGIN(blend_feature_discovery)
+    let mut plan = Plan::new();
+    plan.add_seeker("c_target", Seeker::c(keys.to_vec(), target.to_vec()), k)?;
+    let mut current = "c_target".to_string();
+    for (fi, feature) in existing_features.iter().enumerate() {
+        let c_id = format!("c_feature{fi}");
+        plan.add_seeker(&c_id, Seeker::c(keys.to_vec(), feature.clone()), k)?;
+        let d_id = format!("no_collinear{fi}");
+        plan.add_combiner(&d_id, Combiner::Difference, k, &[&current, &c_id])?;
+        current = d_id;
+    }
+    plan.add_seeker("joinable", Seeker::sc(keys.to_vec()), k)?;
+    plan.add_combiner("result", Combiner::Intersect, k, &[&current, "joinable"])?;
+    // LOC-END(blend_feature_discovery)
+    Ok(plan)
+}
+
+/// Multi-objective discovery (paper Listing 4 without the imputation
+/// sub-plan, as evaluated in §VIII-B.5): keyword search + union search +
+/// correlation search, aggregated by a Union combiner.
+pub fn multi_objective(
+    keywords: &[String],
+    query: &Table,
+    joinkey: &[String],
+    target: &[f64],
+    k: usize,
+    per_column_k: usize,
+) -> Result<Plan> {
+    // LOC-BEGIN(blend_multi_objective)
+    let mut plan = Plan::new();
+    // Keyword search (Listing 4, line 4).
+    plan.add_seeker("kw", Seeker::kw(keywords.to_vec()), k)?;
+    // Union search sub-plan (lines 6-8).
+    let col_ids = add_column_seekers(&mut plan, query, per_column_k)?;
+    let refs: Vec<&str> = col_ids.iter().map(String::as_str).collect();
+    plan.add_combiner("counter", Combiner::Counter, k, &refs)?;
+    // Correlation search (line 14).
+    plan.add_seeker("correlation", Seeker::c(joinkey.to_vec(), target.to_vec()), k)?;
+    // Results aggregation (line 16).
+    plan.add_combiner("union", Combiner::Union, 4 * k, &["kw", "counter", "correlation"])?;
+    // LOC-END(blend_multi_objective)
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blend_common::{Column, TableId, Value};
+
+    fn query_table() -> Table {
+        Table::new(
+            TableId(0),
+            "q",
+            vec![
+                Column::new("a", vec!["x", "y"]),
+                Column::new("b", vec!["1", "2"]),
+                Column::new(
+                    "empty",
+                    vec![Value::Null, Value::Null],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn union_search_shape() {
+        let p = union_search(&query_table(), 10, 100).unwrap();
+        // Two non-empty columns -> 2 SC seekers + counter; empty column
+        // skipped.
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.validate().unwrap(), "counter");
+    }
+
+    #[test]
+    fn imputation_shape() {
+        let p = imputation(
+            &[("k1".into(), "v1".into()), ("k2".into(), "v2".into())],
+            &["k3".into(), "k4".into()],
+            10,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.validate().unwrap(), "intersection");
+    }
+
+    #[test]
+    fn negative_examples_shape() {
+        let p = negative_examples(
+            &[vec!["a".into(), "b".into()]],
+            &[vec!["c".into(), "d".into()]],
+            10,
+        )
+        .unwrap();
+        assert_eq!(p.validate().unwrap(), "exclude");
+    }
+
+    #[test]
+    fn feature_discovery_chains_differences() {
+        let keys: Vec<String> = (0..5).map(|i| format!("k{i}")).collect();
+        let target = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let features = vec![vec![5.0, 4.0, 3.0, 2.0, 1.0], vec![1.0, 1.0, 2.0, 2.0, 3.0]];
+        let p = feature_discovery(&keys, &target, &features, 10).unwrap();
+        // c_target + 2 c_features + 2 differences + joinable + intersect.
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.validate().unwrap(), "result");
+    }
+
+    #[test]
+    fn multi_objective_shape() {
+        let keys: Vec<String> = (0..4).map(|i| format!("k{i}")).collect();
+        let p = multi_objective(
+            &["alpha".into()],
+            &query_table(),
+            &keys,
+            &[1.0, 2.0, 3.0, 4.0],
+            10,
+            100,
+        )
+        .unwrap();
+        assert_eq!(p.validate().unwrap(), "union");
+        // kw + 2 cols + counter + correlation + union.
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn empty_query_table_fails() {
+        let t = Table::new(TableId(0), "e", vec![]).unwrap();
+        assert!(union_search(&t, 5, 50).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Binary persistence for the offline index.
+//!
+//! Indexing a lake is the expensive offline step (the paper reports 2–80
+//! hours on its corpora); a deployment builds `AllTables` once and reloads
+//! it at startup. The format is a versioned little-endian frame stream:
+//!
+//! ```text
+//! magic "BLND" | u32 version | u64 row count | rows...
+//! row: u32 value_len | value bytes | u32 table | u32 column | u32 row
+//!      | u128 superkey | u8 quadrant code
+//! ```
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use blend_common::{BlendError, Result};
+use blend_storage::{decode_quadrant, FactRow};
+
+const MAGIC: &[u8; 4] = b"BLND";
+const VERSION: u32 = 1;
+
+/// Serialize fact rows into a byte buffer.
+pub fn encode_rows(rows: &[FactRow]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + rows.len() * 48);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(rows.len() as u64);
+    for r in rows {
+        buf.put_u32_le(r.value.len() as u32);
+        buf.put_slice(r.value.as_bytes());
+        buf.put_u32_le(r.table);
+        buf.put_u32_le(r.column);
+        buf.put_u32_le(r.row);
+        buf.put_u128_le(r.superkey);
+        buf.put_u8(r.quadrant_code());
+    }
+    buf.freeze()
+}
+
+/// Deserialize fact rows from a byte buffer.
+pub fn decode_rows(mut buf: &[u8]) -> Result<Vec<FactRow>> {
+    let err = |m: &str| BlendError::Index(format!("index file corrupt: {m}"));
+    if buf.remaining() < 16 {
+        return Err(err("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(BlendError::Index(format!(
+            "unsupported index version {version} (expected {VERSION})"
+        )));
+    }
+    let n = buf.get_u64_le() as usize;
+    let mut rows = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        if buf.remaining() < 4 {
+            return Err(err("truncated value length"));
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len + 4 * 3 + 16 + 1 {
+            return Err(err("truncated row"));
+        }
+        let value_bytes = buf.copy_to_bytes(len);
+        let value = std::str::from_utf8(&value_bytes)
+            .map_err(|_| err("non-UTF8 value"))?
+            .to_string();
+        let table = buf.get_u32_le();
+        let column = buf.get_u32_le();
+        let row = buf.get_u32_le();
+        let superkey = buf.get_u128_le();
+        let quadrant = decode_quadrant(buf.get_u8());
+        rows.push(FactRow {
+            value: value.into(),
+            table,
+            column,
+            row,
+            superkey,
+            quadrant,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(err("trailing bytes"));
+    }
+    Ok(rows)
+}
+
+/// Write fact rows to a file.
+pub fn save_rows(path: &Path, rows: &[FactRow]) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(&encode_rows(rows))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read fact rows from a file.
+pub fn load_rows(path: &Path) -> Result<Vec<FactRow>> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    decode_rows(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<FactRow> {
+        vec![
+            FactRow::new("alpha", 0, 0, 0, 0xDEAD_BEEF, None),
+            FactRow::new("universität 42", 1, 2, 3, u128::MAX, Some(true)),
+            FactRow::new("", 2, 0, 0, 0, Some(false)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let rows = sample();
+        let encoded = encode_rows(&rows);
+        let decoded = decode_rows(&encoded).unwrap();
+        assert_eq!(rows, decoded);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let rows = sample();
+        let dir = std::env::temp_dir().join("blend-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.blnd");
+        save_rows(&path, &rows).unwrap();
+        let decoded = load_rows(&path).unwrap();
+        assert_eq!(rows, decoded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let encoded = encode_rows(&[]);
+        assert_eq!(decode_rows(&encoded).unwrap(), Vec::<FactRow>::new());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut encoded = encode_rows(&sample()).to_vec();
+        encoded[0] = b'X';
+        assert!(decode_rows(&encoded).is_err());
+
+        let mut encoded = encode_rows(&sample()).to_vec();
+        encoded[4] = 99; // version
+        let err = decode_rows(&encoded).unwrap_err().to_string();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let encoded = encode_rows(&sample());
+        for cut in [1, 8, 17, encoded.len() - 1] {
+            assert!(
+                decode_rows(&encoded[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut encoded = encode_rows(&sample()).to_vec();
+        encoded.push(0);
+        assert!(decode_rows(&encoded).is_err());
+    }
+
+    #[test]
+    fn rebuilt_engine_matches_original() {
+        // The property that matters: a reloaded index serves identical
+        // postings.
+        use blend_storage::{build_engine, EngineKind};
+        let rows = sample();
+        let reloaded = decode_rows(&encode_rows(&rows)).unwrap();
+        let a = build_engine(EngineKind::Column, rows);
+        let b = build_engine(EngineKind::Column, reloaded);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.postings("alpha"), b.postings("alpha"));
+    }
+}

@@ -1,0 +1,370 @@
+//! NYC-open-data-style correlation benchmark generator (paper Table VII).
+//!
+//! Each query consists of a join-key column and a numeric target. The
+//! generator plants lake tables whose numeric columns correlate with the
+//! target at controlled levels, plus pure-noise columns and tables. Two
+//! variants mirror the paper's split:
+//!
+//! * **Cat.** — join keys are categorical strings (`fraction_numeric_keys =
+//!   0`), the case the original QCR sketch index supports;
+//! * **All** — a share of queries use *numeric* join keys, which the
+//!   baseline cannot index (it only sketches categorical key columns) but
+//!   BLEND's value-typed inverted index handles transparently.
+//!
+//! Exact Pearson ground truth is computed by brute-force joining.
+
+use rand::{Rng, SeedableRng};
+
+use blend_common::stats::pearson;
+use blend_common::{Column, FxHashMap, Table, TableId, Value};
+
+use crate::lake::DataLake;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct CorrBenchConfig {
+    pub name: String,
+    pub n_queries: usize,
+    /// Number of joinable tables planted per query.
+    pub correlated_per_query: usize,
+    /// Inclusive row range for planted tables.
+    pub rows: (usize, usize),
+    /// Distinct join keys per query universe.
+    pub key_domain: usize,
+    /// Fraction of queries whose join keys are numeric (0.0 = "Cat.").
+    pub fraction_numeric_keys: f64,
+    /// Correlation magnitudes planted (cycled over tables).
+    pub corr_levels: Vec<f64>,
+    /// Independent numeric noise columns per planted table.
+    pub noise_columns: usize,
+    /// Completely unrelated tables.
+    pub noise_tables: usize,
+    pub seed: u64,
+}
+
+impl CorrBenchConfig {
+    /// NYC (Cat.)-like benchmark.
+    pub fn nyc_cat_like(scale: f64) -> Self {
+        CorrBenchConfig {
+            name: "nyc-cat-like".into(),
+            n_queries: super::web::scaled(30, scale).min(60),
+            correlated_per_query: 18,
+            rows: (60, 140),
+            key_domain: 120,
+            fraction_numeric_keys: 0.0,
+            corr_levels: vec![0.95, 0.85, 0.7, 0.55, 0.4, 0.25, 0.1],
+            noise_columns: 2,
+            noise_tables: super::web::scaled(60, scale),
+            seed: 0x2C0B,
+        }
+    }
+
+    /// NYC (All)-like benchmark: half the queries join on numeric keys.
+    pub fn nyc_all_like(scale: f64) -> Self {
+        CorrBenchConfig {
+            name: "nyc-all-like".into(),
+            fraction_numeric_keys: 0.5,
+            seed: 0x2C0C,
+            ..CorrBenchConfig::nyc_cat_like(scale)
+        }
+    }
+}
+
+/// One correlation query: keys + numeric target, aligned by position.
+#[derive(Debug, Clone)]
+pub struct CorrQuery {
+    /// Normalized join-key strings, unique.
+    pub keys: Vec<String>,
+    /// Target value per key.
+    pub target: Vec<f64>,
+    /// Whether the keys are numeric (the "All"-only case).
+    pub numeric_keys: bool,
+}
+
+/// A generated correlation benchmark.
+#[derive(Debug, Clone)]
+pub struct CorrBenchmark {
+    pub lake: DataLake,
+    pub queries: Vec<CorrQuery>,
+}
+
+/// Standard-normal sample via Box–Muller (rand has no normal distribution
+/// in the allowed dependency set).
+fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generate the benchmark.
+pub fn generate(cfg: &CorrBenchConfig) -> CorrBenchmark {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut tables: Vec<Table> = Vec::new();
+    let mut queries = Vec::with_capacity(cfg.n_queries);
+
+    for qi in 0..cfg.n_queries {
+        let numeric_keys = rng.random_bool(cfg.fraction_numeric_keys);
+        // Key universe and latent target.
+        let keys: Vec<String> = (0..cfg.key_domain)
+            .map(|j| {
+                if numeric_keys {
+                    // Plain integers, disjoint ranges per query.
+                    format!("{}", 1_000_000 + qi * 10_000 + j)
+                } else {
+                    format!("q{qi}key{j:04}")
+                }
+            })
+            .collect();
+        let latent: Vec<f64> = (0..cfg.key_domain).map(|_| normal(&mut rng)).collect();
+
+        queries.push(CorrQuery {
+            keys: keys.clone(),
+            target: latent.clone(),
+            numeric_keys,
+        });
+
+        // Planted joinable tables at cycled correlation levels.
+        for ti in 0..cfg.correlated_per_query {
+            let rho = cfg.corr_levels[ti % cfg.corr_levels.len()];
+            let sign = if ti % 2 == 0 { 1.0 } else { -1.0 };
+            let n_rows = rng
+                .random_range(cfg.rows.0..=cfg.rows.1)
+                .min(cfg.key_domain);
+            // Sample keys without replacement.
+            let mut idx: Vec<usize> = (0..cfg.key_domain).collect();
+            for i in 0..n_rows {
+                let j = rng.random_range(i..cfg.key_domain);
+                idx.swap(i, j);
+            }
+            idx.truncate(n_rows);
+
+            let key_col: Vec<Value> = idx
+                .iter()
+                .map(|&j| {
+                    if numeric_keys {
+                        Value::Int(keys[j].parse::<i64>().expect("numeric key"))
+                    } else {
+                        Value::Text(keys[j].clone())
+                    }
+                })
+                .collect();
+            let y_col: Vec<Value> = idx
+                .iter()
+                .map(|&j| {
+                    let e = normal(&mut rng);
+                    let y = sign * (rho * latent[j] + (1.0 - rho * rho).sqrt() * e);
+                    Value::Float((y * 1000.0).round() / 1000.0)
+                })
+                .collect();
+
+            let mut columns = vec![
+                Column {
+                    name: "key".into(),
+                    values: key_col,
+                },
+                Column {
+                    name: "y".into(),
+                    values: y_col,
+                },
+            ];
+            for nc in 0..cfg.noise_columns {
+                let values: Vec<Value> = (0..n_rows)
+                    .map(|_| Value::Float((normal(&mut rng) * 1000.0).round() / 1000.0))
+                    .collect();
+                columns.push(Column {
+                    name: format!("noise{nc}"),
+                    values,
+                });
+            }
+
+            let tid = tables.len() as u32;
+            tables.push(
+                Table::new(TableId(tid), format!("{}-q{qi}-t{ti}", cfg.name), columns)
+                    .expect("uniform columns"),
+            );
+        }
+    }
+
+    // Unrelated noise tables.
+    for n in 0..cfg.noise_tables {
+        let tid = tables.len() as u32;
+        let n_rows = rng.random_range(cfg.rows.0..=cfg.rows.1);
+        let columns = vec![
+            Column {
+                name: "key".into(),
+                values: (0..n_rows)
+                    .map(|r| Value::Text(format!("noise{n}-{r}")))
+                    .collect(),
+            },
+            Column {
+                name: "v".into(),
+                values: (0..n_rows)
+                    .map(|_| Value::Float((normal(&mut rng) * 1000.0).round() / 1000.0))
+                    .collect(),
+            },
+        ];
+        tables.push(
+            Table::new(TableId(tid), format!("{}-noise{n}", cfg.name), columns)
+                .expect("uniform columns"),
+        );
+    }
+
+    CorrBenchmark {
+        lake: DataLake::new(cfg.name.clone(), tables),
+        queries,
+    }
+}
+
+/// Exact ground truth: top-k lake tables by |Pearson| between the query
+/// target and any numeric column, joined on normalized key equality.
+///
+/// A table's join column is the one with the largest key overlap (at least
+/// `min_overlap` matches). Brute force by construction — this is the oracle
+/// the approximate systems are scored against.
+pub fn exact_topk_tables(
+    lake: &DataLake,
+    query: &CorrQuery,
+    k: usize,
+    min_overlap: usize,
+) -> Vec<(TableId, f64)> {
+    let key_to_target: FxHashMap<&str, f64> = query
+        .keys
+        .iter()
+        .map(String::as_str)
+        .zip(query.target.iter().copied())
+        .collect();
+
+    let mut topk = blend_common::topk::TopK::new(k);
+    for table in &lake.tables {
+        // Best joinable column = max overlap with query keys.
+        let mut best: Option<(usize, usize)> = None; // (col, overlap)
+        for (ci, col) in table.columns.iter().enumerate() {
+            let overlap = col
+                .values
+                .iter()
+                .filter_map(|v| v.normalized())
+                .filter(|v| key_to_target.contains_key(v.as_ref()))
+                .count();
+            if overlap >= min_overlap && best.map_or(true, |(_, o)| overlap > o) {
+                best = Some((ci, overlap));
+            }
+        }
+        let Some((key_col, _)) = best else { continue };
+
+        // Join (first match per row) and correlate every other numeric col.
+        let mut best_corr = 0.0f64;
+        for (ci, col) in table.columns.iter().enumerate() {
+            if ci == key_col || col.column_type() != blend_common::ColumnType::Numeric {
+                continue;
+            }
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for r in 0..table.n_rows() {
+                let Some(keyv) = table.columns[key_col].values[r].normalized() else {
+                    continue;
+                };
+                let Some(&t) = key_to_target.get(keyv.as_ref()) else {
+                    continue;
+                };
+                let Some(y) = col.values[r].as_f64() else {
+                    continue;
+                };
+                xs.push(t);
+                ys.push(y);
+            }
+            if xs.len() >= min_overlap {
+                if let Some(c) = pearson(&xs, &ys) {
+                    best_corr = best_corr.max(c.abs());
+                }
+            }
+        }
+        if best_corr > 0.0 {
+            topk.push(best_corr, table.id.0 as u64, table.id);
+        }
+    }
+    topk.into_sorted()
+        .into_iter()
+        .map(|(s, t)| (t, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CorrBenchConfig {
+        CorrBenchConfig {
+            name: "t".into(),
+            n_queries: 3,
+            correlated_per_query: 6,
+            rows: (40, 60),
+            key_domain: 80,
+            fraction_numeric_keys: 0.0,
+            corr_levels: vec![0.9, 0.5, 0.1],
+            noise_columns: 1,
+            noise_tables: 4,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn shapes() {
+        let b = generate(&tiny());
+        assert_eq!(b.queries.len(), 3);
+        assert_eq!(b.lake.len(), 3 * 6 + 4);
+        for q in &b.queries {
+            assert_eq!(q.keys.len(), 80);
+            assert_eq!(q.target.len(), 80);
+        }
+    }
+
+    #[test]
+    fn planted_correlations_rank_by_level() {
+        let b = generate(&tiny());
+        let gt = exact_topk_tables(&b.lake, &b.queries[0], 6, 5);
+        assert!(!gt.is_empty());
+        // Strongest planted |rho| = 0.9 must rank first with measured
+        // correlation near it.
+        assert!(gt[0].1 > 0.75, "top correlation {} too weak", gt[0].1);
+        // Scores descend.
+        assert!(gt.windows(2).all(|w| w[0].1 >= w[1].1));
+        // All ground-truth tables for query 0 belong to query 0's plant.
+        for (tid, _) in &gt {
+            assert!(tid.0 < 6, "table {tid} is not from query 0's plant");
+        }
+    }
+
+    #[test]
+    fn numeric_key_queries_appear_in_all_variant() {
+        let mut cfg = tiny();
+        cfg.fraction_numeric_keys = 1.0;
+        let b = generate(&cfg);
+        assert!(b.queries.iter().all(|q| q.numeric_keys));
+        // Keys must parse as integers.
+        assert!(b.queries[0].keys[0].parse::<i64>().is_ok());
+        // And the planted tables' key columns are numeric.
+        let t = b.lake.table(TableId(0));
+        assert_eq!(
+            t.columns[0].column_type(),
+            blend_common::ColumnType::Numeric
+        );
+    }
+
+    #[test]
+    fn noise_tables_never_enter_ground_truth() {
+        let b = generate(&tiny());
+        let n_planted = 3 * 6;
+        for q in &b.queries {
+            for (tid, _) in exact_topk_tables(&b.lake, q, 10, 5) {
+                assert!((tid.0 as usize) < n_planted);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&tiny());
+        let b = generate(&tiny());
+        assert_eq!(a.lake.tables, b.lake.tables);
+    }
+}

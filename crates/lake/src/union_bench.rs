@@ -1,0 +1,313 @@
+//! SANTOS/TUS-style union-search benchmark generator.
+//!
+//! The original benchmarks contain clusters of tables drawn from the same
+//! underlying dataset: unionable tables share column *domains* (semantics)
+//! even when their value sets barely overlap. This generator plants exactly
+//! that structure:
+//!
+//! * each **cluster** gets a schema of `cols` columns, each with its own
+//!   domain vocabulary `"c{cluster}f{field}-{i}"` — domain tokens are shared
+//!   within the cluster, giving semantic (embedding) similarity;
+//! * each table in the cluster samples rows from a *window* of its domains,
+//!   so pairwise value overlap is controlled by `overlap` (low overlap =
+//!   the cases where the paper's semantic baseline beats syntactic search);
+//! * **confusable cluster pairs** share the field-name part of their tokens
+//!   but are not unionable — the semantic trap that degrades embedding
+//!   retrieval at large k (paper Table VI, k ≥ 50);
+//! * noise tables fill out the lake.
+//!
+//! Ground truth = cluster membership, exactly like the originals.
+
+use rand::{Rng, SeedableRng};
+
+use blend_common::{Column, FxHashMap, FxHashSet, Table, TableId, Value};
+
+use crate::lake::DataLake;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct UnionBenchConfig {
+    pub name: String,
+    pub n_clusters: usize,
+    /// Tables per cluster (all mutually unionable).
+    pub tables_per_cluster: usize,
+    /// Inclusive row range per table.
+    pub rows: (usize, usize),
+    /// Columns per cluster schema.
+    pub cols: usize,
+    /// Domain vocabulary size per column.
+    pub domain_size: usize,
+    /// Fraction of the domain each table draws from (lower = less value
+    /// overlap between cluster mates).
+    pub overlap: f64,
+    /// Number of cluster pairs that share surface vocabulary but are NOT
+    /// unionable.
+    pub confusable_pairs: usize,
+    /// Unrelated noise tables.
+    pub noise_tables: usize,
+    pub seed: u64,
+}
+
+impl UnionBenchConfig {
+    /// SANTOS-like: few clusters, several tables each.
+    pub fn santos_like(scale: f64) -> Self {
+        UnionBenchConfig {
+            name: "santos-like".into(),
+            n_clusters: super::web::scaled(25, scale),
+            tables_per_cluster: 11,
+            rows: (20, 60),
+            cols: 4,
+            domain_size: 150,
+            overlap: 0.5,
+            confusable_pairs: 5,
+            noise_tables: super::web::scaled(120, scale),
+            seed: 0x5A27,
+        }
+    }
+
+    /// SANTOS-Large-like: more clusters and tables.
+    pub fn santos_large_like(scale: f64) -> Self {
+        UnionBenchConfig {
+            n_clusters: super::web::scaled(60, scale),
+            tables_per_cluster: 16,
+            noise_tables: super::web::scaled(400, scale),
+            name: "santos-large-like".into(),
+            ..UnionBenchConfig::santos_like(scale)
+        }
+    }
+
+    /// TUS-like: large clusters (high ideal recall ceiling at small k).
+    pub fn tus_like(scale: f64) -> Self {
+        UnionBenchConfig {
+            name: "tus-like".into(),
+            n_clusters: super::web::scaled(10, scale),
+            tables_per_cluster: 150,
+            rows: (15, 40),
+            cols: 3,
+            domain_size: 300,
+            overlap: 0.4,
+            confusable_pairs: 3,
+            noise_tables: super::web::scaled(30, scale),
+            seed: 0x7A5B,
+        }
+    }
+
+    /// TUS-Large-like.
+    pub fn tus_large_like(scale: f64) -> Self {
+        UnionBenchConfig {
+            name: "tus-large-like".into(),
+            n_clusters: super::web::scaled(14, scale),
+            tables_per_cluster: 250,
+            ..UnionBenchConfig::tus_like(scale)
+        }
+    }
+}
+
+/// A generated benchmark: lake + query tables + ground truth.
+#[derive(Debug, Clone)]
+pub struct UnionBenchmark {
+    pub lake: DataLake,
+    /// Query table ids (one per cluster).
+    pub queries: Vec<TableId>,
+    /// Query table id → unionable table ids (excluding the query itself).
+    pub ground_truth: FxHashMap<TableId, FxHashSet<TableId>>,
+}
+
+/// Generate the benchmark.
+pub fn generate(cfg: &UnionBenchConfig) -> UnionBenchmark {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut tables: Vec<Table> = Vec::new();
+    let mut cluster_members: Vec<Vec<u32>> = Vec::with_capacity(cfg.n_clusters);
+
+    // Confusable pairs share their field namespace: clusters (2i, 2i+1) for
+    // i < confusable_pairs use the same field tag but different value ids.
+    let field_tag = |cluster: usize, field: usize, cfg: &UnionBenchConfig| -> String {
+        let ns = if cluster / 2 < cfg.confusable_pairs {
+            cluster / 2 // shared namespace across the pair
+        } else {
+            cfg.n_clusters + cluster // private namespace
+        };
+        format!("c{ns}f{field}")
+    };
+
+    for cluster in 0..cfg.n_clusters {
+        let mut members = Vec::with_capacity(cfg.tables_per_cluster);
+        // Column order/subset variation per table keeps the task honest.
+        for t in 0..cfg.tables_per_cluster {
+            let tid = tables.len() as u32;
+            members.push(tid);
+            let n_rows = rng.random_range(cfg.rows.0..=cfg.rows.1);
+            // Window of the domain this table samples from.
+            let window = ((cfg.domain_size as f64) * cfg.overlap).max(2.0) as usize;
+            let window_start = if cfg.domain_size > window {
+                rng.random_range(0..=cfg.domain_size - window)
+            } else {
+                0
+            };
+            let mut columns = Vec::with_capacity(cfg.cols);
+            // Rotate column order by table index.
+            for c0 in 0..cfg.cols {
+                let field = (c0 + t) % cfg.cols;
+                let tag = field_tag(cluster, field, cfg);
+                let mut values = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    // Confusable clusters draw from odd/even halves so that
+                    // surface tokens match but exact values rarely do.
+                    let vid = window_start + rng.random_range(0..window);
+                    let vid = if cluster / 2 < cfg.confusable_pairs {
+                        vid * 2 + (cluster % 2)
+                    } else {
+                        vid
+                    };
+                    values.push(Value::Text(format!("{tag}-{vid:04}")));
+                }
+                columns.push(Column {
+                    name: format!("col{field}"),
+                    values,
+                });
+            }
+            tables.push(
+                Table::new(
+                    TableId(tid),
+                    format!("{}-cl{cluster}-t{t}", cfg.name),
+                    columns,
+                )
+                .expect("uniform columns"),
+            );
+        }
+        cluster_members.push(members);
+    }
+
+    // Noise tables with a private vocabulary.
+    for n in 0..cfg.noise_tables {
+        let tid = tables.len() as u32;
+        let n_rows = rng.random_range(cfg.rows.0..=cfg.rows.1);
+        let n_cols = rng.random_range(2..=cfg.cols.max(2));
+        let mut columns = Vec::with_capacity(n_cols);
+        for c in 0..n_cols {
+            let mut values = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                values.push(Value::Text(format!(
+                    "noise{n}c{c}-{}",
+                    rng.random_range(0..cfg.domain_size)
+                )));
+            }
+            columns.push(Column {
+                name: format!("n{c}"),
+                values,
+            });
+        }
+        tables.push(
+            Table::new(TableId(tid), format!("{}-noise{n}", cfg.name), columns)
+                .expect("uniform columns"),
+        );
+    }
+
+    let lake = DataLake::new(cfg.name.clone(), tables);
+
+    // Queries: the first table of each cluster; ground truth: cluster mates.
+    let mut queries = Vec::with_capacity(cfg.n_clusters);
+    let mut ground_truth: FxHashMap<TableId, FxHashSet<TableId>> = FxHashMap::default();
+    for members in &cluster_members {
+        let q = TableId(members[0]);
+        queries.push(q);
+        let mates: FxHashSet<TableId> = members[1..].iter().map(|&m| TableId(m)).collect();
+        ground_truth.insert(q, mates);
+    }
+
+    UnionBenchmark {
+        lake,
+        queries,
+        ground_truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> UnionBenchConfig {
+        UnionBenchConfig {
+            name: "t".into(),
+            n_clusters: 4,
+            tables_per_cluster: 5,
+            rows: (8, 12),
+            cols: 3,
+            domain_size: 40,
+            overlap: 0.5,
+            confusable_pairs: 1,
+            noise_tables: 6,
+            seed: 1,
+        }
+    }
+
+    fn distinct_values(t: &Table) -> FxHashSet<String> {
+        t.columns
+            .iter()
+            .flat_map(|c| c.values.iter().map(|v| v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn shapes_and_ground_truth() {
+        let b = generate(&tiny());
+        assert_eq!(b.lake.len(), 4 * 5 + 6);
+        assert_eq!(b.queries.len(), 4);
+        for q in &b.queries {
+            assert_eq!(b.ground_truth[q].len(), 4); // 5 members minus query
+            assert!(!b.ground_truth[q].contains(q));
+        }
+    }
+
+    #[test]
+    fn cluster_mates_share_vocabulary_noise_does_not() {
+        let b = generate(&tiny());
+        let q = b.queries[3]; // non-confusable cluster
+        let qv = distinct_values(b.lake.table(q));
+        let mate = *b.ground_truth[&q].iter().next().unwrap();
+        let mv = distinct_values(b.lake.table(mate));
+        assert!(qv.intersection(&mv).count() > 0, "mates must overlap");
+        // Noise table shares nothing.
+        let noise = &b.lake.tables[b.lake.len() - 1];
+        let nv = distinct_values(noise);
+        assert_eq!(qv.intersection(&nv).count(), 0);
+    }
+
+    #[test]
+    fn confusable_pair_shares_tokens_but_not_values() {
+        let b = generate(&tiny());
+        // Clusters 0 and 1 form a confusable pair.
+        let q0 = b.queries[0];
+        let q1 = b.queries[1];
+        let v0 = distinct_values(b.lake.table(q0));
+        let v1 = distinct_values(b.lake.table(q1));
+        // Exact value overlap must be empty (odd/even halves)...
+        assert_eq!(v0.intersection(&v1).count(), 0);
+        // ...but the field-tag prefixes coincide.
+        let prefix = |s: &str| s.split('-').next().unwrap().to_string();
+        let p0: FxHashSet<String> = v0.iter().map(|s| prefix(s)).collect();
+        let p1: FxHashSet<String> = v1.iter().map(|s| prefix(s)).collect();
+        assert!(p0.intersection(&p1).count() > 0);
+        // And they are NOT unionable per ground truth.
+        assert!(!b.ground_truth[&q0].contains(&q1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&tiny());
+        let b = generate(&tiny());
+        assert_eq!(a.lake.tables, b.lake.tables);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn presets_have_sane_shapes() {
+        for cfg in [
+            UnionBenchConfig::santos_like(0.05),
+            UnionBenchConfig::tus_like(0.3),
+        ] {
+            assert!(cfg.n_clusters >= 2);
+            assert!(cfg.tables_per_cluster >= 2);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! General web-table / Gittables-style lake generator.
+//!
+//! Produces the kind of corpus the join-search experiments run on: many
+//! modest tables, a shared string vocabulary with Zipfian skew (a few values
+//! occur everywhere, most are rare), and a fraction of numeric columns so
+//! correlation machinery has something to index.
+
+use rand::{Rng, SeedableRng};
+
+use blend_common::zipf::Zipf;
+use blend_common::{Column, Table, TableId, Value};
+
+use crate::lake::DataLake;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct WebLakeConfig {
+    pub name: String,
+    pub n_tables: usize,
+    /// Inclusive row-count range per table.
+    pub rows: (usize, usize),
+    /// Inclusive column-count range per table.
+    pub cols: (usize, usize),
+    /// Distinct string values in the shared vocabulary.
+    pub vocab: usize,
+    /// Zipf exponent of value frequencies (≈1.0 for web-like skew).
+    pub zipf_s: f64,
+    /// Probability a column is numeric.
+    pub numeric_col_ratio: f64,
+    /// Probability a cell is NULL.
+    pub null_ratio: f64,
+    pub seed: u64,
+}
+
+impl WebLakeConfig {
+    /// A small Gittables-like lake (default experiment substrate).
+    pub fn gittables_like(scale: f64) -> Self {
+        WebLakeConfig {
+            name: "gittables-like".into(),
+            n_tables: scaled(1500, scale),
+            rows: (10, 60),
+            cols: (3, 8),
+            vocab: scaled(8000, scale),
+            zipf_s: 1.05,
+            numeric_col_ratio: 0.3,
+            null_ratio: 0.02,
+            seed: 0x617A,
+        }
+    }
+
+    /// A WDC-like lake: more tables, shorter tables, larger vocabulary.
+    pub fn wdc_like(scale: f64) -> Self {
+        WebLakeConfig {
+            name: "wdc-like".into(),
+            n_tables: scaled(2500, scale),
+            rows: (5, 25),
+            cols: (2, 6),
+            vocab: scaled(20000, scale),
+            zipf_s: 1.1,
+            numeric_col_ratio: 0.25,
+            null_ratio: 0.05,
+            seed: 0x3DC0,
+        }
+    }
+
+    /// An open-data-like lake: fewer, longer tables.
+    pub fn opendata_like(scale: f64) -> Self {
+        WebLakeConfig {
+            name: "opendata-like".into(),
+            n_tables: scaled(400, scale),
+            rows: (80, 400),
+            cols: (4, 10),
+            vocab: scaled(15000, scale),
+            zipf_s: 0.9,
+            numeric_col_ratio: 0.4,
+            null_ratio: 0.03,
+            seed: 0x0DA7A,
+        }
+    }
+
+    /// A DWTC-like lake: many tiny tables.
+    pub fn dwtc_like(scale: f64) -> Self {
+        WebLakeConfig {
+            name: "dwtc-like".into(),
+            n_tables: scaled(4000, scale),
+            rows: (4, 15),
+            cols: (2, 5),
+            vocab: scaled(25000, scale),
+            zipf_s: 1.15,
+            numeric_col_ratio: 0.2,
+            null_ratio: 0.05,
+            seed: 0xD47C,
+        }
+    }
+}
+
+/// Scale a default size, clamping at a useful minimum.
+pub fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(8)
+}
+
+
+/// Generate the lake.
+pub fn generate(cfg: &WebLakeConfig) -> DataLake {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let zipf = Zipf::new(cfg.vocab.max(1), cfg.zipf_s);
+
+    let mut tables = Vec::with_capacity(cfg.n_tables);
+    for tid in 0..cfg.n_tables {
+        let n_rows = rng.random_range(cfg.rows.0..=cfg.rows.1);
+        let n_cols = rng.random_range(cfg.cols.0..=cfg.cols.1);
+        let mut columns = Vec::with_capacity(n_cols);
+        for c in 0..n_cols {
+            let numeric = rng.random_bool(cfg.numeric_col_ratio);
+            let mut values = Vec::with_capacity(n_rows);
+            if numeric {
+                // Per-column scale so means differ across columns.
+                let base = rng.random_range(10..10_000) as i64;
+                for _ in 0..n_rows {
+                    if rng.random_bool(cfg.null_ratio) {
+                        values.push(Value::Null);
+                    } else {
+                        values.push(Value::Int(base + rng.random_range(0..1000) as i64));
+                    }
+                }
+            } else {
+                for _ in 0..n_rows {
+                    if rng.random_bool(cfg.null_ratio) {
+                        values.push(Value::Null);
+                    } else {
+                        let rank = zipf.sample(&mut rng);
+                        values.push(Value::Text(format!("v{rank}")));
+                    }
+                }
+            }
+            columns.push(Column {
+                name: format!("c{c}"),
+                values,
+            });
+        }
+        tables.push(
+            Table::new(TableId(tid as u32), format!("{}-{tid}", cfg.name), columns)
+                .expect("uniform column lengths"),
+        );
+    }
+    DataLake::new(cfg.name.clone(), tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blend_common::ColumnType;
+
+    fn tiny_cfg() -> WebLakeConfig {
+        WebLakeConfig {
+            name: "tiny".into(),
+            n_tables: 30,
+            rows: (5, 10),
+            cols: (2, 4),
+            vocab: 200,
+            zipf_s: 1.0,
+            numeric_col_ratio: 0.5,
+            null_ratio: 0.1,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn respects_shape_bounds() {
+        let lake = generate(&tiny_cfg());
+        assert_eq!(lake.len(), 30);
+        for t in &lake.tables {
+            assert!((5..=10).contains(&t.n_rows()));
+            assert!((2..=4).contains(&t.n_cols()));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(&tiny_cfg());
+        let b = generate(&tiny_cfg());
+        assert_eq!(a.tables, b.tables);
+        let mut cfg = tiny_cfg();
+        cfg.seed = 43;
+        let c = generate(&cfg);
+        assert_ne!(a.tables, c.tables);
+    }
+
+    #[test]
+    fn mixes_numeric_and_categorical_columns() {
+        let lake = generate(&tiny_cfg());
+        let mut numeric = 0;
+        let mut categorical = 0;
+        for t in &lake.tables {
+            for c in &t.columns {
+                match c.column_type() {
+                    ColumnType::Numeric => numeric += 1,
+                    ColumnType::Categorical => categorical += 1,
+                }
+            }
+        }
+        assert!(numeric > 0 && categorical > 0);
+    }
+
+    #[test]
+    fn vocabulary_is_skewed() {
+        let mut cfg = tiny_cfg();
+        cfg.n_tables = 100;
+        cfg.numeric_col_ratio = 0.0;
+        cfg.null_ratio = 0.0;
+        let lake = generate(&cfg);
+        let mut freq: std::collections::HashMap<String, usize> = Default::default();
+        for t in &lake.tables {
+            for c in &t.columns {
+                for v in &c.values {
+                    *freq.entry(v.to_string()).or_default() += 1;
+                }
+            }
+        }
+        let head = freq.get("v0").copied().unwrap_or(0);
+        let tail = freq.get("v150").copied().unwrap_or(0);
+        assert!(head > tail.max(1) * 5, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn presets_scale() {
+        let small = WebLakeConfig::gittables_like(0.01);
+        assert!(small.n_tables >= 8);
+        let full = WebLakeConfig::gittables_like(1.0);
+        assert_eq!(full.n_tables, 1500);
+    }
+}

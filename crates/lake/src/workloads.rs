@@ -1,0 +1,273 @@
+//! Query workload generators.
+//!
+//! Mirrors how the original papers sample queries from their lakes: JOSIE
+//! draws query columns of target sizes from the lake itself, MATE samples
+//! query tables with composite keys, the imputation experiment samples
+//! column pairs and deletes values.
+
+use rand::{Rng, SeedableRng};
+
+use blend_common::{ColumnType, FxHashSet, TableId};
+
+use crate::lake::DataLake;
+
+/// A single-column join query: a set of distinct normalized values.
+pub type ScQuery = Vec<String>;
+
+/// A multi-column query: rows × columns of normalized values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McQuery {
+    /// One entry per query row; all rows have the same arity.
+    pub rows: Vec<Vec<String>>,
+    /// The lake table the query was sampled from (for validation).
+    pub source: TableId,
+}
+
+/// An imputation task: complete example rows plus lookup values whose
+/// second component is missing.
+#[derive(Debug, Clone)]
+pub struct ImputationQuery {
+    /// Complete (key, value) examples.
+    pub examples: Vec<(String, String)>,
+    /// Keys whose value must be found.
+    pub queries: Vec<String>,
+    pub source: TableId,
+}
+
+/// Sample JOSIE-style single-column queries: for each target size, draw
+/// `per_size` queries by unioning distinct values of randomly chosen
+/// categorical columns until the size is reached (the originals concatenate
+/// lake columns the same way to hit large query sizes).
+pub fn sc_queries(
+    lake: &DataLake,
+    sizes: &[usize],
+    per_size: usize,
+    seed: u64,
+) -> Vec<(usize, Vec<ScQuery>)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        let mut batch = Vec::with_capacity(per_size);
+        for _ in 0..per_size {
+            let mut vals: FxHashSet<String> = FxHashSet::default();
+            let mut guard = 0;
+            while vals.len() < size && guard < 500 {
+                guard += 1;
+                let t = &lake.tables[rng.random_range(0..lake.len())];
+                if t.n_cols() == 0 {
+                    continue;
+                }
+                let c = &t.columns[rng.random_range(0..t.n_cols())];
+                for v in &c.values {
+                    if let Some(n) = v.normalized() {
+                        vals.insert(n.into_owned());
+                        if vals.len() >= size {
+                            break;
+                        }
+                    }
+                }
+            }
+            let mut q: Vec<String> = vals.into_iter().collect();
+            q.sort_unstable(); // determinism
+            q.truncate(size);
+            batch.push(q);
+        }
+        out.push((size, batch));
+    }
+    out
+}
+
+/// Sample MATE-style multi-column queries: `n_cols` adjacent columns and up
+/// to `n_rows` complete rows from a random lake table.
+///
+/// Rows with repeated components are skipped: a composite key like
+/// `(x, x)` has ambiguous alignment semantics (set containment accepts a
+/// single matching cell, column alignment demands two), and none of the
+/// systems under comparison define it identically.
+pub fn mc_queries(
+    lake: &DataLake,
+    n_queries: usize,
+    n_cols: usize,
+    n_rows: usize,
+    seed: u64,
+) -> Vec<McQuery> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n_queries);
+    let mut guard = 0;
+    while out.len() < n_queries && guard < n_queries * 200 {
+        guard += 1;
+        let t = &lake.tables[rng.random_range(0..lake.len())];
+        if t.n_cols() < n_cols || t.n_rows() == 0 {
+            continue;
+        }
+        let start = rng.random_range(0..=t.n_cols() - n_cols);
+        let mut rows = Vec::new();
+        for r in 0..t.n_rows() {
+            let mut row = Vec::with_capacity(n_cols);
+            let mut complete = true;
+            for c in start..start + n_cols {
+                match t.cell(r, c).normalized() {
+                    Some(v) => row.push(v.into_owned()),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            let distinct: FxHashSet<&String> = row.iter().collect();
+            if complete && distinct.len() == row.len() {
+                rows.push(row);
+                if rows.len() >= n_rows {
+                    break;
+                }
+            }
+        }
+        if rows.len() >= 2 {
+            out.push(McQuery {
+                rows,
+                source: t.id,
+            });
+        }
+    }
+    out
+}
+
+/// Sample keyword queries: `n_keywords` distinct values drawn lake-wide.
+pub fn kw_queries(lake: &DataLake, n_queries: usize, n_keywords: usize, seed: u64) -> Vec<ScQuery> {
+    sc_queries(lake, &[n_keywords], n_queries, seed)
+        .pop()
+        .map(|(_, qs)| qs)
+        .unwrap_or_default()
+}
+
+/// Sample imputation tasks: a categorical column pair from a random table;
+/// the first `n_examples` complete rows become examples, the remaining keys
+/// become lookups (paper §VIII-B.3 uses 5 examples).
+pub fn imputation_workload(
+    lake: &DataLake,
+    n_queries: usize,
+    n_examples: usize,
+    seed: u64,
+) -> Vec<ImputationQuery> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n_queries);
+    let mut guard = 0;
+    while out.len() < n_queries && guard < n_queries * 300 {
+        guard += 1;
+        let t = &lake.tables[rng.random_range(0..lake.len())];
+        let cat_cols: Vec<usize> = (0..t.n_cols())
+            .filter(|&c| t.columns[c].column_type() == ColumnType::Categorical)
+            .collect();
+        if cat_cols.len() < 2 {
+            continue;
+        }
+        let a = cat_cols[rng.random_range(0..cat_cols.len())];
+        let mut b = cat_cols[rng.random_range(0..cat_cols.len())];
+        if a == b {
+            b = *cat_cols.iter().find(|&&c| c != a).expect("len >= 2");
+        }
+        let mut pairs = Vec::new();
+        for r in 0..t.n_rows() {
+            if let (Some(x), Some(y)) = (t.cell(r, a).normalized(), t.cell(r, b).normalized()) {
+                pairs.push((x.into_owned(), y.into_owned()));
+            }
+        }
+        if pairs.len() <= n_examples + 1 {
+            continue;
+        }
+        let examples = pairs[..n_examples].to_vec();
+        let queries = pairs[n_examples..].iter().map(|(k, _)| k.clone()).collect();
+        out.push(ImputationQuery {
+            examples,
+            queries,
+            source: t.id,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::web::{generate, WebLakeConfig};
+
+    fn lake() -> DataLake {
+        generate(&WebLakeConfig {
+            name: "wl".into(),
+            n_tables: 50,
+            rows: (10, 30),
+            cols: (3, 5),
+            vocab: 500,
+            zipf_s: 1.0,
+            numeric_col_ratio: 0.3,
+            null_ratio: 0.05,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn sc_queries_hit_target_sizes() {
+        let lake = lake();
+        let batches = sc_queries(&lake, &[10, 50], 5, 1);
+        assert_eq!(batches.len(), 2);
+        for (size, qs) in batches {
+            assert_eq!(qs.len(), 5);
+            for q in qs {
+                assert_eq!(q.len(), size);
+                // Distinct values.
+                let set: FxHashSet<&String> = q.iter().collect();
+                assert_eq!(set.len(), q.len());
+            }
+        }
+    }
+
+    #[test]
+    fn mc_queries_have_consistent_arity_and_source() {
+        let lake = lake();
+        let qs = mc_queries(&lake, 8, 2, 5, 2);
+        assert!(!qs.is_empty());
+        for q in qs {
+            assert!(q.rows.len() >= 2);
+            assert!(q.rows.iter().all(|r| r.len() == 2));
+            // Source rows must actually exist in the source table.
+            let t = lake.table(q.source);
+            let all: FxHashSet<String> = t
+                .columns
+                .iter()
+                .flat_map(|c| c.values.iter().filter_map(|v| v.normalized()))
+                .map(|c| c.into_owned())
+                .collect();
+            for row in &q.rows {
+                for v in row {
+                    assert!(all.contains(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn imputation_examples_disjoint_from_queries() {
+        let lake = lake();
+        let qs = imputation_workload(&lake, 5, 3, 3);
+        assert!(!qs.is_empty());
+        for q in qs {
+            assert_eq!(q.examples.len(), 3);
+            assert!(!q.queries.is_empty());
+        }
+    }
+
+    #[test]
+    fn workloads_deterministic() {
+        let lake = lake();
+        assert_eq!(sc_queries(&lake, &[20], 3, 9), sc_queries(&lake, &[20], 3, 9));
+        assert_eq!(mc_queries(&lake, 4, 2, 4, 9), mc_queries(&lake, 4, 2, 4, 9));
+    }
+
+    #[test]
+    fn kw_queries_shape() {
+        let lake = lake();
+        let qs = kw_queries(&lake, 4, 6, 7);
+        assert_eq!(qs.len(), 4);
+        assert!(qs.iter().all(|q| q.len() == 6));
+    }
+}

@@ -1,0 +1,283 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+/// Binary operators, in ascending precedence groups (Or < And < cmp < add <
+/// mul).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// Expressions. Identifier payloads are lowercased by the parser so later
+/// stages compare case-insensitively for free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `alias.column` or bare `column`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    /// `*` — only valid inside `COUNT(*)`.
+    Star,
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
+    /// `expr [NOT] IN (e1, e2, ...)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    /// Aggregate call: `COUNT(*)`, `COUNT(DISTINCT x)`, `SUM(x)`, ...
+    Agg {
+        func: AggFunc,
+        distinct: bool,
+        /// `None` encodes `COUNT(*)`.
+        arg: Option<Box<Expr>>,
+    },
+    /// Scalar function (currently only `ABS`).
+    Abs(Box<Expr>),
+    /// `expr::int` cast (booleans → 0/1, the paper's Listing 3 idiom).
+    CastInt(Box<Expr>),
+}
+
+impl Expr {
+    /// Bare column reference helper.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.to_lowercase(),
+        }
+    }
+
+    /// Qualified column reference helper.
+    pub fn qcol(qualifier: &str, name: &str) -> Expr {
+        Expr::Column {
+            qualifier: Some(qualifier.to_lowercase()),
+            name: name.to_lowercase(),
+        }
+    }
+
+    /// Split a conjunction into its conjuncts (flattening nested ANDs).
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            if let Expr::Binary {
+                left,
+                op: BinOp::And,
+                right,
+            } = e
+            {
+                walk(left, out);
+                walk(right, out);
+            } else {
+                out.push(e);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Rebuild a conjunction from conjuncts; `None` if empty.
+    pub fn and_all(mut exprs: Vec<Expr>) -> Option<Expr> {
+        let first = if exprs.is_empty() {
+            return None;
+        } else {
+            exprs.remove(0)
+        };
+        Some(exprs.into_iter().fold(first, |acc, e| Expr::Binary {
+            left: Box::new(acc),
+            op: BinOp::And,
+            right: Box::new(e),
+        }))
+    }
+
+    /// Does this subtree contain an aggregate call?
+    pub fn contains_agg(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Unary { expr, .. } | Expr::Abs(expr) | Expr::CastInt(expr) => {
+                expr.contains_agg()
+            }
+            Expr::Binary { left, right, .. } => left.contains_agg() || right.contains_agg(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_agg() || list.iter().any(Expr::contains_agg)
+            }
+            Expr::IsNull { expr, .. } => expr.contains_agg(),
+            _ => false,
+        }
+    }
+
+    /// Collect every distinct aggregate call in the subtree, in first-seen
+    /// order.
+    pub fn collect_aggs<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        match self {
+            Expr::Agg { .. } => {
+                if !out.iter().any(|e| *e == self) {
+                    out.push(self);
+                }
+            }
+            Expr::Unary { expr, .. } | Expr::Abs(expr) | Expr::CastInt(expr) => {
+                expr.collect_aggs(out)
+            }
+            Expr::Binary { left, right, .. } => {
+                left.collect_aggs(out);
+                right.collect_aggs(out);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.collect_aggs(out);
+                for e in list {
+                    e.collect_aggs(out);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.collect_aggs(out),
+            _ => {}
+        }
+    }
+}
+
+/// One item of a select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — expand to all input columns.
+    Wildcard,
+    /// `expr [AS alias]`.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A table source in `FROM`/`JOIN`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableSource {
+    /// Catalog table by (lowercased) name.
+    Named(String),
+    /// Parenthesized subquery.
+    Subquery(Box<Query>),
+}
+
+/// `FROM` item with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    pub source: TableSource,
+    pub alias: Option<String>,
+}
+
+/// `INNER JOIN <item> ON <expr>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub item: FromItem,
+    pub on: Expr,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// A full query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub select: Vec<SelectItem>,
+    pub from: FromItem,
+    pub joins: Vec<Join>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let e = Expr::and_all(vec![Expr::col("a"), Expr::col("b"), Expr::col("c")]).unwrap();
+        let cs = e.conjuncts();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0], &Expr::col("a"));
+        assert_eq!(cs[2], &Expr::col("c"));
+    }
+
+    #[test]
+    fn and_all_of_empty_is_none() {
+        assert!(Expr::and_all(vec![]).is_none());
+        assert_eq!(Expr::and_all(vec![Expr::col("x")]), Some(Expr::col("x")));
+    }
+
+    #[test]
+    fn contains_and_collect_aggs() {
+        let agg = Expr::Agg {
+            func: AggFunc::Count,
+            distinct: true,
+            arg: Some(Box::new(Expr::col("cellvalue"))),
+        };
+        let wrapped = Expr::Abs(Box::new(Expr::Binary {
+            left: Box::new(agg.clone()),
+            op: BinOp::Sub,
+            right: Box::new(Expr::Int(1)),
+        }));
+        assert!(wrapped.contains_agg());
+        let mut aggs = Vec::new();
+        wrapped.collect_aggs(&mut aggs);
+        // Also collect the same agg from another expression — deduped.
+        agg.collect_aggs(&mut aggs);
+        assert_eq!(aggs.len(), 1);
+    }
+
+    #[test]
+    fn helpers_lowercase() {
+        assert_eq!(
+            Expr::qcol("Keys", "TableId"),
+            Expr::Column {
+                qualifier: Some("keys".into()),
+                name: "tableid".into()
+            }
+        );
+    }
+}

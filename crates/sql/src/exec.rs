@@ -1,0 +1,549 @@
+//! Physical execution of planned queries.
+//!
+//! Execution is materializing (each operator returns a `Vec` of tuples),
+//! which keeps the engine simple and is appropriate for the highly selective
+//! index workloads BLEND generates: access paths cut candidate sets down
+//! before anything is materialized.
+
+use blend_common::{FxHashMap, FxHashSet, Result};
+
+use crate::ast::AggFunc;
+use crate::expr::CExpr;
+use crate::plan::{
+    fast_filters_pass, materialize, AccessPath, AggPlan, GroupPlan, InputPlan, QueryPlan,
+    ScanPlan, Tree,
+};
+use crate::value::SqlValue;
+
+/// One tuple.
+pub type Tuple = Vec<SqlValue>;
+
+/// Per-scan execution telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Scan alias (`keys`, `nums`, `alltables`, ...).
+    pub alias: String,
+    /// Chosen access path label.
+    pub access: String,
+    /// Cardinality estimate the access path was chosen with.
+    pub estimated: usize,
+    /// Positions actually visited.
+    pub scanned: usize,
+    /// Tuples surviving all scan predicates.
+    pub emitted: usize,
+}
+
+/// Whole-query execution telemetry (the `EXPLAIN ANALYZE` stand-in used by
+/// tests and the optimizer experiments).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryReport {
+    pub scans: Vec<ScanReport>,
+    /// (build side rows, probe side rows, output rows) per join.
+    pub joins: Vec<(usize, usize, usize)>,
+    pub result_rows: usize,
+}
+
+/// A materialized query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column labels, in select-list order.
+    pub columns: Vec<String>,
+    /// Row-major values.
+    pub rows: Vec<Tuple>,
+}
+
+impl ResultSet {
+    /// Index of a column label.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Typed accessor: i64 at (row, column label).
+    pub fn i64(&self, row: usize, col: &str) -> Option<i64> {
+        self.rows.get(row)?.get(self.col(col)?)?.as_i64()
+    }
+
+    /// Typed accessor: f64 at (row, column label).
+    pub fn f64(&self, row: usize, col: &str) -> Option<f64> {
+        self.rows.get(row)?.get(self.col(col)?)?.as_f64()
+    }
+
+    /// Typed accessor: str at (row, column label).
+    pub fn str(&self, row: usize, col: &str) -> Option<&str> {
+        self.rows.get(row)?.get(self.col(col)?)?.as_str()
+    }
+
+    /// Entire column as u32s (lossy on purpose: ids are u32 everywhere).
+    pub fn column_u32(&self, col: &str) -> Vec<u32> {
+        match self.col(col) {
+            None => Vec::new(),
+            Some(i) => self
+                .rows
+                .iter()
+                .filter_map(|r| r[i].as_i64().map(|v| v as u32))
+                .collect(),
+        }
+    }
+}
+
+/// Execute a plan, collecting telemetry.
+pub fn execute_plan(plan: &QueryPlan, report: &mut QueryReport) -> Result<ResultSet> {
+    let mut tuples = exec_tree(&plan.tree, report)?;
+
+    if let Some(f) = &plan.post_filter {
+        tuples.retain(|t| f.eval_predicate(t));
+    }
+
+    if let Some(group) = &plan.group {
+        tuples = exec_group(group, tuples);
+    }
+
+    // Evaluate projection and order keys in one pass.
+    let n_order = plan.order_by.len();
+    let mut decorated: Vec<(Vec<SqlValue>, Tuple)> = Vec::with_capacity(tuples.len());
+    for t in &tuples {
+        let out: Tuple = plan.projection.iter().map(|(_, e)| e.eval(t)).collect();
+        let keys: Vec<SqlValue> = plan.order_by.iter().map(|(e, _)| e.eval(t)).collect();
+        decorated.push((keys, out));
+    }
+    if n_order > 0 {
+        decorated.sort_by(|a, b| {
+            for (i, (_, desc)) in plan.order_by.iter().enumerate() {
+                let ord = a.0[i].order_cmp(&b.0[i]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            // Deterministic tiebreak on the projected tuple.
+            for (x, y) in a.1.iter().zip(&b.1) {
+                let ord = x.order_cmp(y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(k) = plan.limit {
+        decorated.truncate(k);
+    }
+
+    let rows: Vec<Tuple> = decorated.into_iter().map(|(_, t)| t).collect();
+    report.result_rows = rows.len();
+    Ok(ResultSet {
+        columns: plan.output_labels(),
+        rows,
+    })
+}
+
+fn exec_tree(tree: &Tree, report: &mut QueryReport) -> Result<Vec<Tuple>> {
+    match tree {
+        Tree::Leaf(InputPlan::Scan(scan)) => Ok(exec_scan(scan, report)),
+        Tree::Leaf(InputPlan::Query(sub, _)) => {
+            let rs = execute_plan(sub, report)?;
+            Ok(rs.rows)
+        }
+        Tree::Join {
+            left,
+            right,
+            keys,
+            residual,
+            ..
+        } => {
+            let lt = exec_tree(left, report)?;
+            let rt = exec_tree(right, report)?;
+            Ok(hash_join(lt, rt, keys, residual.as_ref(), report))
+        }
+    }
+}
+
+fn exec_scan(scan: &ScanPlan, report: &mut QueryReport) -> Vec<Tuple> {
+    let table = scan.table.as_ref();
+    let mut out = Vec::new();
+    let mut scanned = 0usize;
+
+    let visit = |pos: usize, out: &mut Vec<Tuple>, scanned: &mut usize| {
+        *scanned += 1;
+        if !fast_filters_pass(table, pos, &scan.fast) {
+            return;
+        }
+        let tuple = materialize(table, pos);
+        if let Some(res) = &scan.residual {
+            if !res.eval_predicate(&tuple) {
+                return;
+            }
+        }
+        out.push(tuple);
+    };
+
+    match &scan.access {
+        AccessPath::ValueIndex { .. } => {
+            for v in &scan.driving_values {
+                for &pos in table.postings(v) {
+                    visit(pos as usize, &mut out, &mut scanned);
+                }
+            }
+        }
+        AccessPath::TableIndex { .. } => {
+            for &t in &scan.driving_tables {
+                for pos in table.table_postings(t) {
+                    visit(pos, &mut out, &mut scanned);
+                }
+            }
+        }
+        AccessPath::SeqScan { .. } => {
+            for pos in 0..table.len() {
+                visit(pos, &mut out, &mut scanned);
+            }
+        }
+    }
+
+    report.scans.push(ScanReport {
+        alias: scan.alias.clone(),
+        access: scan.access.label().to_string(),
+        estimated: scan.access.estimated(),
+        scanned,
+        emitted: out.len(),
+    });
+    out
+}
+
+fn hash_join(
+    left: Vec<Tuple>,
+    right: Vec<Tuple>,
+    keys: &[(usize, usize)],
+    residual: Option<&CExpr>,
+    report: &mut QueryReport,
+) -> Vec<Tuple> {
+    // Build on the smaller side; output column order is always left++right.
+    let build_left = left.len() <= right.len();
+    let (build, probe) = if build_left {
+        (&left, &right)
+    } else {
+        (&right, &left)
+    };
+    let build_key = |t: &Tuple| -> Vec<SqlValue> {
+        keys.iter()
+            .map(|&(l, r)| t[if build_left { l } else { r }].clone())
+            .collect()
+    };
+    let probe_key = |t: &Tuple| -> Vec<SqlValue> {
+        keys.iter()
+            .map(|&(l, r)| t[if build_left { r } else { l }].clone())
+            .collect()
+    };
+
+    let mut table: FxHashMap<Vec<SqlValue>, Vec<usize>> = FxHashMap::default();
+    for (i, t) in build.iter().enumerate() {
+        // SQL join semantics: NULL keys never match.
+        let k = build_key(t);
+        if k.iter().any(SqlValue::is_null) {
+            continue;
+        }
+        table.entry(k).or_default().push(i);
+    }
+
+    let mut out = Vec::new();
+    for pt in probe {
+        let k = probe_key(pt);
+        if k.iter().any(SqlValue::is_null) {
+            continue;
+        }
+        if let Some(matches) = table.get(&k) {
+            for &bi in matches {
+                let bt = &build[bi];
+                let (lt, rt) = if build_left { (bt, pt) } else { (pt, bt) };
+                let mut joined = Vec::with_capacity(lt.len() + rt.len());
+                joined.extend(lt.iter().cloned());
+                joined.extend(rt.iter().cloned());
+                if let Some(res) = residual {
+                    if !res.eval_predicate(&joined) {
+                        continue;
+                    }
+                }
+                out.push(joined);
+            }
+        }
+    }
+    report.joins.push((build.len(), probe.len(), out.len()));
+    out
+}
+
+// ---- aggregation -----------------------------------------------------------
+
+enum AggState {
+    Count(i64),
+    CountDistinct(FxHashSet<SqlValue>),
+    Sum { acc: f64, all_int: bool, seen: bool },
+    Min(Option<SqlValue>),
+    Max(Option<SqlValue>),
+    Avg { sum: f64, n: i64 },
+}
+
+impl AggState {
+    fn new(plan: &AggPlan) -> AggState {
+        match (plan.func, plan.distinct) {
+            (AggFunc::Count, true) => AggState::CountDistinct(FxHashSet::default()),
+            (AggFunc::Count, false) => AggState::Count(0),
+            (AggFunc::Sum, _) => AggState::Sum {
+                acc: 0.0,
+                all_int: true,
+                seen: false,
+            },
+            (AggFunc::Min, _) => AggState::Min(None),
+            (AggFunc::Max, _) => AggState::Max(None),
+            (AggFunc::Avg, _) => AggState::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, plan: &AggPlan, tuple: &Tuple) {
+        let arg = plan.arg.as_ref().map(|e| e.eval(tuple));
+        match self {
+            AggState::Count(n) => match &arg {
+                // COUNT(*) counts rows; COUNT(x) counts non-null x.
+                None => *n += 1,
+                Some(v) if !v.is_null() => *n += 1,
+                _ => {}
+            },
+            AggState::CountDistinct(set) => {
+                if let Some(v) = arg {
+                    if !v.is_null() {
+                        set.insert(v);
+                    }
+                }
+            }
+            AggState::Sum { acc, all_int, seen } => {
+                if let Some(v) = arg {
+                    if let Some(f) = v.as_f64() {
+                        *acc += f;
+                        *seen = true;
+                        if matches!(v, SqlValue::Float(_)) {
+                            *all_int = false;
+                        }
+                    }
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(v) = arg {
+                    if !v.is_null() {
+                        let replace = match cur {
+                            None => true,
+                            Some(c) => v.order_cmp(c).is_lt(),
+                        };
+                        if replace {
+                            *cur = Some(v);
+                        }
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(v) = arg {
+                    if !v.is_null() {
+                        let replace = match cur {
+                            None => true,
+                            Some(c) => v.order_cmp(c).is_gt(),
+                        };
+                        if replace {
+                            *cur = Some(v);
+                        }
+                    }
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(f) = arg.and_then(|v| v.as_f64()) {
+                    *sum += f;
+                    *n += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> SqlValue {
+        match self {
+            AggState::Count(n) => SqlValue::Int(n),
+            AggState::CountDistinct(set) => SqlValue::Int(set.len() as i64),
+            AggState::Sum { acc, all_int, seen } => {
+                if !seen {
+                    SqlValue::Null
+                } else if all_int {
+                    SqlValue::Int(acc as i64)
+                } else {
+                    SqlValue::Float(acc)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(SqlValue::Null),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    SqlValue::Null
+                } else {
+                    SqlValue::Float(sum / n as f64)
+                }
+            }
+        }
+    }
+}
+
+fn exec_group(group: &GroupPlan, tuples: Vec<Tuple>) -> Vec<Tuple> {
+    // Key order must be deterministic for stable results; keep first-seen
+    // order via an index map built on top of the hash map.
+    let mut index: FxHashMap<Vec<SqlValue>, usize> = FxHashMap::default();
+    let mut groups: Vec<(Vec<SqlValue>, Vec<AggState>)> = Vec::new();
+
+    let global = group.group_exprs.is_empty();
+    if global {
+        groups.push((
+            Vec::new(),
+            group.aggs.iter().map(AggState::new).collect(),
+        ));
+    }
+
+    for t in &tuples {
+        let key: Vec<SqlValue> = group.group_exprs.iter().map(|e| e.eval(t)).collect();
+        let gi = if global {
+            0
+        } else {
+            match index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let i = groups.len();
+                    index.insert(key.clone(), i);
+                    groups.push((key.clone(), group.aggs.iter().map(AggState::new).collect()));
+                    i
+                }
+            }
+        };
+        for (state, plan) in groups[gi].1.iter_mut().zip(&group.aggs) {
+            state.update(plan, t);
+        }
+    }
+
+    groups
+        .into_iter()
+        .map(|(key, states)| {
+            let mut row = key;
+            row.extend(states.into_iter().map(AggState::finish));
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_set_accessors() {
+        let rs = ResultSet {
+            columns: vec!["tableid".into(), "score".into()],
+            rows: vec![
+                vec![SqlValue::Int(3), SqlValue::Float(0.5)],
+                vec![SqlValue::Int(7), SqlValue::Float(0.25)],
+            ],
+        };
+        assert_eq!(rs.col("score"), Some(1));
+        assert_eq!(rs.i64(0, "tableid"), Some(3));
+        assert_eq!(rs.f64(1, "score"), Some(0.25));
+        assert_eq!(rs.column_u32("tableid"), vec![3, 7]);
+        assert_eq!(rs.len(), 2);
+        assert!(rs.str(0, "tableid").is_none());
+    }
+
+    #[test]
+    fn agg_state_count_and_distinct() {
+        let plan_star = AggPlan {
+            func: AggFunc::Count,
+            distinct: false,
+            arg: None,
+        };
+        let mut s = AggState::new(&plan_star);
+        for _ in 0..3 {
+            s.update(&plan_star, &vec![]);
+        }
+        assert_eq!(s.finish(), SqlValue::Int(3));
+
+        let plan_d = AggPlan {
+            func: AggFunc::Count,
+            distinct: true,
+            arg: Some(CExpr::Col(0)),
+        };
+        let mut s = AggState::new(&plan_d);
+        for v in ["a", "b", "a"] {
+            s.update(&plan_d, &vec![SqlValue::from(v)]);
+        }
+        s.update(&plan_d, &vec![SqlValue::Null]); // nulls don't count
+        assert_eq!(s.finish(), SqlValue::Int(2));
+    }
+
+    #[test]
+    fn agg_state_sum_min_max_avg() {
+        let mk = |func| AggPlan {
+            func,
+            distinct: false,
+            arg: Some(CExpr::Col(0)),
+        };
+        let data = [SqlValue::Int(4), SqlValue::Null, SqlValue::Int(1)];
+
+        let p = mk(AggFunc::Sum);
+        let mut s = AggState::new(&p);
+        for v in &data {
+            s.update(&p, &vec![v.clone()]);
+        }
+        assert_eq!(s.finish(), SqlValue::Int(5));
+
+        let p = mk(AggFunc::Min);
+        let mut s = AggState::new(&p);
+        for v in &data {
+            s.update(&p, &vec![v.clone()]);
+        }
+        assert_eq!(s.finish(), SqlValue::Int(1));
+
+        let p = mk(AggFunc::Max);
+        let mut s = AggState::new(&p);
+        for v in &data {
+            s.update(&p, &vec![v.clone()]);
+        }
+        assert_eq!(s.finish(), SqlValue::Int(4));
+
+        let p = mk(AggFunc::Avg);
+        let mut s = AggState::new(&p);
+        for v in &data {
+            s.update(&p, &vec![v.clone()]);
+        }
+        assert_eq!(s.finish(), SqlValue::Float(2.5));
+    }
+
+    #[test]
+    fn sum_of_floats_stays_float() {
+        let p = AggPlan {
+            func: AggFunc::Sum,
+            distinct: false,
+            arg: Some(CExpr::Col(0)),
+        };
+        let mut s = AggState::new(&p);
+        s.update(&p, &vec![SqlValue::Float(0.5)]);
+        s.update(&p, &vec![SqlValue::Int(1)]);
+        assert_eq!(s.finish(), SqlValue::Float(1.5));
+    }
+
+    #[test]
+    fn empty_sum_is_null() {
+        let p = AggPlan {
+            func: AggFunc::Sum,
+            distinct: false,
+            arg: Some(CExpr::Col(0)),
+        };
+        let s = AggState::new(&p);
+        assert_eq!(s.finish(), SqlValue::Null);
+    }
+}

@@ -1,0 +1,269 @@
+//! Runtime values flowing through the executor.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A runtime SQL value.
+///
+/// `U128` exists for the `SuperKey` column: it supports equality, hashing
+/// and display but no arithmetic (a super key is an opaque bitset).
+#[derive(Debug, Clone)]
+pub enum SqlValue {
+    Null,
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Text(Arc<str>),
+    U128(u128),
+}
+
+impl SqlValue {
+    /// SQL truthiness for WHERE/ON: `TRUE` is true; `NULL`, `FALSE` and
+    /// every non-boolean are false. (The planner only feeds boolean-typed
+    /// expressions here.)
+    #[inline]
+    pub fn truthy(&self) -> bool {
+        matches!(self, SqlValue::Bool(true))
+    }
+
+    /// Is this SQL NULL?
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, SqlValue::Null)
+    }
+
+    /// Numeric view used by arithmetic and numeric comparisons. Booleans
+    /// coerce to 0/1 (Listing 3 compares `Quadrant = 0`).
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            SqlValue::Int(i) => Some(*i as f64),
+            SqlValue::Float(f) => Some(*f),
+            SqlValue::Bool(b) => Some(*b as i64 as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view (floats truncate toward zero).
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            SqlValue::Int(i) => Some(*i),
+            SqlValue::Float(f) => Some(*f as i64),
+            SqlValue::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            SqlValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL equality returning NULL when either side is NULL.
+    /// Numerics compare by value across Int/Float/Bool.
+    pub fn sql_eq(&self, other: &SqlValue) -> SqlValue {
+        if self.is_null() || other.is_null() {
+            return SqlValue::Null;
+        }
+        let eq = match (self, other) {
+            (SqlValue::Text(a), SqlValue::Text(b)) => a == b,
+            (SqlValue::U128(a), SqlValue::U128(b)) => a == b,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                // Type-incompatible non-null comparison: unequal.
+                _ => false,
+            },
+        };
+        SqlValue::Bool(eq)
+    }
+
+    /// SQL ordering comparison (`<`, `<=`, ...), NULL-propagating.
+    pub fn sql_cmp(&self, other: &SqlValue) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        match (self, other) {
+            (SqlValue::Text(a), SqlValue::Text(b)) => Some(a.cmp(b)),
+            (SqlValue::U128(a), SqlValue::U128(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Some(x.total_cmp(&y)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Total ordering for ORDER BY: NULLs sort first, then numerics, bools,
+    /// text, then U128. Deterministic across engines.
+    pub fn order_cmp(&self, other: &SqlValue) -> Ordering {
+        fn rank(v: &SqlValue) -> u8 {
+            match v {
+                SqlValue::Null => 0,
+                SqlValue::Int(_) | SqlValue::Float(_) | SqlValue::Bool(_) => 1,
+                SqlValue::Text(_) => 2,
+                SqlValue::U128(_) => 3,
+            }
+        }
+        match (self, other) {
+            (SqlValue::Null, SqlValue::Null) => Ordering::Equal,
+            (SqlValue::Text(a), SqlValue::Text(b)) => a.cmp(b),
+            (SqlValue::U128(a), SqlValue::U128(b)) => a.cmp(b),
+            (a, b) if rank(a) == 1 && rank(b) == 1 => {
+                a.as_f64().unwrap().total_cmp(&b.as_f64().unwrap())
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+/// Group-key / join-key / DISTINCT equality: NULL equals NULL here (SQL
+/// GROUP BY semantics), numerics compare by value.
+impl PartialEq for SqlValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (SqlValue::Null, SqlValue::Null) => true,
+            (SqlValue::Text(a), SqlValue::Text(b)) => a == b,
+            (SqlValue::U128(a), SqlValue::U128(b)) => a == b,
+            (SqlValue::Null, _) | (_, SqlValue::Null) => false,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.to_bits() == y.to_bits() || x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl Eq for SqlValue {}
+
+impl Hash for SqlValue {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            SqlValue::Null => state.write_u8(0),
+            // Hash all numerics through a canonical f64 image so Int(1),
+            // Float(1.0) and Bool(true) collide consistently with `eq`.
+            SqlValue::Int(_) | SqlValue::Float(_) | SqlValue::Bool(_) => {
+                state.write_u8(1);
+                let f = self.as_f64().expect("numeric");
+                // Normalize -0.0 to 0.0 for hash/eq coherence.
+                let f = if f == 0.0 { 0.0 } else { f };
+                state.write_u64(f.to_bits());
+            }
+            SqlValue::Text(s) => {
+                state.write_u8(2);
+                state.write(s.as_bytes());
+            }
+            SqlValue::U128(v) => {
+                state.write_u8(3);
+                state.write_u128(*v);
+            }
+        }
+    }
+}
+
+impl fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlValue::Null => write!(f, "NULL"),
+            SqlValue::Int(i) => write!(f, "{i}"),
+            SqlValue::Float(x) => write!(f, "{x}"),
+            SqlValue::Bool(b) => write!(f, "{b}"),
+            SqlValue::Text(s) => write!(f, "{s}"),
+            SqlValue::U128(v) => write!(f, "{v:#x}"),
+        }
+    }
+}
+
+impl From<&str> for SqlValue {
+    fn from(s: &str) -> Self {
+        SqlValue::Text(Arc::from(s))
+    }
+}
+
+impl From<i64> for SqlValue {
+    fn from(i: i64) -> Self {
+        SqlValue::Int(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sql_eq_three_valued() {
+        assert!(SqlValue::Null.sql_eq(&SqlValue::Int(1)).is_null());
+        assert!(SqlValue::Int(1).sql_eq(&SqlValue::Null).is_null());
+        assert!(SqlValue::Int(1).sql_eq(&SqlValue::Int(1)).truthy());
+        assert!(SqlValue::Int(1).sql_eq(&SqlValue::Float(1.0)).truthy());
+        assert!(SqlValue::Bool(false).sql_eq(&SqlValue::Int(0)).truthy());
+        assert!(!SqlValue::from("a").sql_eq(&SqlValue::from("b")).truthy());
+    }
+
+    #[test]
+    fn group_key_equality_nulls_group_together() {
+        let mut set: HashSet<SqlValue> = HashSet::new();
+        set.insert(SqlValue::Null);
+        assert!(set.contains(&SqlValue::Null));
+        set.insert(SqlValue::Int(1));
+        // Float(1.0) must land in the same group as Int(1).
+        assert!(set.contains(&SqlValue::Float(1.0)));
+    }
+
+    #[test]
+    fn hash_eq_coherence_across_numeric_types() {
+        use std::hash::BuildHasher;
+        let b = std::collections::hash_map::RandomState::new();
+        assert_eq!(b.hash_one(SqlValue::Int(3)), b.hash_one(SqlValue::Float(3.0)));
+        assert_eq!(b.hash_one(SqlValue::Bool(true)), b.hash_one(SqlValue::Int(1)));
+    }
+
+    #[test]
+    fn order_cmp_null_first_and_total() {
+        let mut vals = vec![
+            SqlValue::from("z"),
+            SqlValue::Int(5),
+            SqlValue::Null,
+            SqlValue::Float(2.5),
+        ];
+        vals.sort_by(SqlValue::order_cmp);
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], SqlValue::Float(2.5));
+        assert_eq!(vals[2], SqlValue::Int(5));
+        assert_eq!(vals[3], SqlValue::from("z"));
+    }
+
+    #[test]
+    fn sql_cmp_propagates_null() {
+        assert!(SqlValue::Null.sql_cmp(&SqlValue::Int(1)).is_none());
+        assert_eq!(
+            SqlValue::Int(1).sql_cmp(&SqlValue::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            SqlValue::from("b").sql_cmp(&SqlValue::from("a")),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(SqlValue::Bool(true).truthy());
+        assert!(!SqlValue::Bool(false).truthy());
+        assert!(!SqlValue::Null.truthy());
+        assert!(!SqlValue::Int(1).truthy());
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        let v = SqlValue::U128(0xDEAD_BEEF_0000_0001);
+        assert_eq!(v, SqlValue::U128(0xDEAD_BEEF_0000_0001));
+        assert!(v.as_f64().is_none());
+    }
+}

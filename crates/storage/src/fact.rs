@@ -1,0 +1,245 @@
+//! The `AllTables` fact-table schema and the engine-neutral [`FactTable`]
+//! trait.
+
+use crate::stats::FactStats;
+
+/// Encoded quadrant: cell is non-numeric (SQL NULL).
+pub const QUADRANT_NULL: u8 = 0;
+/// Encoded quadrant: numeric cell below its column average.
+pub const QUADRANT_ZERO: u8 = 1;
+/// Encoded quadrant: numeric cell at or above its column average.
+pub const QUADRANT_ONE: u8 = 2;
+
+/// One row of the unified index, i.e. one non-null cell of some lake table.
+///
+/// Mirrors the paper's Fig. 3: `CellValue, TableId, ColumnId, RowId,
+/// SuperKey, Quadrant`. `SuperKey` is the XASH aggregate of the cell's whole
+/// *row* (so every cell of a row carries the same super key), and `Quadrant`
+/// is the boolean QCR bit, NULL for non-numeric cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactRow {
+    /// Normalized cell value.
+    pub value: Box<str>,
+    /// Lake table identifier.
+    pub table: u32,
+    /// Column position within the table.
+    pub column: u32,
+    /// Row position within the table.
+    pub row: u32,
+    /// XASH super key of the containing row.
+    pub superkey: u128,
+    /// Quadrant bit; `None` encodes SQL NULL (non-numeric cell).
+    pub quadrant: Option<bool>,
+}
+
+impl FactRow {
+    /// Convenience constructor used by the indexer and tests.
+    pub fn new(
+        value: &str,
+        table: u32,
+        column: u32,
+        row: u32,
+        superkey: u128,
+        quadrant: Option<bool>,
+    ) -> Self {
+        FactRow {
+            value: value.into(),
+            table,
+            column,
+            row,
+            superkey,
+            quadrant,
+        }
+    }
+
+    /// Encode the quadrant for compact columnar storage.
+    #[inline]
+    pub fn quadrant_code(&self) -> u8 {
+        match self.quadrant {
+            None => QUADRANT_NULL,
+            Some(false) => QUADRANT_ZERO,
+            Some(true) => QUADRANT_ONE,
+        }
+    }
+}
+
+/// Decode a stored quadrant code.
+#[inline]
+pub fn decode_quadrant(code: u8) -> Option<bool> {
+    match code {
+        QUADRANT_ZERO => Some(false),
+        QUADRANT_ONE => Some(true),
+        _ => None,
+    }
+}
+
+/// An engine-specific pre-compiled probe for `CellValue IN (...)`
+/// predicates.
+///
+/// The column store translates the IN-list once into dictionary codes and
+/// then compares 4-byte integers per position; the row store falls back to a
+/// hashed string set. This asymmetry is the main reason the column store
+/// wins the paper's scan-heavy experiments.
+#[derive(Debug, Clone)]
+pub enum ValueProbe {
+    /// Dictionary codes (column store). Values absent from the dictionary
+    /// are simply not present.
+    Codes(blend_common::FxHashSet<u32>),
+    /// Owned string set (row store).
+    Strings(blend_common::FxHashSet<Box<str>>),
+}
+
+impl ValueProbe {
+    /// Number of distinct probe values that exist in the table.
+    pub fn len(&self) -> usize {
+        match self {
+            ValueProbe::Codes(s) => s.len(),
+            ValueProbe::Strings(s) => s.len(),
+        }
+    }
+
+    /// True if no probe value exists in the table.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Engine-neutral interface to the `AllTables` fact table.
+///
+/// Positions (`pos`) are dense `0..len()` physical offsets. Rows are
+/// clustered by `TableId` (both engines sort on build), so the in-DB table
+/// index can hand out contiguous ranges.
+pub trait FactTable: Send + Sync {
+    /// `"Row"` or `"Column"`, for experiment labels.
+    fn engine(&self) -> &'static str;
+
+    /// Number of index rows (= non-null cells in the lake).
+    fn len(&self) -> usize;
+
+    /// True when the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct lake tables.
+    fn n_tables(&self) -> u32;
+
+    /// `CellValue` at a position.
+    fn value_at(&self, pos: usize) -> &str;
+
+    /// `TableId` at a position.
+    fn table_at(&self, pos: usize) -> u32;
+
+    /// `ColumnId` at a position.
+    fn column_at(&self, pos: usize) -> u32;
+
+    /// `RowId` at a position.
+    fn row_at(&self, pos: usize) -> u32;
+
+    /// `SuperKey` at a position.
+    fn superkey_at(&self, pos: usize) -> u128;
+
+    /// `Quadrant` at a position (`None` = SQL NULL).
+    fn quadrant_at(&self, pos: usize) -> Option<bool>;
+
+    /// In-DB inverted index: positions holding this exact normalized value,
+    /// in ascending position order. Empty slice when absent.
+    fn postings(&self, value: &str) -> &[u32];
+
+    /// Length of the postings list without materializing it (catalog
+    /// statistic used for cost estimates).
+    fn posting_len(&self, value: &str) -> usize {
+        self.postings(value).len()
+    }
+
+    /// In-DB table index: the contiguous position range of a table,
+    /// returned as positions for uniformity.
+    fn table_postings(&self, table: u32) -> std::ops::Range<usize>;
+
+    /// Build an engine-specific probe for an IN-list.
+    fn make_probe(&self, values: &[&str]) -> ValueProbe;
+
+    /// Test `CellValue[pos] IN probe`.
+    fn probe_at(&self, pos: usize, probe: &ValueProbe) -> bool;
+
+    /// Exact catalog statistics.
+    fn stats(&self) -> &FactStats;
+
+    /// Estimated resident bytes of the table plus its in-DB indexes
+    /// (Table VIII input).
+    fn size_bytes(&self) -> usize;
+}
+
+/// Sort raw fact rows into the canonical physical order shared by both
+/// engines: clustered by table, then column, then row. Clustering by table
+/// is what makes the `TableId` index a range; column-major order within a
+/// table gives scans the locality a real column store would have.
+pub fn canonical_sort(rows: &mut [FactRow]) {
+    rows.sort_by(|a, b| {
+        (a.table, a.column, a.row)
+            .cmp(&(b.table, b.column, b.row))
+            .then_with(|| a.value.cmp(&b.value))
+    });
+}
+
+/// Compute per-table contiguous ranges after [`canonical_sort`]. Index in
+/// the returned vec = table id; tables absent from the index get an empty
+/// range.
+pub fn table_ranges(rows: &[FactRow]) -> Vec<(u32, u32)> {
+    let max_table = rows.iter().map(|r| r.table).max().map_or(0, |t| t + 1);
+    let mut ranges = vec![(0u32, 0u32); max_table as usize];
+    let mut i = 0usize;
+    while i < rows.len() {
+        let t = rows[i].table;
+        let start = i;
+        while i < rows.len() && rows[i].table == t {
+            i += 1;
+        }
+        ranges[t as usize] = (start as u32, i as u32);
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadrant_encoding_roundtrips() {
+        for q in [None, Some(false), Some(true)] {
+            let r = FactRow::new("x", 0, 0, 0, 0, q);
+            assert_eq!(decode_quadrant(r.quadrant_code()), q);
+        }
+    }
+
+    #[test]
+    fn canonical_sort_clusters_tables() {
+        let mut rows = vec![
+            FactRow::new("b", 1, 0, 0, 0, None),
+            FactRow::new("a", 0, 1, 0, 0, None),
+            FactRow::new("c", 0, 0, 1, 0, None),
+            FactRow::new("d", 0, 0, 0, 0, None),
+        ];
+        canonical_sort(&mut rows);
+        let order: Vec<(u32, u32, u32)> =
+            rows.iter().map(|r| (r.table, r.column, r.row)).collect();
+        assert_eq!(order, vec![(0, 0, 0), (0, 0, 1), (0, 1, 0), (1, 0, 0)]);
+    }
+
+    #[test]
+    fn table_ranges_cover_and_handle_gaps() {
+        let mut rows = vec![
+            FactRow::new("a", 0, 0, 0, 0, None),
+            FactRow::new("b", 2, 0, 0, 0, None),
+            FactRow::new("c", 2, 0, 1, 0, None),
+        ];
+        canonical_sort(&mut rows);
+        let ranges = table_ranges(&rows);
+        assert_eq!(ranges, vec![(0, 1), (0, 0), (1, 3)]);
+    }
+
+    #[test]
+    fn empty_rows_have_no_ranges() {
+        assert!(table_ranges(&[]).is_empty());
+    }
+}

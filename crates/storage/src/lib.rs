@@ -1,0 +1,162 @@
+//! Embedded storage engines for BLEND's unified index.
+//!
+//! The paper deploys BLEND on two database engines — PostgreSQL (a row
+//! store) and a commercial column store — and stores the entire unified
+//! index as one relational fact table:
+//!
+//! ```text
+//! AllTables(CellValue nvarchar, TableId int, ColumnId int, RowId int,
+//!           SuperKey byte, Quadrant bool)
+//! ```
+//!
+//! This crate provides both engines as in-process data structures behind the
+//! common [`FactTable`] trait:
+//!
+//! * [`RowStore`] — tuples stored contiguously, strings inline; the analogue
+//!   of the PostgreSQL deployment.
+//! * [`ColumnStore`] — dictionary-encoded column vectors; the analogue of
+//!   the commercial column store. IN-list probes compare 4-byte dictionary
+//!   codes instead of strings, and per-row storage is much smaller — the two
+//!   mechanisms behind every Row-vs-Column gap in the paper's figures.
+//!
+//! Both engines maintain the two *in-database indexes* the paper creates on
+//! `AllTables` (Section V): an inverted index on `CellValue` (value →
+//! positions) and an index on `TableId` (table → contiguous position range).
+//! They also expose exact cardinality statistics, which the SQL layer's
+//! access-path chooser uses the way a DBMS optimizer uses its catalog.
+
+pub mod column_store;
+pub mod fact;
+pub mod row_store;
+pub mod stats;
+
+pub use column_store::ColumnStore;
+pub use fact::{decode_quadrant, FactRow, FactTable, ValueProbe, QUADRANT_NULL, QUADRANT_ONE, QUADRANT_ZERO};
+pub use row_store::RowStore;
+pub use stats::FactStats;
+
+use std::sync::Arc;
+
+/// Which engine to build — row store (PostgreSQL analogue) or column store
+/// (commercial column store analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Tuple-at-a-time storage with inline strings.
+    Row,
+    /// Dictionary-encoded columnar storage.
+    Column,
+}
+
+impl EngineKind {
+    /// Human-readable engine label used in experiment output, matching the
+    /// paper's "(Row)" / "(Column)" suffixes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::Row => "Row",
+            EngineKind::Column => "Column",
+        }
+    }
+}
+
+/// Build a fact table with the chosen engine from raw index rows.
+pub fn build_engine(kind: EngineKind, rows: Vec<FactRow>) -> Arc<dyn FactTable> {
+    match kind {
+        EngineKind::Row => Arc::new(RowStore::build(rows)),
+        EngineKind::Column => Arc::new(ColumnStore::build(rows)),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// A small, hand-checkable fact table used by both engine test suites:
+    /// three tables, mixed text/numeric cells.
+    pub fn sample_rows() -> Vec<FactRow> {
+        let mut rows = Vec::new();
+        // Table 0: columns [city, pop] with 3 rows.
+        let data0 = [("berlin", Some(false)), ("paris", None), ("rome", Some(true))];
+        for (r, (city, _)) in data0.iter().enumerate() {
+            rows.push(FactRow::new(city, 0, 0, r as u32, 0xF0 + r as u128, None));
+        }
+        for (r, q) in [Some(false), Some(true), Some(true)].into_iter().enumerate() {
+            rows.push(FactRow::new(&format!("{}", 100 * (r + 1)), 0, 1, r as u32, 0xF0 + r as u128, q));
+        }
+        // Table 1: one column sharing "berlin" and "rome".
+        for (r, v) in ["berlin", "munich", "rome"].into_iter().enumerate() {
+            rows.push(FactRow::new(v, 1, 0, r as u32, 0xA0 + r as u128, None));
+        }
+        // Table 2: numeric-only column.
+        for r in 0..4u32 {
+            rows.push(FactRow::new(
+                &format!("{}", r * 10),
+                2,
+                0,
+                r,
+                0xB0 + r as u128,
+                Some(r >= 2),
+            ));
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both engines must answer identically; this is also covered by a
+    /// property test in the SQL crate, but a direct spot check here keeps
+    /// the contract local.
+    #[test]
+    fn engines_agree_on_sample() {
+        let rows = test_support::sample_rows();
+        let row = build_engine(EngineKind::Row, rows.clone());
+        let col = build_engine(EngineKind::Column, rows);
+        assert_eq!(row.len(), col.len());
+        assert_eq!(row.n_tables(), col.n_tables());
+        for pos in 0..row.len() {
+            assert_eq!(row.value_at(pos), col.value_at(pos), "pos {pos}");
+            assert_eq!(row.table_at(pos), col.table_at(pos));
+            assert_eq!(row.column_at(pos), col.column_at(pos));
+            assert_eq!(row.row_at(pos), col.row_at(pos));
+            assert_eq!(row.superkey_at(pos), col.superkey_at(pos));
+            assert_eq!(row.quadrant_at(pos), col.quadrant_at(pos));
+        }
+        assert_eq!(row.postings("berlin"), col.postings("berlin"));
+        assert_eq!(row.table_postings(1), col.table_postings(1));
+    }
+
+    #[test]
+    fn column_store_is_smaller() {
+        // The storage claim behind Table VIII / the Row-vs-Column figures:
+        // dictionary encoding shrinks the index footprint.
+        let mut rows = Vec::new();
+        for t in 0..20u32 {
+            for r in 0..200u32 {
+                rows.push(FactRow::new(
+                    &format!("value-{}", r % 13), // heavy duplication
+                    t,
+                    0,
+                    r,
+                    r as u128,
+                    None,
+                ));
+            }
+        }
+        let row = build_engine(EngineKind::Row, rows.clone());
+        let col = build_engine(EngineKind::Column, rows);
+        assert!(
+            col.size_bytes() < row.size_bytes(),
+            "column {} !< row {}",
+            col.size_bytes(),
+            row.size_bytes()
+        );
+    }
+
+    #[test]
+    fn engine_labels() {
+        assert_eq!(EngineKind::Row.label(), "Row");
+        assert_eq!(EngineKind::Column.label(), "Column");
+    }
+}

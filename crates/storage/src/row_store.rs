@@ -1,0 +1,213 @@
+//! Tuple-at-a-time storage engine — the PostgreSQL analogue.
+
+use blend_common::{FxHashMap, FxHashSet};
+
+use crate::fact::{canonical_sort, table_ranges, FactRow, FactTable, ValueProbe};
+use crate::stats::FactStats;
+
+/// Row-store implementation of [`FactTable`].
+///
+/// Tuples live in one contiguous `Vec<FactRow>` with their string values
+/// inline (each cell value owns an allocation — exactly the redundancy a
+/// heap-file row store pays). The two in-DB indexes are a hash inverted
+/// index on `CellValue` and a per-table range directory.
+pub struct RowStore {
+    rows: Vec<FactRow>,
+    /// Inverted index: value → ascending positions.
+    inverted: FxHashMap<Box<str>, Vec<u32>>,
+    /// Table id → (start, end) position range.
+    ranges: Vec<(u32, u32)>,
+    stats: FactStats,
+    string_bytes: usize,
+}
+
+impl RowStore {
+    /// Build the store: canonical sort, postings, ranges, statistics.
+    pub fn build(mut rows: Vec<FactRow>) -> Self {
+        canonical_sort(&mut rows);
+        let ranges = table_ranges(&rows);
+        let mut inverted: FxHashMap<Box<str>, Vec<u32>> = FxHashMap::default();
+        let mut numeric_rows = 0usize;
+        let mut string_bytes = 0usize;
+        for (pos, r) in rows.iter().enumerate() {
+            inverted
+                .entry(r.value.clone())
+                .or_default()
+                .push(pos as u32);
+            if r.quadrant.is_some() {
+                numeric_rows += 1;
+            }
+            string_bytes += r.value.len();
+        }
+        let n_tables = ranges.iter().filter(|(s, e)| e > s).count();
+        let stats = FactStats::compute(
+            rows.len(),
+            n_tables,
+            inverted.values().map(Vec::len),
+            numeric_rows,
+        );
+        RowStore {
+            rows,
+            inverted,
+            ranges,
+            stats,
+            string_bytes,
+        }
+    }
+}
+
+impl FactTable for RowStore {
+    fn engine(&self) -> &'static str {
+        "Row"
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn n_tables(&self) -> u32 {
+        self.ranges.len() as u32
+    }
+
+    #[inline]
+    fn value_at(&self, pos: usize) -> &str {
+        &self.rows[pos].value
+    }
+
+    #[inline]
+    fn table_at(&self, pos: usize) -> u32 {
+        self.rows[pos].table
+    }
+
+    #[inline]
+    fn column_at(&self, pos: usize) -> u32 {
+        self.rows[pos].column
+    }
+
+    #[inline]
+    fn row_at(&self, pos: usize) -> u32 {
+        self.rows[pos].row
+    }
+
+    #[inline]
+    fn superkey_at(&self, pos: usize) -> u128 {
+        self.rows[pos].superkey
+    }
+
+    #[inline]
+    fn quadrant_at(&self, pos: usize) -> Option<bool> {
+        self.rows[pos].quadrant
+    }
+
+    fn postings(&self, value: &str) -> &[u32] {
+        self.inverted.get(value).map_or(&[], Vec::as_slice)
+    }
+
+    fn table_postings(&self, table: u32) -> std::ops::Range<usize> {
+        match self.ranges.get(table as usize) {
+            Some(&(s, e)) => s as usize..e as usize,
+            None => 0..0,
+        }
+    }
+
+    fn make_probe(&self, values: &[&str]) -> ValueProbe {
+        // The row store has no dictionary: keep (deduplicated) owned strings
+        // and hash-compare per position.
+        let set: FxHashSet<Box<str>> = values
+            .iter()
+            .filter(|v| self.inverted.contains_key(**v))
+            .map(|v| Box::from(*v))
+            .collect();
+        ValueProbe::Strings(set)
+    }
+
+    #[inline]
+    fn probe_at(&self, pos: usize, probe: &ValueProbe) -> bool {
+        match probe {
+            ValueProbe::Strings(set) => set.contains(self.rows[pos].value.as_ref()),
+            // A codes probe can only come from a column store; treat as a
+            // logic error surfaced in debug builds, absent in release.
+            ValueProbe::Codes(_) => {
+                debug_assert!(false, "codes probe against a row store");
+                false
+            }
+        }
+    }
+
+    fn stats(&self) -> &FactStats {
+        &self.stats
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Tuples: struct + heap string per row.
+        let tuple_bytes = self.rows.len() * std::mem::size_of::<FactRow>() + self.string_bytes;
+        // Inverted index: key strings + posting vectors + bucket overhead.
+        let inv_bytes: usize = self
+            .inverted
+            .iter()
+            .map(|(k, v)| k.len() + std::mem::size_of::<Box<str>>() + v.len() * 4 + 48)
+            .sum();
+        let range_bytes = self.ranges.len() * 8;
+        tuple_bytes + inv_bytes + range_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::sample_rows;
+
+    #[test]
+    fn postings_are_sorted_positions_of_value() {
+        let s = RowStore::build(sample_rows());
+        let ps = s.postings("berlin");
+        assert_eq!(ps.len(), 2);
+        assert!(ps.windows(2).all(|w| w[0] < w[1]));
+        for &p in ps {
+            assert_eq!(s.value_at(p as usize), "berlin");
+        }
+        assert!(s.postings("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn table_ranges_contain_only_their_table() {
+        let s = RowStore::build(sample_rows());
+        for t in 0..s.n_tables() {
+            for pos in s.table_postings(t) {
+                assert_eq!(s.table_at(pos), t);
+            }
+        }
+        // Out-of-range table id yields an empty range, not a panic.
+        assert!(s.table_postings(99).is_empty());
+    }
+
+    #[test]
+    fn probe_matches_in_list_semantics() {
+        let s = RowStore::build(sample_rows());
+        let probe = s.make_probe(&["berlin", "rome", "ghost-value"]);
+        assert_eq!(probe.len(), 2); // ghost-value filtered at probe build
+        let hits: Vec<usize> = (0..s.len()).filter(|&p| s.probe_at(p, &probe)).collect();
+        assert_eq!(hits.len(), 4); // berlin x2, rome x2
+        for p in hits {
+            assert!(matches!(s.value_at(p), "berlin" | "rome"));
+        }
+    }
+
+    #[test]
+    fn stats_reflect_content() {
+        let s = RowStore::build(sample_rows());
+        assert_eq!(s.stats().n_rows, s.len());
+        assert_eq!(s.stats().n_tables, 3);
+        assert!(s.stats().numeric_fraction > 0.0);
+        assert_eq!(s.posting_len("berlin"), 2);
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = RowStore::build(Vec::new());
+        assert!(s.is_empty());
+        assert_eq!(s.n_tables(), 0);
+        assert!(s.postings("x").is_empty());
+        assert_eq!(s.size_bytes() > 0, false);
+    }
+}

@@ -1,0 +1,143 @@
+//! Data enrichment for machine learning: impute missing values and discover
+//! a correlated feature — the paper's headline ML-enrichment scenario
+//! (intro + §VIII-B.3/B.5) as one program.
+//!
+//! We hold a sales-like table with (city, region) pairs, half the regions
+//! missing, plus a numeric KPI per city. The pipeline:
+//!
+//! 1. **Imputation plan** (`MC ∩ SC`): find lake tables containing our
+//!    complete (city, region) examples in one row *and* the cities with
+//!    missing regions — a functional-dependency source to fill the gaps.
+//! 2. **Correlation plan** (`C`): find lake tables with a column that
+//!    correlates with the KPI when joined on city — a new ML feature.
+//!
+//! Run with: `cargo run --release --example data_enrichment`
+
+use blend::{tasks, Blend, Plan, Seeker};
+use blend_common::{Column, Table, TableId, Value};
+use blend_lake::DataLake;
+use blend_storage::EngineKind;
+use rand::{Rng, SeedableRng};
+
+/// Build a small synthetic "city statistics" lake with one table that can
+/// impute our regions and one table with a correlated indicator.
+fn build_lake() -> (DataLake, Vec<String>, Vec<f64>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE17);
+    let cities: Vec<String> = (0..40).map(|i| format!("city-{i:02}")).collect();
+    let regions = ["north", "south", "east", "west"];
+    let kpi: Vec<f64> = (0..40).map(|_| rng.random_range(10.0..500.0)).collect();
+
+    let mut tables = Vec::new();
+
+    // A gazetteer: city -> region (the imputation source).
+    tables.push(
+        Table::new(
+            TableId(0),
+            "gazetteer",
+            vec![
+                Column::new(
+                    "city",
+                    cities.iter().map(|c| Value::Text(c.clone())).collect::<Vec<_>>(),
+                ),
+                Column::new(
+                    "region",
+                    (0..40)
+                        .map(|i| Value::Text(regions[i % 4].into()))
+                        .collect::<Vec<_>>(),
+                ),
+            ],
+        )
+        .unwrap(),
+    );
+
+    // An indicator table: city -> population (correlates with the KPI).
+    tables.push(
+        Table::new(
+            TableId(1),
+            "population",
+            vec![
+                Column::new(
+                    "city",
+                    cities.iter().map(|c| Value::Text(c.clone())).collect::<Vec<_>>(),
+                ),
+                Column::new(
+                    "population",
+                    kpi.iter()
+                        .map(|k| Value::Float(k * 1000.0 + rng.random_range(-500.0..500.0)))
+                        .collect::<Vec<_>>(),
+                ),
+            ],
+        )
+        .unwrap(),
+    );
+
+    // Distractor tables: unrelated vocab + uncorrelated numbers.
+    for t in 0..20u32 {
+        let n = rng.random_range(20..40);
+        tables.push(
+            Table::new(
+                TableId(2 + t),
+                format!("noise-{t}"),
+                vec![
+                    Column::new(
+                        "k",
+                        (0..n)
+                            .map(|i| Value::Text(format!("n{t}-{i}")))
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::new(
+                        "v",
+                        (0..n)
+                            .map(|_| Value::Float(rng.random_range(0.0..1.0)))
+                            .collect::<Vec<_>>(),
+                    ),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+
+    (DataLake::new("city-stats", tables), cities, kpi)
+}
+
+fn main() {
+    let (lake, cities, kpi) = build_lake();
+    let system = Blend::from_lake(&lake, EngineKind::Column);
+    println!("lake `{}`: {} tables indexed\n", lake.name, lake.len());
+
+    // ---- 1. imputation: first 5 (city, region) pairs are known ------------
+    let examples: Vec<(String, String)> = cities[..5]
+        .iter()
+        .map(|c| {
+            let region = ["north", "south", "east", "west"][cities.iter().position(|x| x == c).unwrap() % 4];
+            (c.clone(), region.to_string())
+        })
+        .collect();
+    let missing: Vec<String> = cities[5..].to_vec();
+
+    let plan = tasks::imputation(&examples, &missing, 5).expect("plan");
+    let (hits, report) = system.execute_with_report(&plan).expect("imputation plan");
+    println!("imputation sources (MC ∩ SC), {:?} total:", report.total);
+    for h in &hits {
+        println!("  {} -> `{}` (score {:.3})", h.table, lake.table(h.table).name, h.score);
+    }
+    assert_eq!(hits[0].table, TableId(0), "gazetteer must win");
+
+    // ---- 2. correlated feature discovery ----------------------------------
+    let mut plan = Plan::new();
+    plan.add_seeker("corr", Seeker::c(cities.clone(), kpi.clone()), 5)
+        .unwrap();
+    let hits = system.execute(&plan).expect("correlation plan");
+    println!("\ncorrelated feature candidates (C seeker):");
+    for h in &hits {
+        println!(
+            "  {} -> `{}` (|QCR| {:.3})",
+            h.table,
+            lake.table(h.table).name,
+            h.score
+        );
+    }
+    assert_eq!(hits[0].table, TableId(1), "population must win");
+
+    println!("\n=> enrich the sales table by joining `gazetteer` (regions) and `population` (feature). ✔");
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the BLEND reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so the runnable examples
+//! (`/examples`) and the cross-crate integration tests (`/tests`) can
+//! import everything through `blend_repro::...`. Library users should
+//! depend on the individual crates (`blend`, `blend-lake`, ...) directly.
+
+pub use blend;
+pub use blend_common;
+pub use blend_deepjoin;
+pub use blend_embed;
+pub use blend_hnsw;
+pub use blend_index;
+pub use blend_josie;
+pub use blend_lake;
+pub use blend_mate;
+pub use blend_qcr;
+pub use blend_sql;
+pub use blend_starmie;
+pub use blend_storage;

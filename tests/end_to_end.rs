@@ -1,0 +1,194 @@
+//! Full-pipeline integration tests: lake generation → offline indexing →
+//! BLEND plans → results, across both storage engines.
+
+use blend::{tasks, Blend, Combiner, Plan, Seeker};
+use blend_common::TableId;
+use blend_lake::web::{generate, WebLakeConfig};
+use blend_lake::{ground_truth, workloads};
+use blend_storage::EngineKind;
+
+fn test_lake() -> blend_lake::DataLake {
+    generate(&WebLakeConfig {
+        name: "e2e".into(),
+        n_tables: 60,
+        rows: (10, 30),
+        cols: (3, 5),
+        vocab: 400,
+        zipf_s: 1.0,
+        numeric_col_ratio: 0.3,
+        null_ratio: 0.02,
+        seed: 1234,
+    })
+}
+
+#[test]
+fn sc_seeker_matches_exact_ground_truth_on_both_engines() {
+    let lake = test_lake();
+    for kind in [EngineKind::Row, EngineKind::Column] {
+        let system = Blend::from_lake(&lake, kind);
+        for (_, queries) in workloads::sc_queries(&lake, &[10, 40], 3, 7) {
+            for q in queries {
+                let mut plan = Plan::new();
+                plan.add_seeker("sc", Seeker::sc(q.clone()), 10).unwrap();
+                let hits = system.execute(&plan).unwrap();
+                let gt = ground_truth::exact_sc_topk(&lake, &q, 10);
+                assert_eq!(
+                    hits.iter().map(|h| h.score as usize).collect::<Vec<_>>(),
+                    gt.iter().map(|(_, o)| *o).collect::<Vec<_>>(),
+                    "overlap sequence diverged from oracle ({kind:?})"
+                );
+                assert_eq!(
+                    hits.iter().map(|h| h.table).collect::<Vec<_>>(),
+                    gt.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kw_seeker_matches_exact_ground_truth() {
+    let lake = test_lake();
+    let system = Blend::from_lake(&lake, EngineKind::Column);
+    for q in workloads::kw_queries(&lake, 4, 8, 11) {
+        let mut plan = Plan::new();
+        plan.add_seeker("kw", Seeker::kw(q.clone()), 10).unwrap();
+        let hits = system.execute(&plan).unwrap();
+        let gt = ground_truth::exact_kw_topk(&lake, &q, 10);
+        assert_eq!(
+            hits.iter().map(|h| (h.table, h.score as usize)).collect::<Vec<_>>(),
+            gt,
+        );
+    }
+}
+
+#[test]
+fn mc_seeker_counts_match_exact_join_ground_truth() {
+    let lake = test_lake();
+    let system = Blend::from_lake(&lake, EngineKind::Column);
+    for q in workloads::mc_queries(&lake, 5, 2, 5, 13) {
+        let mut plan = Plan::new();
+        plan.add_seeker("mc", Seeker::mc(q.rows.clone()), usize::MAX).unwrap();
+        let hits = system.execute(&plan).unwrap();
+        let gt = ground_truth::exact_mc_join_counts(&lake, &q.rows);
+        // Every reported table/count must be exactly right.
+        for h in &hits {
+            assert_eq!(
+                gt.get(&h.table).copied().unwrap_or(0),
+                h.score as usize,
+                "joinable-row count wrong for {:?}",
+                h.table
+            );
+        }
+        // And no joinable table may be missed (bloom filters cannot create
+        // false negatives).
+        for (t, _) in &gt {
+            assert!(hits.iter().any(|h| h.table == *t), "missed {t:?}");
+        }
+    }
+}
+
+#[test]
+fn correlation_seeker_recovers_planted_correlations() {
+    let bench = blend_lake::corr_bench::generate(&blend_lake::CorrBenchConfig {
+        name: "e2e-corr".into(),
+        n_queries: 3,
+        correlated_per_query: 8,
+        rows: (60, 120),
+        key_domain: 100,
+        fraction_numeric_keys: 0.0,
+        corr_levels: vec![0.95, 0.7, 0.4],
+        noise_columns: 1,
+        noise_tables: 8,
+        seed: 55,
+    });
+    let system = Blend::from_lake(&bench.lake, EngineKind::Column);
+    for q in &bench.queries {
+        let mut plan = Plan::new();
+        plan.add_seeker("c", Seeker::c(q.keys.clone(), q.target.clone()), 8)
+            .unwrap();
+        let hits = system.execute(&plan).unwrap();
+        let gt: std::collections::HashSet<TableId> =
+            blend_lake::corr_bench::exact_topk_tables(&bench.lake, q, 8, 5)
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect();
+        let hit_count = hits.iter().filter(|h| gt.contains(&h.table)).count();
+        assert!(
+            hit_count * 2 >= gt.len().min(8),
+            "too few ground-truth tables recovered: {hit_count}/{}",
+            gt.len()
+        );
+        // Scores are valid QCR magnitudes.
+        for h in &hits {
+            assert!((0.0..=1.0).contains(&h.score));
+        }
+    }
+}
+
+#[test]
+fn union_search_plan_finds_cluster_mates() {
+    let bench = blend_lake::union_bench::generate(&blend_lake::UnionBenchConfig {
+        name: "e2e-union".into(),
+        n_clusters: 4,
+        tables_per_cluster: 6,
+        rows: (10, 25),
+        cols: 3,
+        domain_size: 60,
+        overlap: 0.6,
+        confusable_pairs: 0,
+        noise_tables: 10,
+        seed: 77,
+    });
+    let system = Blend::from_lake(&bench.lake, EngineKind::Column);
+    for q in &bench.queries {
+        let plan = tasks::union_search(bench.lake.table(*q), 5, 60).unwrap();
+        let hits = system.execute(&plan).unwrap();
+        let gt = &bench.ground_truth[q];
+        let good = hits
+            .iter()
+            .filter(|h| h.table != *q)
+            .filter(|h| gt.contains(&h.table))
+            .count();
+        assert!(good >= 3, "union plan precision collapsed: {good}/5");
+    }
+}
+
+#[test]
+fn row_and_column_engines_agree_on_all_seekers() {
+    let lake = test_lake();
+    let row = Blend::from_lake(&lake, EngineKind::Row);
+    let col = Blend::from_lake(&lake, EngineKind::Column);
+    let mc = workloads::mc_queries(&lake, 1, 2, 4, 3).remove(0);
+    let sc = workloads::sc_queries(&lake, &[15], 1, 4).remove(0).1.remove(0);
+
+    let mut plan = Plan::new();
+    plan.add_seeker("mc", Seeker::mc(mc.rows), 10).unwrap();
+    plan.add_seeker("sc", Seeker::sc(sc), 10).unwrap();
+    plan.add_combiner("both", Combiner::Union, 20, &["mc", "sc"]).unwrap();
+
+    let a = row.execute(&plan).unwrap();
+    let b = col.execute(&plan).unwrap();
+    assert_eq!(
+        a.iter().map(|h| h.table).collect::<Vec<_>>(),
+        b.iter().map(|h| h.table).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn shuffled_index_preserves_seeker_semantics() {
+    // BLEND (rand) shuffles row order; overlap-based results must not
+    // change (only RowId-sampled correlation differs).
+    let lake = test_lake();
+    let plain = Blend::from_lake(&lake, EngineKind::Column);
+    let shuffled = Blend::from_lake_shuffled(&lake, EngineKind::Column, 99);
+    let q = workloads::sc_queries(&lake, &[20], 1, 5).remove(0).1.remove(0);
+    let mut plan = Plan::new();
+    plan.add_seeker("sc", Seeker::sc(q), 10).unwrap();
+    let a = plain.execute(&plan).unwrap();
+    let b = shuffled.execute(&plan).unwrap();
+    assert_eq!(
+        a.iter().map(|h| (h.table, h.score as i64)).collect::<Vec<_>>(),
+        b.iter().map(|h| (h.table, h.score as i64)).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,210 @@
+//! Property-based tests over the core invariants the system's correctness
+//! rests on (DESIGN.md §8):
+//!
+//! * XASH subset property — a row's super key always "contains" each of the
+//!   row's values;
+//! * row-store/column-store equivalence under arbitrary fact rows and
+//!   IN-list probes;
+//! * QCR sign agreement with exact Pearson on linearly related data;
+//! * Theorem 1 — the optimizer never changes a plan's output set.
+
+use proptest::prelude::*;
+
+use blend::{Blend, Combiner, Plan, Seeker};
+use blend_common::{Column, Table, TableId, Value};
+use blend_index::{xash_value, Xash};
+use blend_lake::DataLake;
+use blend_storage::{build_engine, EngineKind, FactRow};
+
+/// Strategy: short lowercase-ish cell strings (the post-normalization
+/// alphabet).
+fn cell_value() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]{1,12}( [a-z0-9]{1,8})?").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xash_subset_property(values in proptest::collection::vec(cell_value(), 1..8)) {
+        let sk = {
+            let mut x = Xash::new();
+            for v in &values {
+                x.add(v);
+            }
+            x.finish()
+        };
+        for v in &values {
+            prop_assert!(Xash::may_contain(sk, v), "value {v} escaped its own superkey");
+        }
+        prop_assert!(Xash::may_contain_all(sk, values.iter().map(String::as_str)));
+    }
+
+    #[test]
+    fn xash_is_deterministic_and_nonzero(v in cell_value()) {
+        prop_assert_eq!(xash_value(&v), xash_value(&v));
+        prop_assert!(xash_value(&v) != 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engines_agree_on_postings_and_probes(
+        raw in proptest::collection::vec(
+            (cell_value(), 0u32..6, 0u32..3, 0u32..10, proptest::option::of(any::<bool>())),
+            1..60,
+        ),
+        probe_vals in proptest::collection::vec(cell_value(), 1..6),
+    ) {
+        let rows: Vec<FactRow> = raw
+            .iter()
+            .map(|(v, t, c, r, q)| FactRow::new(v, *t, *c, *r, 0, *q))
+            .collect();
+        let row_store = build_engine(EngineKind::Row, rows.clone());
+        let col_store = build_engine(EngineKind::Column, rows);
+        prop_assert_eq!(row_store.len(), col_store.len());
+        for pos in 0..row_store.len() {
+            prop_assert_eq!(row_store.value_at(pos), col_store.value_at(pos));
+            prop_assert_eq!(row_store.table_at(pos), col_store.table_at(pos));
+            prop_assert_eq!(row_store.quadrant_at(pos), col_store.quadrant_at(pos));
+        }
+        for v in &probe_vals {
+            prop_assert_eq!(row_store.postings(v), col_store.postings(v));
+        }
+        let refs: Vec<&str> = probe_vals.iter().map(String::as_str).collect();
+        let rp = row_store.make_probe(&refs);
+        let cp = col_store.make_probe(&refs);
+        for pos in 0..row_store.len() {
+            prop_assert_eq!(row_store.probe_at(pos, &rp), col_store.probe_at(pos, &cp));
+        }
+    }
+
+    #[test]
+    fn qcr_sign_agrees_with_pearson_on_linear_data(
+        slope in -5.0f64..5.0,
+        intercept in -100.0f64..100.0,
+        n in 8usize..60,
+    ) {
+        prop_assume!(slope.abs() > 0.05);
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let qcr = blend_common::stats::qcr(&xs, &ys).unwrap();
+        let pearson = blend_common::stats::pearson(&xs, &ys).unwrap();
+        prop_assert!(qcr.signum() == pearson.signum(),
+            "QCR {qcr} disagrees with Pearson {pearson}");
+        // Near-perfect concordance. Not exactly 1.0: the observation at the
+        // mean can land on different quadrant sides for x and y due to
+        // floating-point rounding of the means, costing up to two pairs.
+        let tolerance = 2.0 / n as f64;
+        prop_assert!(qcr.abs() >= 1.0 - 2.0 * tolerance,
+            "linear data must be near-perfectly concordant: {qcr} (n={n})");
+    }
+}
+
+/// Build a small deterministic lake from proptest-chosen cells.
+fn lake_from_cells(cells: Vec<Vec<String>>) -> DataLake {
+    let tables: Vec<Table> = cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, vals)| {
+            let n = vals.len();
+            let col_a = Column::new(
+                "a",
+                vals.iter().map(|v| Value::Text(v.clone())).collect::<Vec<_>>(),
+            );
+            let col_b = Column::new(
+                "b",
+                (0..n).map(|r| Value::Int((i * 10 + r) as i64)).collect::<Vec<_>>(),
+            );
+            Table::new(TableId(i as u32), format!("t{i}"), vec![col_a, col_b]).unwrap()
+        })
+        .collect();
+    DataLake::new("prop", tables)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Theorem 1: optimized and naive execution produce identical result
+    /// *sets* when k is non-binding.
+    #[test]
+    fn optimizer_preserves_output_sets(
+        cells in proptest::collection::vec(
+            proptest::collection::vec(cell_value(), 3..8),
+            3..8,
+        ),
+        query_pick in any::<u64>(),
+    ) {
+        let lake = lake_from_cells(cells);
+        // Query values sampled from the lake so intersections are non-trivial.
+        let all_values: Vec<String> = lake
+            .tables
+            .iter()
+            .flat_map(|t| t.columns[0].values.iter())
+            .filter_map(|v| v.normalized().map(|c| c.into_owned()))
+            .collect();
+        prop_assume!(all_values.len() >= 4);
+        let pick = |salt: u64| {
+            let i = ((query_pick ^ salt) % all_values.len() as u64) as usize;
+            all_values[i].clone()
+        };
+        let k = 1000; // non-binding
+
+        let mut plan = Plan::new();
+        plan.add_seeker("s1", Seeker::sc(vec![pick(1), pick(2)]), k).unwrap();
+        plan.add_seeker("s2", Seeker::sc(vec![pick(3), pick(4), pick(5)]), k).unwrap();
+        plan.add_seeker("s3", Seeker::sc(vec![pick(6)]), k).unwrap();
+        plan.add_combiner("i", Combiner::Intersect, k, &["s1", "s2"]).unwrap();
+        plan.add_combiner("d", Combiner::Difference, k, &["i", "s3"]).unwrap();
+
+        let mut optimized = Blend::from_lake(&lake, EngineKind::Column);
+        optimized.set_optimize(true);
+        let mut naive = Blend::from_lake(&lake, EngineKind::Column);
+        naive.set_optimize(false);
+
+        let a: std::collections::BTreeSet<u32> = optimized
+            .execute(&plan).unwrap().iter().map(|h| h.table.0).collect();
+        let b: std::collections::BTreeSet<u32> = naive
+            .execute(&plan).unwrap().iter().map(|h| h.table.0).collect();
+        prop_assert_eq!(a, b, "optimizer altered the plan output (Theorem 1)");
+    }
+
+    /// Intersection commutativity: input order never changes the result set.
+    #[test]
+    fn intersection_is_commutative(
+        cells in proptest::collection::vec(
+            proptest::collection::vec(cell_value(), 3..6),
+            3..6,
+        ),
+    ) {
+        let lake = lake_from_cells(cells);
+        let vals: Vec<String> = lake
+            .tables
+            .iter()
+            .flat_map(|t| t.columns[0].values.iter())
+            .filter_map(|v| v.normalized().map(|c| c.into_owned()))
+            .take(6)
+            .collect();
+        prop_assume!(vals.len() >= 4);
+        let blend = Blend::from_lake(&lake, EngineKind::Column);
+        let k = 1000;
+
+        let mut p1 = Plan::new();
+        p1.add_seeker("a", Seeker::sc(vals[..2].to_vec()), k).unwrap();
+        p1.add_seeker("b", Seeker::sc(vals[2..4].to_vec()), k).unwrap();
+        p1.add_combiner("i", Combiner::Intersect, k, &["a", "b"]).unwrap();
+
+        let mut p2 = Plan::new();
+        p2.add_seeker("b", Seeker::sc(vals[2..4].to_vec()), k).unwrap();
+        p2.add_seeker("a", Seeker::sc(vals[..2].to_vec()), k).unwrap();
+        p2.add_combiner("i", Combiner::Intersect, k, &["b", "a"]).unwrap();
+
+        let s1: std::collections::BTreeSet<u32> =
+            blend.execute(&p1).unwrap().iter().map(|h| h.table.0).collect();
+        let s2: std::collections::BTreeSet<u32> =
+            blend.execute(&p2).unwrap().iter().map(|h| h.table.0).collect();
+        prop_assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,266 @@
+//! SQL engine edge-case battery: behaviours the seekers rely on implicitly
+//! and that regressions would silently corrupt.
+
+use std::sync::Arc;
+
+use blend_sql::{SqlEngine, SqlValue};
+use blend_storage::{build_engine, EngineKind, FactRow, FactTable};
+
+/// Mini index: two tables. Table 0 has text col 0 and numeric col 1
+/// (quadrants 0,0,1,1); table 1 shares two values with table 0.
+fn fixture() -> Arc<dyn FactTable> {
+    let mut rows = Vec::new();
+    for (r, (v, q)) in [("alpha", None), ("beta", None), ("gamma", None), ("delta", None)]
+        .into_iter()
+        .enumerate()
+    {
+        rows.push(FactRow::new(v, 0, 0, r as u32, 0xA0 + r as u128, q));
+    }
+    for (r, q) in [false, false, true, true].into_iter().enumerate() {
+        rows.push(FactRow::new(
+            &format!("{}", 10 * (r + 1)),
+            0,
+            1,
+            r as u32,
+            0xA0 + r as u128,
+            Some(q),
+        ));
+    }
+    for (r, v) in ["alpha", "delta", "omega"].into_iter().enumerate() {
+        rows.push(FactRow::new(v, 1, 0, r as u32, 0xB0 + r as u128, None));
+    }
+    // Table 2: numeric-only ballast, shares no values with the queries —
+    // exactly what sideways pushdown should let joins skip.
+    for r in 0..12u32 {
+        rows.push(FactRow::new(
+            &format!("{}", 1000 + r),
+            2,
+            0,
+            r,
+            0xC0 + r as u128,
+            Some(r % 2 == 0),
+        ));
+    }
+    build_engine(EngineKind::Column, rows)
+}
+
+fn engine() -> SqlEngine {
+    SqlEngine::with_alltables(fixture())
+}
+
+#[test]
+fn count_star_vs_count_column() {
+    let e = engine();
+    // COUNT(*) counts rows; COUNT(Quadrant) skips NULLs.
+    let rs = e
+        .execute("SELECT COUNT(*) AS all_rows, COUNT(Quadrant) AS numeric_rows FROM AllTables")
+        .unwrap();
+    assert_eq!(rs.i64(0, "all_rows"), Some(23));
+    assert_eq!(rs.i64(0, "numeric_rows"), Some(16));
+}
+
+#[test]
+fn global_aggregate_without_group_by() {
+    let e = engine();
+    let rs = e
+        .execute("SELECT MIN(RowId) AS lo, MAX(RowId) AS hi, AVG(RowId) AS mid FROM AllTables WHERE TableId = 1")
+        .unwrap();
+    assert_eq!(rs.i64(0, "lo"), Some(0));
+    assert_eq!(rs.i64(0, "hi"), Some(2));
+    assert_eq!(rs.f64(0, "mid"), Some(1.0));
+}
+
+#[test]
+fn global_aggregate_on_empty_input_returns_one_row() {
+    let e = engine();
+    let rs = e
+        .execute("SELECT COUNT(*) AS n, SUM(RowId) AS s FROM AllTables WHERE TableId = 99")
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.i64(0, "n"), Some(0));
+    assert!(rs.rows[0][rs.col("s").unwrap()].is_null());
+}
+
+#[test]
+fn group_by_expression_not_just_column() {
+    let e = engine();
+    // Group parity of RowId — exercises expression group keys.
+    let rs = e
+        .execute(
+            "SELECT RowId % 2 AS parity, COUNT(*) AS n FROM AllTables \
+             WHERE TableId = 0 GROUP BY RowId % 2 ORDER BY parity",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.i64(0, "n"), Some(4)); // rows 0 and 2, two columns each
+    assert_eq!(rs.i64(1, "n"), Some(4));
+}
+
+#[test]
+fn order_by_multiple_keys_and_direction() {
+    let e = engine();
+    let rs = e
+        .execute(
+            "SELECT TableId AS t, RowId AS r FROM AllTables WHERE ColumnId = 0 \
+             AND TableId IN (0, 1) ORDER BY TableId DESC, RowId ASC",
+        )
+        .unwrap();
+    let pairs: Vec<(i64, i64)> = (0..rs.len())
+        .map(|i| (rs.i64(i, "t").unwrap(), rs.i64(i, "r").unwrap()))
+        .collect();
+    assert_eq!(
+        pairs,
+        vec![(1, 0), (1, 1), (1, 2), (0, 0), (0, 1), (0, 2), (0, 3)]
+    );
+}
+
+#[test]
+fn limit_zero_and_oversized() {
+    let e = engine();
+    let rs = e.execute("SELECT TableId FROM AllTables LIMIT 0").unwrap();
+    assert!(rs.is_empty());
+    let rs = e.execute("SELECT TableId FROM AllTables LIMIT 9999").unwrap();
+    assert_eq!(rs.len(), 23);
+}
+
+#[test]
+fn self_join_on_rowid_respects_null_keys() {
+    let e = engine();
+    // Join text cells to numeric cells of the same row in table 0.
+    let rs = e
+        .execute(
+            "SELECT a.CellValue AS word, b.CellValue AS num FROM \
+             (SELECT * FROM AllTables WHERE TableId = 0 AND ColumnId = 0) a \
+             INNER JOIN (SELECT * FROM AllTables WHERE TableId = 0 AND ColumnId = 1) b \
+             ON a.RowId = b.RowId AND a.TableId = b.TableId \
+             ORDER BY b.RowId",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 4);
+    assert_eq!(rs.str(0, "word"), Some("alpha"));
+    assert_eq!(rs.str(0, "num"), Some("10"));
+}
+
+#[test]
+fn join_residual_predicates_filter() {
+    let e = engine();
+    // Non-equi residual in ON: only pairs with different column ids.
+    let rs = e
+        .execute(
+            "SELECT COUNT(*) AS n FROM \
+             (SELECT * FROM AllTables WHERE TableId = 0) a \
+             INNER JOIN (SELECT * FROM AllTables WHERE TableId = 0) b \
+             ON a.RowId = b.RowId AND a.ColumnId <> b.ColumnId",
+        )
+        .unwrap();
+    // 4 rows x 2 ordered (col0,col1)/(col1,col0) pairs.
+    assert_eq!(rs.i64(0, "n"), Some(8));
+}
+
+#[test]
+fn quadrant_comparisons_coerce_bool_to_int() {
+    let e = engine();
+    let rs = e
+        .execute(
+            "SELECT COUNT(*) AS n FROM AllTables WHERE Quadrant = 1 AND TableId = 0",
+        )
+        .unwrap();
+    assert_eq!(rs.i64(0, "n"), Some(2));
+    let rs = e
+        .execute("SELECT COUNT(*) AS n FROM AllTables WHERE Quadrant = 0")
+        .unwrap();
+    assert_eq!(rs.i64(0, "n"), Some(8));
+}
+
+#[test]
+fn cast_int_sums_boolean_expressions() {
+    let e = engine();
+    // The Listing-3 idiom: SUM((predicate)::int).
+    let rs = e
+        .execute(
+            "SELECT SUM((CellValue IN ('alpha','delta'))::int) AS hits FROM AllTables \
+             WHERE ColumnId = 0 GROUP BY TableId ORDER BY TableId",
+        )
+        .unwrap();
+    assert_eq!(rs.i64(0, "hits"), Some(2)); // table 0: alpha, delta
+    assert_eq!(rs.i64(1, "hits"), Some(2)); // table 1: alpha, delta
+}
+
+#[test]
+fn superkey_column_is_opaque_but_projectable() {
+    let e = engine();
+    let rs = e
+        .execute("SELECT SuperKey FROM AllTables WHERE TableId = 1 AND RowId = 0")
+        .unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::U128(0xB0));
+}
+
+#[test]
+fn parse_errors_are_reported_not_panicked() {
+    let e = engine();
+    for bad in [
+        "SELECT FROM AllTables",
+        "SELECT * FROM",
+        "SELECT * FROM AllTables WHERE",
+        "SELECT * FROM AllTables GROUP BY",
+        "SELECT * FROM AllTables LIMIT -1",
+        "SELECT UNKNOWN_FUNC(x) FROM AllTables",
+        "SELECT * FROM AllTables ORDER",
+    ] {
+        assert!(e.execute(bad).is_err(), "`{bad}` should fail to parse/plan");
+    }
+}
+
+#[test]
+fn plan_errors_name_the_problem() {
+    let e = engine();
+    let err = e
+        .execute("SELECT ghost_column FROM AllTables")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("ghost_column"), "{err}");
+    let err = e
+        .execute("SELECT TableId, COUNT(*) FROM AllTables GROUP BY ColumnId")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("GROUP BY"), "{err}");
+}
+
+#[test]
+fn distinct_count_interacts_with_rewriting_filters() {
+    let e = engine();
+    // The rewritten form of the SC seeker: value IN list + injected NOT IN.
+    let rs = e
+        .execute(
+            "SELECT TableId AS t, COUNT(DISTINCT CellValue) AS score FROM AllTables \
+             WHERE CellValue IN ('alpha','delta','omega') AND TableId NOT IN (0) \
+             GROUP BY TableId, ColumnId ORDER BY score DESC",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.i64(0, "t"), Some(1));
+    assert_eq!(rs.i64(0, "score"), Some(3));
+}
+
+#[test]
+fn sideways_pushdown_changes_access_path_but_not_results() {
+    // The correlation-shaped join: selective keys side + quadrant side.
+    let e = engine();
+    let sql = "SELECT keys.TableId AS t, COUNT(*) AS n FROM \
+               (SELECT * FROM AllTables WHERE CellValue IN ('alpha','beta')) keys \
+               INNER JOIN (SELECT * FROM AllTables WHERE Quadrant IS NOT NULL) nums \
+               ON keys.TableId = nums.TableId AND keys.RowId = nums.RowId \
+               GROUP BY keys.TableId";
+    let (rs, report) = e.execute_with_report(sql).unwrap();
+    // The nums side must have been driven through the table index (pushed
+    // from the keys side), not a full seq scan.
+    let nums_scan = report
+        .scans
+        .iter()
+        .find(|s| s.alias == "alltables" && s.access != "value-index")
+        .expect("nums scan present");
+    assert_eq!(nums_scan.access, "table-index", "{report:?}");
+    // Results: table 0 rows 0 and 1 have both a text key and a numeric cell.
+    assert_eq!(rs.i64(0, "t"), Some(0));
+    assert_eq!(rs.i64(0, "n"), Some(2));
+}
