@@ -16,7 +16,10 @@ fn bench_baselines(c: &mut Criterion) {
     let josie = JosieIndex::build(&lake);
     let mate = MateIndex::build(&lake);
 
-    let sc_query = workloads::sc_queries(&lake, &[50], 1, 7).remove(0).1.remove(0);
+    let sc_query = workloads::sc_queries(&lake, &[50], 1, 7)
+        .remove(0)
+        .1
+        .remove(0);
     let mc_query = workloads::mc_queries(&lake, 1, 2, 5, 8).remove(0);
 
     let mut group = c.benchmark_group("baselines");
@@ -24,17 +27,21 @@ fn bench_baselines(c: &mut Criterion) {
 
     group.bench_function("sc_blend", |b| {
         let mut plan = Plan::new();
-        plan.add_seeker("s", Seeker::sc(sc_query.clone()), 10).unwrap();
+        plan.add_seeker("s", Seeker::sc(sc_query.clone()), 10)
+            .unwrap();
         b.iter(|| blend.execute(&plan).unwrap())
     });
     group.bench_function("sc_josie", |b| b.iter(|| josie.query(&sc_query, 10)));
 
     group.bench_function("mc_blend", |b| {
         let mut plan = Plan::new();
-        plan.add_seeker("s", Seeker::mc(mc_query.rows.clone()), 10).unwrap();
+        plan.add_seeker("s", Seeker::mc(mc_query.rows.clone()), 10)
+            .unwrap();
         b.iter(|| blend.execute(&plan).unwrap())
     });
-    group.bench_function("mc_mate", |b| b.iter(|| mate.query(&lake, &mc_query.rows, 10)));
+    group.bench_function("mc_mate", |b| {
+        b.iter(|| mate.query(&lake, &mc_query.rows, 10))
+    });
 
     // Union search on a clustered benchmark.
     let bench = union_bench::generate(&UnionBenchConfig {

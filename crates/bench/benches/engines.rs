@@ -1,26 +1,127 @@
 //! Criterion comparison of the two storage engines on the same SC query —
-//! the row-vs-column gap behind Fig. 5 and Fig. 7.
+//! the row-vs-column gap behind Fig. 5 and Fig. 7 — plus the
+//! positional-vs-tuple executor comparison backing the late-materialization
+//! work (the `positional_vs_tuple` group).
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use blend::{Blend, Plan, Seeker};
 use blend_lake::{web, workloads, WebLakeConfig};
-use blend_storage::EngineKind;
+use blend_sql::{ExecPath, SqlEngine};
+use blend_storage::{build_engine, EngineKind, FactRow};
 
 fn bench_engines(c: &mut Criterion) {
     let lake = web::generate(&WebLakeConfig::gittables_like(0.05));
     let row = Blend::from_lake(&lake, EngineKind::Row);
     let col = Blend::from_lake(&lake, EngineKind::Column);
-    let query = workloads::sc_queries(&lake, &[100], 1, 5).remove(0).1.remove(0);
+    let query = workloads::sc_queries(&lake, &[100], 1, 5)
+        .remove(0)
+        .1
+        .remove(0);
     let mut plan = Plan::new();
     plan.add_seeker("s", Seeker::sc(query), 10).unwrap();
 
     let mut group = c.benchmark_group("engines");
     group.sample_size(20);
     group.bench_function("sc_row_store", |b| b.iter(|| row.execute(&plan).unwrap()));
-    group.bench_function("sc_column_store", |b| b.iter(|| col.execute(&plan).unwrap()));
+    group.bench_function("sc_column_store", |b| {
+        b.iter(|| col.execute(&plan).unwrap())
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_engines);
+/// Deterministic fact table: `n_tables * rows_per * cols` index rows with a
+/// shared value vocabulary (so SC IN-lists hit many tables) and a numeric
+/// last column (so quadrant filters select real rows).
+fn synthetic_rows(n_tables: u32, rows_per: u32, cols: u32) -> Vec<FactRow> {
+    let mut out = Vec::with_capacity((n_tables * rows_per * cols) as usize);
+    for t in 0..n_tables {
+        for r in 0..rows_per {
+            for c in 0..cols {
+                let v = format!("v{}", (t * 7 + r * 3 + c * 11) % 997);
+                let quadrant = (c == cols - 1).then_some(r % 2 == 0);
+                out.push(FactRow::new(
+                    &v,
+                    t,
+                    c,
+                    r,
+                    ((t as u128) << 64) | r as u128,
+                    quadrant,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// SC-seeker SQL over a 60-value IN list (the paper's largest query size).
+fn sc_shape_sql() -> String {
+    let vals: Vec<String> = (0..60).map(|i| format!("'v{}'", i * 13 % 997)).collect();
+    format!(
+        "SELECT TableId AS t, COUNT(DISTINCT CellValue) AS score FROM AllTables \
+         WHERE CellValue IN ({}) GROUP BY TableId, ColumnId \
+         ORDER BY score DESC LIMIT 48",
+        vals.join(",")
+    )
+}
+
+/// Positional vs tuple executor on the SC seeker shape, 150k fact rows,
+/// both storage engines. Also prints the measured speedup explicitly (the
+/// late-materialization work targets ≥2× here).
+fn bench_positional_vs_tuple(c: &mut Criterion) {
+    let rows = synthetic_rows(120, 250, 5); // 150_000 fact rows
+    let sql = sc_shape_sql();
+
+    let mut group = c.benchmark_group("positional_vs_tuple");
+    group.sample_size(30);
+    for kind in [EngineKind::Row, EngineKind::Column] {
+        let engine = SqlEngine::with_alltables(build_engine(kind, rows.clone()));
+        let label = kind.label().to_lowercase();
+
+        // Sanity: the two paths agree before we time them.
+        let (a, ra) = engine
+            .execute_with_report_path(&sql, ExecPath::Auto)
+            .unwrap();
+        let (b, _) = engine
+            .execute_with_report_path(&sql, ExecPath::TupleOnly)
+            .unwrap();
+        assert_eq!(ra.path, "positional");
+        assert_eq!(a, b, "executor paths disagree on the SC shape");
+
+        group.bench_function(format!("sc_{label}_tuple"), |bch| {
+            bch.iter(|| {
+                engine
+                    .execute_with_report_path(&sql, ExecPath::TupleOnly)
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("sc_{label}_positional"), |bch| {
+            bch.iter(|| {
+                engine
+                    .execute_with_report_path(&sql, ExecPath::Auto)
+                    .unwrap()
+            })
+        });
+
+        let time = |path: ExecPath| {
+            let iters = 40;
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(engine.execute_with_report_path(&sql, path).unwrap());
+            }
+            start.elapsed() / iters
+        };
+        let tuple = time(ExecPath::TupleOnly);
+        let positional = time(ExecPath::Auto);
+        println!(
+            "  -> {label}: tuple {tuple:?}, positional {positional:?}, speedup {:.2}x",
+            tuple.as_secs_f64() / positional.as_secs_f64()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_positional_vs_tuple);
 criterion_main!(benches);

@@ -9,8 +9,14 @@ use blend_storage::EngineKind;
 
 fn mixed_plan(lake: &blend_lake::DataLake) -> Plan {
     let mc = workloads::mc_queries(lake, 1, 2, 5, 11).remove(0);
-    let broad = workloads::sc_queries(lake, &[60], 1, 12).remove(0).1.remove(0);
-    let narrow = workloads::sc_queries(lake, &[6], 1, 13).remove(0).1.remove(0);
+    let broad = workloads::sc_queries(lake, &[60], 1, 12)
+        .remove(0)
+        .1
+        .remove(0);
+    let narrow = workloads::sc_queries(lake, &[6], 1, 13)
+        .remove(0)
+        .1
+        .remove(0);
     let mut plan = Plan::new();
     plan.add_seeker("mc", Seeker::mc(mc.rows), 10).unwrap();
     plan.add_seeker("broad", Seeker::sc(broad), 10).unwrap();

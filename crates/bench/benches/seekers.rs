@@ -12,7 +12,10 @@ fn bench_seekers(c: &mut Criterion) {
     let lake = web::generate(&WebLakeConfig::gittables_like(0.05));
     let system = Blend::from_lake(&lake, EngineKind::Column);
 
-    let sc_query = workloads::sc_queries(&lake, &[50], 1, 1).remove(0).1.remove(0);
+    let sc_query = workloads::sc_queries(&lake, &[50], 1, 1)
+        .remove(0)
+        .1
+        .remove(0);
     let kw_query = workloads::kw_queries(&lake, 1, 8, 2).remove(0);
     let mc_query = workloads::mc_queries(&lake, 1, 2, 5, 3).remove(0);
     // Correlation query from a numeric-bearing table.
@@ -23,17 +26,20 @@ fn bench_seekers(c: &mut Criterion) {
 
     group.bench_function("sc_50_values", |b| {
         let mut plan = Plan::new();
-        plan.add_seeker("s", Seeker::sc(sc_query.clone()), 10).unwrap();
+        plan.add_seeker("s", Seeker::sc(sc_query.clone()), 10)
+            .unwrap();
         b.iter(|| system.execute(&plan).unwrap());
     });
     group.bench_function("kw_8_keywords", |b| {
         let mut plan = Plan::new();
-        plan.add_seeker("s", Seeker::kw(kw_query.clone()), 10).unwrap();
+        plan.add_seeker("s", Seeker::kw(kw_query.clone()), 10)
+            .unwrap();
         b.iter(|| system.execute(&plan).unwrap());
     });
     group.bench_function("mc_2col_5rows", |b| {
         let mut plan = Plan::new();
-        plan.add_seeker("s", Seeker::mc(mc_query.rows.clone()), 10).unwrap();
+        plan.add_seeker("s", Seeker::mc(mc_query.rows.clone()), 10)
+            .unwrap();
         b.iter(|| system.execute(&plan).unwrap());
     });
     group.bench_function("correlation", |b| {
@@ -59,8 +65,7 @@ fn find_c_seeker(lake: &blend_lake::DataLake) -> Option<Seeker> {
             let mut keys = Vec::new();
             let mut target = Vec::new();
             for r in 0..t.n_rows() {
-                if let (Some(k), Some(v)) = (t.cell(r, cat).normalized(), t.cell(r, num).as_f64())
-                {
+                if let (Some(k), Some(v)) = (t.cell(r, cat).normalized(), t.cell(r, num).as_f64()) {
                     keys.push(k.into_owned());
                     target.push(v);
                 }

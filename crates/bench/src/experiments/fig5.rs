@@ -11,13 +11,7 @@ use crate::harness::{fmt_duration, TextTable, Timer};
 /// Run the sweep: for each lake and query-size bucket, average runtimes.
 pub fn run(scale: f64, per_size: usize) -> String {
     let sizes = [10usize, 100, 1000];
-    let mut t = TextTable::new(&[
-        "Lake",
-        "|Q|",
-        "BLEND (Row)",
-        "BLEND (Column)",
-        "JOSIE",
-    ]);
+    let mut t = TextTable::new(&["Lake", "|Q|", "BLEND (Row)", "BLEND (Column)", "JOSIE"]);
     for (label, cfg) in [
         ("WDC-like", WebLakeConfig::wdc_like(scale)),
         ("OpenData-like", WebLakeConfig::opendata_like(scale)),

@@ -51,7 +51,8 @@ pub fn run(scale: f64) -> String {
             bench.ground_truth[q].iter().copied().collect();
 
         let mut plan = Plan::new();
-        plan.add_seeker("sc", Seeker::sc(column.clone()), max_k).unwrap();
+        plan.add_seeker("sc", Seeker::sc(column.clone()), max_k)
+            .unwrap();
         let blend_hits: Vec<TableId> = t_blend
             .measure(|| blend.execute(&plan).unwrap())
             .iter()
@@ -87,7 +88,9 @@ pub fn run(scale: f64) -> String {
     }
 
     let n = bench.queries.len().max(1) as f64;
-    let mut table = TextTable::new(&["System", "avg time", "metric", "k=5", "k=10", "k=15", "k=20"]);
+    let mut table = TextTable::new(&[
+        "System", "avg time", "metric", "k=5", "k=10", "k=15", "k=20",
+    ]);
     let names = ["BLEND", "JOSIE", "DeepJoin"];
     let times = [t_blend.mean(), t_josie.mean(), t_dj.mean()];
     for (si, name) in names.iter().enumerate() {
@@ -116,7 +119,11 @@ pub fn run(scale: f64) -> String {
         "Fig. 6 — Lakebench-style join discovery at scale {scale} \
          (paper: DeepJoin fastest via HNSW and most effective on semantic \
           ground truth; BLEND and JOSIE outputs identical: {})\n\n{}",
-        if outputs_identical { "confirmed" } else { "NOT confirmed" },
+        if outputs_identical {
+            "confirmed"
+        } else {
+            "NOT confirmed"
+        },
         table.render()
     )
 }

@@ -24,7 +24,10 @@ pub fn run(scale: f64) -> String {
             UnionBenchConfig::santos_large_like(scale * 0.5),
         ),
         ("TUS-like", UnionBenchConfig::tus_like(scale)),
-        ("TUS-Large-like", UnionBenchConfig::tus_large_like(scale * 0.5)),
+        (
+            "TUS-Large-like",
+            UnionBenchConfig::tus_large_like(scale * 0.5),
+        ),
     ];
     for (label, cfg) in presets {
         let bench = union_bench::generate(&cfg);

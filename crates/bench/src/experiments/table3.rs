@@ -7,8 +7,10 @@ use rand::{Rng, SeedableRng};
 
 use blend::Blend;
 use blend_josie::JosieIndex;
-use blend_lake::{corr_bench, union_bench, web, workloads, CorrBenchConfig, DataLake,
-    UnionBenchConfig, WebLakeConfig};
+use blend_lake::{
+    corr_bench, union_bench, web, workloads, CorrBenchConfig, DataLake, UnionBenchConfig,
+    WebLakeConfig,
+};
 use blend_mate::MateIndex;
 use blend_qcr::QcrIndex;
 use blend_starmie::{StarmieConfig, StarmieIndex};
@@ -36,11 +38,12 @@ fn blend_pair(lake: &DataLake) -> (Blend, Blend) {
 
 /// Run all four tasks and render the table.
 pub fn run(scale: f64) -> String {
-    let mut rows = Vec::new();
-    rows.push(negative_examples_task(scale));
-    rows.push(imputation_task(scale));
-    rows.push(feature_discovery_task(scale));
-    rows.push(multi_objective_task(scale));
+    let rows = vec![
+        negative_examples_task(scale),
+        imputation_task(scale),
+        feature_discovery_task(scale),
+        multi_objective_task(scale),
+    ];
 
     let mut t = TextTable::new(&[
         "task",
@@ -143,9 +146,7 @@ fn imputation_task(scale: f64) -> TaskRow {
         let plan = federated::blend_side::imputation(&q.examples, &q.queries, 10).unwrap();
         t_blend.measure(|| blend_sys.execute(&plan).unwrap());
         t_bno.measure(|| bno_sys.execute(&plan).unwrap());
-        t_base.measure(|| {
-            federated::imputation(&lake, &mate, &josie, &q.examples, &q.queries, 10)
-        });
+        t_base.measure(|| federated::imputation(&lake, &mate, &josie, &q.examples, &q.queries, 10));
     }
     TaskRow {
         name: "Data Imputation",

@@ -80,7 +80,7 @@ fn sample_pair(
 ) -> Option<(Seeker, Seeker)> {
     let sc = |rng: &mut rand::rngs::StdRng| {
         let size = *[4usize, 10, 25, 60]
-            .get(rng.random_range(0..4))
+            .get(rng.random_range(0..4usize))
             .expect("in range");
         workloads::sc_queries(lake, &[size], 1, rng.random())
             .pop()
@@ -208,7 +208,13 @@ pub fn run(scale: f64, plans_per_family: usize) -> String {
     let mut total_correct = 0.0;
     let mut total_n = 0usize;
     for family in [Family::Mixed, Family::Sc, Family::Mc, Family::C] {
-        let r = evaluate_family(family, &mut system, &lake, plans_per_family, 0xBEEF ^ family as u64);
+        let r = evaluate_family(
+            family,
+            &mut system,
+            &lake,
+            plans_per_family,
+            0xBEEF ^ family as u64,
+        );
         let gain = |x: Duration| {
             if r.rand.is_zero() {
                 0.0

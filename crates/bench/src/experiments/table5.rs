@@ -36,7 +36,8 @@ pub fn run(scale: f64, n_queries: usize) -> String {
 
         for q in workloads::mc_queries(&lake, n_queries, 2, 6, 0x7AB5) {
             let mut plan = Plan::new();
-            plan.add_seeker("mc", Seeker::mc(q.rows.clone()), 10).unwrap();
+            plan.add_seeker("mc", Seeker::mc(q.rows.clone()), 10)
+                .unwrap();
             let (_, report) = t_blend.measure(|| system.execute_with_report(&plan).unwrap());
             let stats = report.mc_totals();
             blend_tp += stats.validated;

@@ -24,8 +24,11 @@ pub fn evaluate(bench: &UnionBenchmark, ks: &[usize]) -> Vec<(usize, Quality, Qu
     let starmie = StarmieIndex::build(&bench.lake, StarmieConfig::default());
     let max_k = ks.iter().copied().max().unwrap_or(10);
 
-    let mut per_query: Vec<(Vec<TableId>, Vec<TableId>, std::collections::HashSet<TableId>)> =
-        Vec::new();
+    let mut per_query: Vec<(
+        Vec<TableId>,
+        Vec<TableId>,
+        std::collections::HashSet<TableId>,
+    )> = Vec::new();
     for q in &bench.queries {
         let qt = bench.lake.table(*q);
         let plan = tasks::union_search(qt, max_k, max_k * 10).expect("plan");
@@ -73,7 +76,13 @@ pub fn evaluate(bench: &UnionBenchmark, ks: &[usize]) -> Vec<(usize, Quality, Qu
 pub fn run(scale: f64) -> String {
     let ks = [10usize, 20, 50, 100];
     let mut t = TextTable::new(&[
-        "Lake", "k", "BLEND P@k", "BLEND R", "BLEND MAP", "Starmie P@k", "Starmie R",
+        "Lake",
+        "k",
+        "BLEND P@k",
+        "BLEND R",
+        "BLEND MAP",
+        "Starmie P@k",
+        "Starmie R",
         "Starmie MAP",
     ]);
     for (label, bench) in [
@@ -111,14 +120,12 @@ pub fn run(scale: f64) -> String {
 mod tests {
     #[test]
     fn evaluate_produces_all_ks() {
-        let bench = blend_lake::union_bench::generate(
-            &blend_lake::UnionBenchConfig {
-                n_clusters: 3,
-                tables_per_cluster: 4,
-                noise_tables: 5,
-                ..blend_lake::UnionBenchConfig::santos_like(0.05)
-            },
-        );
+        let bench = blend_lake::union_bench::generate(&blend_lake::UnionBenchConfig {
+            n_clusters: 3,
+            tables_per_cluster: 4,
+            noise_tables: 5,
+            ..blend_lake::UnionBenchConfig::santos_like(0.05)
+        });
         let rows = super::evaluate(&bench, &[5, 10]);
         assert_eq!(rows.len(), 2);
         for (_, b, s) in rows {

@@ -2,8 +2,9 @@
 //! combined footprint of the state-of-the-art per-task indexes.
 
 use blend_josie::JosieIndex;
-use blend_lake::{corr_bench, union_bench, web, CorrBenchConfig, DataLake, UnionBenchConfig,
-    WebLakeConfig};
+use blend_lake::{
+    corr_bench, union_bench, web, CorrBenchConfig, DataLake, UnionBenchConfig, WebLakeConfig,
+};
 use blend_mate::MateIndex;
 use blend_qcr::QcrIndex;
 use blend_starmie::{StarmieConfig, StarmieIndex};

@@ -73,7 +73,7 @@ pub fn imputation(
         .map(|(a, b)| vec![a.clone(), b.clone()])
         .collect();
     let complete = mate.query(lake, &example_rows, k * 4);
-    let partial = josie.query(&queries.to_vec(), k * 4);
+    let partial = josie.query(queries, k * 4);
     // Application-level intersection, ranked by combined position.
     let partial_ranks: std::collections::HashMap<TableId, usize> = partial
         .iter()
@@ -119,7 +119,7 @@ pub fn feature_discovery(
     }
     // Joinability via a separate join-discovery system.
     let joinable: FxHashSet<TableId> = josie
-        .query(&keys.to_vec(), k * 8)
+        .query(keys, k * 8)
         .into_iter()
         .map(|(t, _)| t)
         .collect();
@@ -153,7 +153,7 @@ pub fn multi_objective(
         }
     };
     // Keyword search approximated with the join system, as practitioners do.
-    for (t, _) in josie.query(&keywords.to_vec(), k) {
+    for (t, _) in josie.query(keywords, k) {
         push(t, &mut merged, &mut seen);
     }
     // Union search via the semantic system.
@@ -186,11 +186,7 @@ pub mod blend_side {
     }
 
     /// BLEND plan for task 2.
-    pub fn imputation(
-        examples: &[(String, String)],
-        queries: &[String],
-        k: usize,
-    ) -> Result<Plan> {
+    pub fn imputation(examples: &[(String, String)], queries: &[String], k: usize) -> Result<Plan> {
         tasks::imputation(examples, queries, k)
     }
 

@@ -198,7 +198,7 @@ mod tests {
     fn best_of_returns_result() {
         let (d, r) = time_best_of(3, || 40 + 2);
         assert_eq!(r, 42);
-        assert!(d > Duration::ZERO || d == Duration::ZERO);
+        assert!(d >= Duration::ZERO);
     }
 
     #[test]

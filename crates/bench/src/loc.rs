@@ -71,13 +71,15 @@ mod tests {
     fn blend_tasks_are_much_shorter() {
         // The qualitative claim of Table III: an order-of-magnitude LOC gap
         // is not required here, but BLEND must be clearly shorter.
-        for task in ["negative_examples", "imputation", "feature_discovery", "multi_objective"] {
+        for task in [
+            "negative_examples",
+            "imputation",
+            "feature_discovery",
+            "multi_objective",
+        ] {
             let b = count(&format!("blend_{task}"));
             let f = count(&format!("baseline_{task}"));
-            assert!(
-                b < f,
-                "task {task}: blend {b} lines !< baseline {f} lines"
-            );
+            assert!(b < f, "task {task}: blend {b} lines !< baseline {f} lines");
         }
     }
 

@@ -17,30 +17,145 @@ pub struct SurveyLine {
 
 /// The published Table IX data.
 pub const TABLE_IX: &[SurveyLine] = &[
-    SurveyLine { question: "Participants", answer: "count", research: "9", industry: "9", all: "18" },
-    SurveyLine { question: "Q1 Find data within a single search (rarely 0% - often 100%)", answer: "mean", research: "27.5%", industry: "38.8%", all: "33.3%" },
-    SurveyLine { question: "Q2 Single discovered table sufficient?", answer: "Yes | No", research: "11% | 89%", industry: "0% | 100%", all: "6% | 74%" },
-    SurveyLine { question: "Q3 Most frequent tasks", answer: "Discovery for rows", research: "33%", industry: "67%", all: "50%" },
-    SurveyLine { question: "", answer: "Correlation discovery", research: "44%", industry: "56%", all: "50%" },
-    SurveyLine { question: "", answer: "Join discovery", research: "44%", industry: "33%", all: "39%" },
-    SurveyLine { question: "", answer: "Keyword search", research: "44%", industry: "33%", all: "39%" },
-    SurveyLine { question: "", answer: "Multi-column join discovery", research: "33%", industry: "22%", all: "28%" },
-    SurveyLine { question: "Q4 How tasks are solved", answer: "Custom scripts", research: "100%", industry: "56%", all: "78%" },
-    SurveyLine { question: "", answer: "SQL queries", research: "44%", industry: "56%", all: "50%" },
-    SurveyLine { question: "", answer: "Asking people", research: "33%", industry: "56%", all: "44%" },
-    SurveyLine { question: "", answer: "Open source tools", research: "56%", industry: "33%", all: "44%" },
-    SurveyLine { question: "", answer: "Commercial tools", research: "22%", industry: "22%", all: "22%" },
-    SurveyLine { question: "Q5 Preferred language", answer: "Python", research: "100%", industry: "89%", all: "94%" },
-    SurveyLine { question: "", answer: "Java | SQL | C++", research: "78% | 78% | 56%", industry: "89% | 78% | 78%", all: "83% | 78% | 67%" },
-    SurveyLine { question: "Q6 Data lake storage", answer: "DBMS | Files | Both", research: "33% | 44% | 22%", industry: "44% | 0% | 56%", all: "39% | 22% | 39%" },
-    SurveyLine { question: "Q7 Would use DBMS with discovery indexes?", answer: "Yes | No", research: "100% | 0%", industry: "100% | 0%", all: "100% | 0%" },
-    SurveyLine { question: "Q8 Preferred API, simple task", answer: "BLEND | Python | SQL", research: "34% | 22% | 44%", industry: "56% | 11% | 34%", all: "44% | 17% | 39%" },
-    SurveyLine { question: "Q9 Preferred API, complex task", answer: "BLEND | Python", research: "89% | 11%", industry: "89% | 11%", all: "89% | 11%" },
+    SurveyLine {
+        question: "Participants",
+        answer: "count",
+        research: "9",
+        industry: "9",
+        all: "18",
+    },
+    SurveyLine {
+        question: "Q1 Find data within a single search (rarely 0% - often 100%)",
+        answer: "mean",
+        research: "27.5%",
+        industry: "38.8%",
+        all: "33.3%",
+    },
+    SurveyLine {
+        question: "Q2 Single discovered table sufficient?",
+        answer: "Yes | No",
+        research: "11% | 89%",
+        industry: "0% | 100%",
+        all: "6% | 74%",
+    },
+    SurveyLine {
+        question: "Q3 Most frequent tasks",
+        answer: "Discovery for rows",
+        research: "33%",
+        industry: "67%",
+        all: "50%",
+    },
+    SurveyLine {
+        question: "",
+        answer: "Correlation discovery",
+        research: "44%",
+        industry: "56%",
+        all: "50%",
+    },
+    SurveyLine {
+        question: "",
+        answer: "Join discovery",
+        research: "44%",
+        industry: "33%",
+        all: "39%",
+    },
+    SurveyLine {
+        question: "",
+        answer: "Keyword search",
+        research: "44%",
+        industry: "33%",
+        all: "39%",
+    },
+    SurveyLine {
+        question: "",
+        answer: "Multi-column join discovery",
+        research: "33%",
+        industry: "22%",
+        all: "28%",
+    },
+    SurveyLine {
+        question: "Q4 How tasks are solved",
+        answer: "Custom scripts",
+        research: "100%",
+        industry: "56%",
+        all: "78%",
+    },
+    SurveyLine {
+        question: "",
+        answer: "SQL queries",
+        research: "44%",
+        industry: "56%",
+        all: "50%",
+    },
+    SurveyLine {
+        question: "",
+        answer: "Asking people",
+        research: "33%",
+        industry: "56%",
+        all: "44%",
+    },
+    SurveyLine {
+        question: "",
+        answer: "Open source tools",
+        research: "56%",
+        industry: "33%",
+        all: "44%",
+    },
+    SurveyLine {
+        question: "",
+        answer: "Commercial tools",
+        research: "22%",
+        industry: "22%",
+        all: "22%",
+    },
+    SurveyLine {
+        question: "Q5 Preferred language",
+        answer: "Python",
+        research: "100%",
+        industry: "89%",
+        all: "94%",
+    },
+    SurveyLine {
+        question: "",
+        answer: "Java | SQL | C++",
+        research: "78% | 78% | 56%",
+        industry: "89% | 78% | 78%",
+        all: "83% | 78% | 67%",
+    },
+    SurveyLine {
+        question: "Q6 Data lake storage",
+        answer: "DBMS | Files | Both",
+        research: "33% | 44% | 22%",
+        industry: "44% | 0% | 56%",
+        all: "39% | 22% | 39%",
+    },
+    SurveyLine {
+        question: "Q7 Would use DBMS with discovery indexes?",
+        answer: "Yes | No",
+        research: "100% | 0%",
+        industry: "100% | 0%",
+        all: "100% | 0%",
+    },
+    SurveyLine {
+        question: "Q8 Preferred API, simple task",
+        answer: "BLEND | Python | SQL",
+        research: "34% | 22% | 44%",
+        industry: "56% | 11% | 34%",
+        all: "44% | 17% | 39%",
+    },
+    SurveyLine {
+        question: "Q9 Preferred API, complex task",
+        answer: "BLEND | Python",
+        research: "89% | 11%",
+        industry: "89% | 11%",
+        all: "89% | 11%",
+    },
 ];
 
 /// Render the table.
 pub fn render() -> String {
-    let mut t = crate::harness::TextTable::new(&["question", "answer", "research", "industry", "all"]);
+    let mut t =
+        crate::harness::TextTable::new(&["question", "answer", "research", "industry", "all"]);
     for l in TABLE_IX {
         t.row(&[
             l.question.to_string(),
@@ -64,7 +179,10 @@ mod tests {
     fn render_includes_headline_findings() {
         let r = super::render();
         assert!(r.contains("100% | 0%"), "Q7 unanimity missing");
-        assert!(r.contains("89% | 11%"), "Q9 complex-task preference missing");
+        assert!(
+            r.contains("89% | 11%"),
+            "Q9 complex-task preference missing"
+        );
         assert!(r.lines().count() > 15);
     }
 }

@@ -69,6 +69,8 @@ pub fn qcr(xs: &[f64], ys: &[f64]) -> Option<f64> {
 /// Solves `argmin_w ||X w - y||^2 + lambda ||w||^2` for a small feature
 /// count (BLEND's cost model uses 4 features). Returns the weight vector.
 /// `rows` are feature vectors; all must share the same length.
+// Index-based loops keep the matrix algebra readable.
+#[allow(clippy::needless_range_loop)]
 pub fn ols(rows: &[Vec<f64>], y: &[f64], lambda: f64) -> Option<Vec<f64>> {
     let n = rows.len();
     if n == 0 || n != y.len() {
@@ -100,6 +102,7 @@ pub fn ols(rows: &[Vec<f64>], y: &[f64], lambda: f64) -> Option<Vec<f64>> {
 
 /// Gaussian elimination with partial pivoting for the tiny systems OLS
 /// produces. Returns `None` for singular systems.
+#[allow(clippy::needless_range_loop)]
 fn solve_gauss(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let d = b.len();
     for col in 0..d {

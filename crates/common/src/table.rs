@@ -228,7 +228,10 @@ mod tests {
         let r = Table::new(
             TableId(0),
             "bad",
-            vec![Column::new("a", vec![1i64, 2]), Column::new("b", vec![1i64])],
+            vec![
+                Column::new("a", vec![1i64, 2]),
+                Column::new("b", vec![1i64]),
+            ],
         );
         assert!(r.is_err());
     }
@@ -264,7 +267,12 @@ mod tests {
     fn numeric_mean_ignores_nulls_and_text() {
         let c = Column::new(
             "n",
-            vec![Value::Int(2), Value::Null, Value::Int(4), Value::Text("x".into())],
+            vec![
+                Value::Int(2),
+                Value::Null,
+                Value::Int(4),
+                Value::Text("x".into()),
+            ],
         );
         assert_eq!(c.numeric_mean(), Some(3.0));
         let empty = Column::new("e", Vec::<Value>::new());

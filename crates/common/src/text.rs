@@ -45,7 +45,8 @@ pub fn normalize(s: &str) -> String {
 
 /// Split a normalized cell into word tokens (alphanumeric runs).
 pub fn tokens(s: &str) -> impl Iterator<Item = &str> {
-    s.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty())
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
 }
 
 /// Character trigrams of a token, used by the embedding encoder to give

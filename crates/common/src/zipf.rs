@@ -80,7 +80,12 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // Rank 0 should dominate rank 50 by roughly 50x under Zipf(1).
-        assert!(counts[0] > counts[50] * 10, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 10,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
     }
 
     #[test]

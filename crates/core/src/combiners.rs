@@ -43,12 +43,7 @@ fn intersect(inputs: &[Vec<TableHit>], k: usize) -> Vec<TableHit> {
     // rank maps per input.
     let ranks: Vec<FxHashMap<TableId, usize>> = inputs
         .iter()
-        .map(|hits| {
-            hits.iter()
-                .enumerate()
-                .map(|(i, h)| (h.table, i))
-                .collect()
-        })
+        .map(|hits| hits.iter().enumerate().map(|(i, h)| (h.table, i)).collect())
         .collect();
     let mut topk = blend_common::topk::TopK::new(k);
     for h in first {
@@ -59,10 +54,14 @@ fn intersect(inputs: &[Vec<TableHit>], k: usize) -> Vec<TableHit> {
         {
             let mean_rank = rank_sum as f64 / inputs.len() as f64;
             // Higher score = better = lower mean rank.
-            topk.push(-mean_rank, h.table.0 as u64, TableHit {
-                table: h.table,
-                score: 1.0 / (1.0 + mean_rank),
-            });
+            topk.push(
+                -mean_rank,
+                h.table.0 as u64,
+                TableHit {
+                    table: h.table,
+                    score: 1.0 / (1.0 + mean_rank),
+                },
+            );
         }
     }
     topk.into_sorted().into_iter().map(|(_, h)| h).collect()
@@ -78,10 +77,14 @@ fn union(inputs: &[Vec<TableHit>], k: usize) -> Vec<TableHit> {
     }
     let mut topk = blend_common::topk::TopK::new(k);
     for (t, rank) in best_rank {
-        topk.push(-(rank as f64), t.0 as u64, TableHit {
-            table: t,
-            score: 1.0 / (1.0 + rank as f64),
-        });
+        topk.push(
+            -(rank as f64),
+            t.0 as u64,
+            TableHit {
+                table: t,
+                score: 1.0 / (1.0 + rank as f64),
+            },
+        );
     }
     topk.into_sorted().into_iter().map(|(_, h)| h).collect()
 }
@@ -112,10 +115,14 @@ fn counter(inputs: &[Vec<TableHit>], k: usize) -> Vec<TableHit> {
         // Frequency dominates; mean rank breaks ties (scaled to < 1).
         let mean_rank = rank_sum as f64 / count as f64;
         let score = count as f64 + 1.0 / (2.0 + mean_rank);
-        topk.push(score, t.0 as u64, TableHit {
-            table: t,
-            score: count as f64,
-        });
+        topk.push(
+            score,
+            t.0 as u64,
+            TableHit {
+                table: t,
+                score: count as f64,
+            },
+        );
     }
     topk.into_sorted().into_iter().map(|(_, h)| h).collect()
 }
@@ -173,8 +180,14 @@ mod tests {
     fn difference_preserves_first_order_and_is_noncommutative() {
         let a = hits(&[1, 2, 3]);
         let b = hits(&[2]);
-        assert_eq!(ids(&apply(Combiner::Difference, &[a.clone(), b.clone()], 10)), vec![1, 3]);
-        assert_eq!(ids(&apply(Combiner::Difference, &[b, a], 10)), Vec::<u32>::new());
+        assert_eq!(
+            ids(&apply(Combiner::Difference, &[a.clone(), b.clone()], 10)),
+            vec![1, 3]
+        );
+        assert_eq!(
+            ids(&apply(Combiner::Difference, &[b, a], 10)),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]
@@ -192,7 +205,10 @@ mod tests {
     fn k_truncates() {
         let a = hits(&[1, 2, 3, 4, 5]);
         let b = hits(&[1, 2, 3, 4, 5]);
-        assert_eq!(apply(Combiner::Intersect, &[a.clone(), b.clone()], 2).len(), 2);
+        assert_eq!(
+            apply(Combiner::Intersect, &[a.clone(), b.clone()], 2).len(),
+            2
+        );
         assert_eq!(apply(Combiner::Union, &[a.clone(), b.clone()], 3).len(), 3);
         assert_eq!(apply(Combiner::Counter, &[a, b], 1).len(), 1);
     }

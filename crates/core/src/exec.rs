@@ -231,9 +231,7 @@ fn eval_inputs_optimized(
                 })
                 .collect();
             let order = match ctx.blend.options().ordering {
-                crate::OrderingMode::Ranked => {
-                    optimizer::rank_execution_group(ctx.blend, &seekers)
-                }
+                crate::OrderingMode::Ranked => optimizer::rank_execution_group(ctx.blend, &seekers),
                 // Rewriting without reordering (Table IV's "Rand" arm when
                 // the caller shuffles plan inputs).
                 crate::OrderingMode::PlanOrder => (0..seekers.len()).collect(),
@@ -245,7 +243,10 @@ fn eval_inputs_optimized(
                 acc = Some(intersect_sets(acc, &r));
                 results[input_idx] = Some(r);
             }
-            Ok(results.into_iter().map(|r| r.expect("all filled")).collect())
+            Ok(results
+                .into_iter()
+                .map(|r| r.expect("all filled"))
+                .collect())
         }
         Combiner::Difference => {
             // Subtrahend first; minuend gets NOT IN (paper Example 1).
@@ -282,10 +283,7 @@ mod tests {
             TableId(0),
             "T1-sizes",
             vec![
-                Column::new(
-                    "team",
-                    vec!["Finance", "Marketing", "HR", "IT", "Sales"],
-                ),
+                Column::new("team", vec!["Finance", "Marketing", "HR", "IT", "Sales"]),
                 Column::new("size", vec![31i64, 28, 33, 92, 80]),
             ],
         )
@@ -335,8 +333,13 @@ mod tests {
             10,
         )
         .unwrap();
-        p.add_combiner("exclude", Combiner::Difference, 10, &["p_examples", "n_examples"])
-            .unwrap();
+        p.add_combiner(
+            "exclude",
+            Combiner::Difference,
+            10,
+            &["p_examples", "n_examples"],
+        )
+        .unwrap();
         p.add_seeker(
             "dep",
             Seeker::sc(vec![
@@ -378,12 +381,20 @@ mod tests {
                 .collect::<std::collections::BTreeSet<u32>>()
         };
         let mut p1 = Plan::new();
-        p1.add_seeker("q", Seeker::mc(vec![vec!["HR".into(), "Firenze".into()]]), 10)
-            .unwrap();
+        p1.add_seeker(
+            "q",
+            Seeker::mc(vec![vec!["HR".into(), "Firenze".into()]]),
+            10,
+        )
+        .unwrap();
         assert_eq!(run(&p1), [1u32, 2].into_iter().collect());
         let mut p2 = Plan::new();
-        p2.add_seeker("q", Seeker::mc(vec![vec!["IT".into(), "Tom Riddle".into()]]), 10)
-            .unwrap();
+        p2.add_seeker(
+            "q",
+            Seeker::mc(vec![vec!["IT".into(), "Tom Riddle".into()]]),
+            10,
+        )
+        .unwrap();
         assert_eq!(run(&p2), [1u32].into_iter().collect());
         let mut p3 = Plan::new();
         p3.add_seeker(
@@ -424,11 +435,16 @@ mod tests {
     fn intersection_ranks_sc_before_mc() {
         let blend = fig1_blend(true);
         let mut p = Plan::new();
-        p.add_seeker("mc", Seeker::mc(vec![vec!["HR".into(), "Firenze".into()]]), 10)
-            .unwrap();
+        p.add_seeker(
+            "mc",
+            Seeker::mc(vec![vec!["HR".into(), "Firenze".into()]]),
+            10,
+        )
+        .unwrap();
         p.add_seeker("sc", Seeker::sc(vec!["HR".into(), "IT".into()]), 10)
             .unwrap();
-        p.add_combiner("i", Combiner::Intersect, 10, &["mc", "sc"]).unwrap();
+        p.add_combiner("i", Combiner::Intersect, 10, &["mc", "sc"])
+            .unwrap();
         let (_, report) = blend.execute_with_report(&p).unwrap();
         assert_eq!(report.seeker_order(), vec!["sc", "mc"]);
         // And the MC seeker ran with an injected filter.
@@ -441,11 +457,14 @@ mod tests {
     fn shared_nodes_are_not_injected() {
         let blend = fig1_blend(true);
         let mut p = Plan::new();
-        p.add_seeker("shared", Seeker::sc(vec!["HR".into()]), 10).unwrap();
-        p.add_seeker("other", Seeker::sc(vec!["IT".into()]), 10).unwrap();
+        p.add_seeker("shared", Seeker::sc(vec!["HR".into()]), 10)
+            .unwrap();
+        p.add_seeker("other", Seeker::sc(vec!["IT".into()]), 10)
+            .unwrap();
         p.add_combiner("i", Combiner::Intersect, 10, &["shared", "other"])
             .unwrap();
-        p.add_combiner("u", Combiner::Union, 10, &["shared", "i"]).unwrap();
+        p.add_combiner("u", Combiner::Union, 10, &["shared", "i"])
+            .unwrap();
         let (_, report) = blend.execute_with_report(&p).unwrap();
         let shared_ops: Vec<&OpExecution> =
             report.ops.iter().filter(|o| o.id == "shared").collect();
@@ -458,11 +477,20 @@ mod tests {
     fn empty_intersection_short_circuits() {
         let blend = fig1_blend(true);
         let mut p = Plan::new();
-        p.add_seeker("none", Seeker::sc(vec!["value-that-does-not-exist".into()]), 10)
+        p.add_seeker(
+            "none",
+            Seeker::sc(vec!["value-that-does-not-exist".into()]),
+            10,
+        )
+        .unwrap();
+        p.add_seeker(
+            "mc",
+            Seeker::mc(vec![vec!["HR".into(), "Firenze".into()]]),
+            10,
+        )
+        .unwrap();
+        p.add_combiner("i", Combiner::Intersect, 10, &["none", "mc"])
             .unwrap();
-        p.add_seeker("mc", Seeker::mc(vec![vec!["HR".into(), "Firenze".into()]]), 10)
-            .unwrap();
-        p.add_combiner("i", Combiner::Intersect, 10, &["none", "mc"]).unwrap();
         let (hits, report) = blend.execute_with_report(&p).unwrap();
         assert!(hits.is_empty());
         // The MC seeker must have been skipped (empty SQL = short circuit).
@@ -475,11 +503,20 @@ mod tests {
     fn difference_subtrahend_runs_first_under_optimizer() {
         let blend = fig1_blend(true);
         let mut p = Plan::new();
-        p.add_seeker("pos", Seeker::mc(vec![vec!["HR".into(), "Firenze".into()]]), 10)
+        p.add_seeker(
+            "pos",
+            Seeker::mc(vec![vec!["HR".into(), "Firenze".into()]]),
+            10,
+        )
+        .unwrap();
+        p.add_seeker(
+            "neg",
+            Seeker::mc(vec![vec!["IT".into(), "Tom Riddle".into()]]),
+            10,
+        )
+        .unwrap();
+        p.add_combiner("d", Combiner::Difference, 10, &["pos", "neg"])
             .unwrap();
-        p.add_seeker("neg", Seeker::mc(vec![vec!["IT".into(), "Tom Riddle".into()]]), 10)
-            .unwrap();
-        p.add_combiner("d", Combiner::Difference, 10, &["pos", "neg"]).unwrap();
         let (hits, report) = blend.execute_with_report(&p).unwrap();
         assert_eq!(report.seeker_order(), vec!["neg", "pos"]);
         let pos_op = report.ops.iter().find(|o| o.id == "pos").unwrap();

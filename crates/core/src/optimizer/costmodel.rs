@@ -287,10 +287,7 @@ mod tests {
         assert_eq!(f.cardinality, 2.0);
         assert_eq!(f.n_cols, 1.0);
         assert!(f.avg_freq > 0.0, "zipf head values occur");
-        let fm = features(
-            &blend,
-            &Seeker::mc(vec![vec!["v0".into(), "v1".into()]]),
-        );
+        let fm = features(&blend, &Seeker::mc(vec![vec!["v0".into(), "v1".into()]]));
         assert_eq!(fm.n_cols, 2.0);
     }
 

@@ -130,7 +130,10 @@ impl Combiner {
 /// A plan node.
 #[derive(Debug, Clone)]
 pub enum Node {
-    Seeker { seeker: Seeker, k: usize },
+    Seeker {
+        seeker: Seeker,
+        k: usize,
+    },
     Combiner {
         combiner: Combiner,
         k: usize,
@@ -271,8 +274,11 @@ impl Plan {
             Grey,
             Black,
         }
-        let mut color: FxHashMap<&str, Color> =
-            self.order.iter().map(|s| (s.as_str(), Color::White)).collect();
+        let mut color: FxHashMap<&str, Color> = self
+            .order
+            .iter()
+            .map(|s| (s.as_str(), Color::White))
+            .collect();
         fn dfs<'a>(
             plan: &'a Plan,
             id: &'a str,
@@ -341,12 +347,25 @@ mod tests {
     fn example_1_plan_validates() {
         // The find_dep_heads plan from paper Fig. 2a.
         let mut p = Plan::new();
-        p.add_seeker("p_examples", Seeker::mc(vec![vec!["hr".into(), "firenze".into()]]), 10)
-            .unwrap();
-        p.add_seeker("n_examples", Seeker::mc(vec![vec!["it".into(), "tom riddle".into()]]), 10)
-            .unwrap();
-        p.add_combiner("exclude", Combiner::Difference, 10, &["p_examples", "n_examples"])
-            .unwrap();
+        p.add_seeker(
+            "p_examples",
+            Seeker::mc(vec![vec!["hr".into(), "firenze".into()]]),
+            10,
+        )
+        .unwrap();
+        p.add_seeker(
+            "n_examples",
+            Seeker::mc(vec![vec!["it".into(), "tom riddle".into()]]),
+            10,
+        )
+        .unwrap();
+        p.add_combiner(
+            "exclude",
+            Combiner::Difference,
+            10,
+            &["p_examples", "n_examples"],
+        )
+        .unwrap();
         p.add_seeker("dep", Seeker::sc(vec!["hr".into(), "it".into()]), 10)
             .unwrap();
         p.add_combiner("intersect", Combiner::Intersect, 10, &["exclude", "dep"])
@@ -366,7 +385,8 @@ mod tests {
     fn unknown_input_rejected() {
         let mut p = Plan::new();
         p.add_seeker("a", sc(), 5).unwrap();
-        p.add_combiner("c", Combiner::Counter, 5, &["a", "ghost"]).unwrap();
+        p.add_combiner("c", Combiner::Counter, 5, &["a", "ghost"])
+            .unwrap();
         assert!(p.validate().is_err());
     }
 
@@ -399,7 +419,8 @@ mod tests {
     fn self_reference_rejected() {
         let mut p = Plan::new();
         p.add_seeker("a", sc(), 5).unwrap();
-        p.add_combiner("c", Combiner::Counter, 5, &["a", "c"]).unwrap();
+        p.add_combiner("c", Combiner::Counter, 5, &["a", "c"])
+            .unwrap();
         assert!(p.validate().is_err());
     }
 
@@ -407,7 +428,8 @@ mod tests {
     fn cycle_rejected() {
         let mut p = Plan::new();
         p.add_seeker("s", sc(), 5).unwrap();
-        p.add_combiner("c1", Combiner::Counter, 5, &["s", "c2"]).unwrap();
+        p.add_combiner("c1", Combiner::Counter, 5, &["s", "c2"])
+            .unwrap();
         p.add_combiner("c2", Combiner::Counter, 5, &["c1"]).unwrap();
         assert!(p.validate().is_err());
     }
@@ -416,13 +438,14 @@ mod tests {
     fn seeker_input_validation() {
         assert!(Seeker::sc(vec![]).validate().is_err());
         assert!(Seeker::mc(vec![vec!["one".into()]]).validate().is_err());
-        assert!(Seeker::mc(vec![
-            vec!["a".into(), "b".into()],
-            vec!["c".into()]
-        ])
-        .validate()
-        .is_err());
-        assert!(Seeker::c(vec!["k".into()], vec![1.0, 2.0]).validate().is_err());
+        assert!(
+            Seeker::mc(vec![vec!["a".into(), "b".into()], vec!["c".into()]])
+                .validate()
+                .is_err()
+        );
+        assert!(Seeker::c(vec!["k".into()], vec![1.0, 2.0])
+            .validate()
+            .is_err());
         assert!(Seeker::c(vec!["k1".into(), "k2".into()], vec![1.0, 2.0])
             .validate()
             .is_ok());
@@ -433,8 +456,10 @@ mod tests {
         let mut p = Plan::new();
         p.add_seeker("a", sc(), 5).unwrap();
         p.add_seeker("b", sc(), 5).unwrap();
-        p.add_combiner("c1", Combiner::Intersect, 5, &["a", "b"]).unwrap();
-        p.add_combiner("c2", Combiner::Counter, 5, &["a", "c1"]).unwrap();
+        p.add_combiner("c1", Combiner::Intersect, 5, &["a", "b"])
+            .unwrap();
+        p.add_combiner("c2", Combiner::Counter, 5, &["a", "c1"])
+            .unwrap();
         let consumers = p.consumers();
         assert_eq!(consumers["a"], 2);
         assert_eq!(consumers["b"], 1);

@@ -26,6 +26,10 @@ impl Injected {
     /// Render the SQL fragment replacing [`TID_PLACEHOLDER`].
     pub fn fragment(&self) -> String {
         match self {
+            // An empty intersection can never match; `run()` short-circuits
+            // before rendering, but the fragment must still be valid SQL
+            // (`IN ()` is not), so render a never-true predicate.
+            Injected::In(ids) if ids.is_empty() => "AND 1 = 0".to_string(),
             Injected::In(ids) => format!("AND TableId IN ({})", join_ids(ids)),
             Injected::NotIn(ids) if ids.is_empty() => String::new(),
             Injected::NotIn(ids) => format!("AND TableId NOT IN ({})", join_ids(ids)),
@@ -44,33 +48,36 @@ fn join_ids(ids: &[u32]) -> String {
     s
 }
 
-/// SQL string literal with `'` escaping, normalized the same way the
-/// indexer normalizes cell values.
-fn sql_str(raw: &str) -> String {
-    let norm = text::normalize(raw);
-    let mut s = String::with_capacity(norm.len() + 2);
-    s.push('\'');
+/// Append an already-normalized value as a SQL string literal with `'`
+/// escaping (normalization matches the indexer's cell normalization).
+fn push_quoted(out: &mut String, norm: &str) {
+    out.reserve(norm.len() + 2);
+    out.push('\'');
     for c in norm.chars() {
         if c == '\'' {
-            s.push('\'');
+            out.push('\'');
         }
-        s.push(c);
+        out.push(c);
     }
-    s.push('\'');
-    s
+    out.push('\'');
 }
 
 fn join_values(values: &[String]) -> String {
+    // Deduplicate on the normalized value and render the quoted literal
+    // straight into the output — one allocation per distinct value instead
+    // of a rendered literal plus a seen-set clone per input.
     let mut s = String::new();
     let mut seen: FxHashSet<String> = FxHashSet::default();
     for v in values {
-        let lit = sql_str(v);
-        if seen.insert(lit.clone()) {
-            if !s.is_empty() {
-                s.push(',');
-            }
-            s.push_str(&lit);
+        let norm = text::normalize(v);
+        if seen.contains(&norm) {
+            continue;
         }
+        if !s.is_empty() {
+            s.push(',');
+        }
+        push_quoted(&mut s, &norm);
+        seen.insert(norm);
     }
     s
 }
@@ -165,11 +172,11 @@ fn mc_sql(rows: &[Vec<String>]) -> String {
         proj.join(", "),
         join_values(&col_values[0]),
     );
-    for c in 1..arity {
+    for (c, vals) in col_values.iter().enumerate().skip(1) {
         sql.push_str(&format!(
             " INNER JOIN (SELECT * FROM AllTables WHERE CellValue IN ({})) AS q{c} \
              ON q0.TableId = q{c}.TableId AND q0.RowId = q{c}.RowId",
-            join_values(&col_values[c]),
+            join_values(vals),
         ));
     }
     sql
@@ -234,7 +241,10 @@ pub fn run(
             let (hits, stats) = mc_postprocess(&rs, rows, k);
             (hits, Some(stats))
         }
-        Seeker::C { .. } => (c_postprocess(&rs, k, blend.options().corr_min_matches), None),
+        Seeker::C { .. } => (
+            c_postprocess(&rs, k, blend.options().corr_min_matches),
+            None,
+        ),
     };
     Ok(SeekerRun {
         sql,
@@ -279,8 +289,7 @@ fn mc_postprocess(rs: &ResultSet, rows: &[Vec<String>], k: usize) -> (Vec<TableH
         .iter()
         .map(|r| r.iter().map(|v| text::normalize(v)).collect())
         .collect();
-    let query_row_set: FxHashSet<&[String]> =
-        query_rows.iter().map(Vec::as_slice).collect();
+    let query_row_set: FxHashSet<&[String]> = query_rows.iter().map(Vec::as_slice).collect();
 
     let tid = rs.col("tid");
     let rid = rs.col("rid");
@@ -288,12 +297,13 @@ fn mc_postprocess(rs: &ResultSet, rows: &[Vec<String>], k: usize) -> (Vec<TableH
     let (Some(tid), Some(rid), Some(sk)) = (tid, rid, sk) else {
         return (Vec::new(), McStats::default());
     };
-    let vcols: Vec<usize> = (0..arity)
-        .map(|c| rs.col(&format!("v{c}")).expect("projected value column"))
-        .collect();
-    let ccols: Vec<usize> = (0..arity)
-        .map(|c| rs.col(&format!("c{c}")).expect("projected column id"))
-        .collect();
+    // A malformed result set (missing value/column projections) yields an
+    // empty hit list rather than crashing the engine.
+    let vcols: Option<Vec<usize>> = (0..arity).map(|c| rs.col(&format!("v{c}"))).collect();
+    let ccols: Option<Vec<usize>> = (0..arity).map(|c| rs.col(&format!("c{c}"))).collect();
+    let (Some(vcols), Some(ccols)) = (vcols, ccols) else {
+        return (Vec::new(), McStats::default());
+    };
 
     // Gather per candidate row: its super key and the matched combinations.
     struct Candidate {
@@ -340,9 +350,9 @@ fn mc_postprocess(rs: &ResultSet, rows: &[Vec<String>], k: usize) -> (Vec<TableH
     let mut joinable: FxHashMap<u32, FxHashSet<u32>> = FxHashMap::default();
     for ((t, r), cand) in candidates {
         // Super-key bloom filter: some full query row may be present.
-        let passes = query_rows.iter().any(|qr| {
-            Xash::may_contain_all(cand.superkey, qr.iter().map(String::as_str))
-        });
+        let passes = query_rows
+            .iter()
+            .any(|qr| Xash::may_contain_all(cand.superkey, qr.iter().map(String::as_str)));
         if !passes {
             continue;
         }
@@ -360,10 +370,14 @@ fn mc_postprocess(rs: &ResultSet, rows: &[Vec<String>], k: usize) -> (Vec<TableH
 
     let mut topk = blend_common::topk::TopK::new(k);
     for (t, rows) in joinable {
-        topk.push(rows.len() as f64, t as u64, TableHit {
-            table: TableId(t),
-            score: rows.len() as f64,
-        });
+        topk.push(
+            rows.len() as f64,
+            t as u64,
+            TableHit {
+                table: TableId(t),
+                score: rows.len() as f64,
+            },
+        );
     }
     (
         topk.into_sorted().into_iter().map(|(_, h)| h).collect(),
@@ -394,10 +408,14 @@ fn c_postprocess(rs: &ResultSet, k: usize, min_matches: usize) -> Vec<TableHit> 
     }
     let mut topk = blend_common::topk::TopK::new(k);
     for (table, score) in best {
-        topk.push(score, table as u64, TableHit {
-            table: TableId(table),
+        topk.push(
             score,
-        });
+            table as u64,
+            TableHit {
+                table: TableId(table),
+                score,
+            },
+        );
     }
     topk.into_sorted().into_iter().map(|(_, h)| h).collect()
 }
@@ -432,8 +450,36 @@ mod tests {
         );
         // Empty NOT IN is a no-op (filters nothing out).
         assert_eq!(Injected::NotIn(vec![]).fragment(), "");
-        // Empty IN is handled by short-circuit, but the fragment is valid SQL.
-        assert_eq!(Injected::In(vec![]).fragment(), "AND TableId IN ()");
+        // Empty IN is usually short-circuited in `run()`, but the fragment
+        // must still be valid SQL on its own: a never-true predicate.
+        assert_eq!(Injected::In(vec![]).fragment(), "AND 1 = 0");
+    }
+
+    #[test]
+    fn mc_postprocess_tolerates_malformed_result_sets() {
+        use blend_sql::ResultSet;
+        let rows = vec![vec!["a".to_string(), "b".to_string()]];
+        // Missing the v0/c0 projections entirely.
+        let rs = ResultSet {
+            columns: vec!["tid".into(), "rid".into(), "sk".into()],
+            rows: vec![vec![
+                SqlValue::Int(1),
+                SqlValue::Int(0),
+                SqlValue::U128(0xFF),
+            ]],
+        };
+        let (hits, stats) = mc_postprocess(&rs, &rows, 10);
+        assert!(hits.is_empty());
+        assert_eq!(stats, McStats::default());
+
+        // Missing the id columns.
+        let rs = ResultSet {
+            columns: vec!["v0".into()],
+            rows: vec![vec![SqlValue::from("a")]],
+        };
+        let (hits, stats) = mc_postprocess(&rs, &rows, 10);
+        assert!(hits.is_empty());
+        assert_eq!(stats, McStats::default());
     }
 
     #[test]
@@ -475,12 +521,8 @@ mod tests {
 
     #[test]
     fn c_sql_splits_keys_by_target_mean() {
-        // mean = 2.0: k bellow -> k0, k at/above -> k1.
-        let sql = c_sql(
-            &["low".into(), "high".into()],
-            &[1.0, 3.0],
-            128,
-        );
+        // mean = 2.0: k below -> k0, k at/above -> k1.
+        let sql = c_sql(&["low".into(), "high".into()], &[1.0, 3.0], 128);
         let k0_pos = sql.find("'low'").unwrap();
         let k1_pos = sql.find("'high'").unwrap();
         let q0 = sql.find("Quadrant = 0").unwrap();

@@ -50,11 +50,7 @@ pub fn union_search(query: &Table, k: usize, per_column_k: usize) -> Result<Plan
 /// Example-based data imputation (paper §VIII-B.3): an MC seeker over the
 /// complete example rows intersected with an SC seeker over the incomplete
 /// keys — tables covering both can fill the missing values.
-pub fn imputation(
-    examples: &[(String, String)],
-    queries: &[String],
-    k: usize,
-) -> Result<Plan> {
+pub fn imputation(examples: &[(String, String)], queries: &[String], k: usize) -> Result<Plan> {
     // LOC-BEGIN(blend_imputation)
     let mut plan = Plan::new();
     plan.add_seeker(
@@ -68,7 +64,12 @@ pub fn imputation(
         k,
     )?;
     plan.add_seeker("query", Seeker::sc(queries.to_vec()), k)?;
-    plan.add_combiner("intersection", Combiner::Intersect, k, &["examples", "query"])?;
+    plan.add_combiner(
+        "intersection",
+        Combiner::Intersect,
+        k,
+        &["examples", "query"],
+    )?;
     // LOC-END(blend_imputation)
     Ok(plan)
 }
@@ -141,9 +142,18 @@ pub fn multi_objective(
     let refs: Vec<&str> = col_ids.iter().map(String::as_str).collect();
     plan.add_combiner("counter", Combiner::Counter, k, &refs)?;
     // Correlation search (line 14).
-    plan.add_seeker("correlation", Seeker::c(joinkey.to_vec(), target.to_vec()), k)?;
+    plan.add_seeker(
+        "correlation",
+        Seeker::c(joinkey.to_vec(), target.to_vec()),
+        k,
+    )?;
     // Results aggregation (line 16).
-    plan.add_combiner("union", Combiner::Union, 4 * k, &["kw", "counter", "correlation"])?;
+    plan.add_combiner(
+        "union",
+        Combiner::Union,
+        4 * k,
+        &["kw", "counter", "correlation"],
+    )?;
     // LOC-END(blend_multi_objective)
     Ok(plan)
 }
@@ -160,10 +170,7 @@ mod tests {
             vec![
                 Column::new("a", vec!["x", "y"]),
                 Column::new("b", vec!["1", "2"]),
-                Column::new(
-                    "empty",
-                    vec![Value::Null, Value::Null],
-                ),
+                Column::new("empty", vec![Value::Null, Value::Null]),
             ],
         )
         .unwrap()

@@ -49,7 +49,12 @@ impl DeepJoinIndex {
     /// Build over a lake: one embedded point per column.
     pub fn build(lake: &DataLake, config: DeepJoinConfig) -> Self {
         let embedder = Embedder::new(config.dim, config.seed);
-        let mut hnsw = Hnsw::new(CosineDistance, config.m, config.ef_construction, config.seed);
+        let mut hnsw = Hnsw::new(
+            CosineDistance,
+            config.m,
+            config.ef_construction,
+            config.seed,
+        );
         let mut meta = Vec::new();
         for table in &lake.tables {
             for (ci, col) in table.columns.iter().enumerate() {

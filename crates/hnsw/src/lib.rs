@@ -386,7 +386,11 @@ mod tests {
         for (lev, layer) in h.neighbors.iter().enumerate() {
             let cap = if lev == 0 { 12 } else { 6 };
             for n in layer {
-                assert!(n.len() <= cap, "degree {} > cap {cap} at level {lev}", n.len());
+                assert!(
+                    n.len() <= cap,
+                    "degree {} > cap {cap} at level {lev}",
+                    n.len()
+                );
             }
         }
         assert!(h.graph_bytes() > 0);

@@ -183,7 +183,10 @@ mod tests {
                         Value::Null,
                     ],
                 ),
-                Column::new("year", vec![Value::Int(2022), Value::Int(2024), Value::Int(2023)]),
+                Column::new(
+                    "year",
+                    vec![Value::Int(2022), Value::Int(2024), Value::Int(2023)],
+                ),
                 Column::new(
                     "team",
                     vec![

@@ -66,10 +66,10 @@ pub fn xash_value(value: &str) -> u128 {
         if n_picked < N_CHARS {
             picked[n_picked] = (rarity, pos, b);
             n_picked += 1;
-            picked[..n_picked].sort_unstable_by(|a, b| b.0.cmp(&a.0));
+            picked[..n_picked].sort_unstable_by_key(|p| std::cmp::Reverse(p.0));
         } else if rarity > picked[N_CHARS - 1].0 {
             picked[N_CHARS - 1] = (rarity, pos, b);
-            picked.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+            picked.sort_unstable_by_key(|p| std::cmp::Reverse(p.0));
         }
     }
 
@@ -154,12 +154,14 @@ mod tests {
         // A super key of a small row should reject most foreign values.
         let sk = row_superkey(["alpha", "beta", "gamma"]);
         let foreign = [
-            "zürich", "quixotic", "w8xk", "jjjj", "0423-zz", "verylongvaluewithmanychars",
+            "zürich",
+            "quixotic",
+            "w8xk",
+            "jjjj",
+            "0423-zz",
+            "verylongvaluewithmanychars",
         ];
-        let fp = foreign
-            .iter()
-            .filter(|v| Xash::may_contain(sk, v))
-            .count();
+        let fp = foreign.iter().filter(|v| Xash::may_contain(sk, v)).count();
         assert!(fp <= 1, "too many false positives: {fp}");
     }
 

@@ -143,10 +143,14 @@ impl JosieIndex {
 
         for (s, c) in counts {
             // Tiebreak by set id for determinism.
-            topk.push(c as f64, s as u64, JosieHit {
-                set: self.sets[s as usize],
-                overlap: c,
-            });
+            topk.push(
+                c as f64,
+                s as u64,
+                JosieHit {
+                    set: self.sets[s as usize],
+                    overlap: c,
+                },
+            );
         }
         topk.into_sorted().into_iter().map(|(_, h)| h).collect()
     }

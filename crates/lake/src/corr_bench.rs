@@ -245,7 +245,7 @@ pub fn exact_topk_tables(
                 .filter_map(|v| v.normalized())
                 .filter(|v| key_to_target.contains_key(v.as_ref()))
                 .count();
-            if overlap >= min_overlap && best.map_or(true, |(_, o)| overlap > o) {
+            if overlap >= min_overlap && best.is_none_or(|(_, o)| overlap > o) {
                 best = Some((ci, overlap));
             }
         }

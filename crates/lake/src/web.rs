@@ -99,7 +99,6 @@ pub fn scaled(base: usize, scale: f64) -> usize {
     ((base as f64 * scale).round() as usize).max(8)
 }
 
-
 /// Generate the lake.
 pub fn generate(cfg: &WebLakeConfig) -> DataLake {
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);

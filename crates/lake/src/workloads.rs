@@ -123,10 +123,7 @@ pub fn mc_queries(
             }
         }
         if rows.len() >= 2 {
-            out.push(McQuery {
-                rows,
-                source: t.id,
-            });
+            out.push(McQuery { rows, source: t.id });
         }
     }
     out
@@ -259,7 +256,10 @@ mod tests {
     #[test]
     fn workloads_deterministic() {
         let lake = lake();
-        assert_eq!(sc_queries(&lake, &[20], 3, 9), sc_queries(&lake, &[20], 3, 9));
+        assert_eq!(
+            sc_queries(&lake, &[20], 3, 9),
+            sc_queries(&lake, &[20], 3, 9)
+        );
         assert_eq!(mc_queries(&lake, 4, 2, 4, 9), mc_queries(&lake, 4, 2, 4, 9));
     }
 

@@ -90,9 +90,7 @@ impl MateIndex {
                         if let std::collections::hash_map::Entry::Vacant(_) = entry {
                             value_bytes += n.len();
                         }
-                        entry
-                            .or_default()
-                            .push((table.id.0, ci as u32, ri as u32));
+                        entry.or_default().push((table.id.0, ci as u32, ri as u32));
                     }
                 }
             }
@@ -186,9 +184,9 @@ impl MateIndex {
                 .row(c.row as usize)
                 .filter_map(|v| v.normalized().map(|n| n.into_owned()))
                 .collect();
-            let validated = hyps.iter().any(|&qr| {
-                rows[qr as usize].iter().all(|v| row_vals.contains(v))
-            });
+            let validated = hyps
+                .iter()
+                .any(|&qr| rows[qr as usize].iter().all(|v| row_vals.contains(v)));
             if validated {
                 tp += 1;
                 joinable.entry(c.table).or_default().insert(c.row);
@@ -275,7 +273,7 @@ mod tests {
                 );
             }
             // Recall: every ground-truth table with joinable rows appears.
-            for (t, _) in &gt {
+            for t in gt.keys() {
                 assert!(res.tables.iter().any(|(rt, _)| rt == t));
             }
         }

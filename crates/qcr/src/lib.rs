@@ -63,8 +63,7 @@ impl QcrIndex {
     pub fn build(lake: &DataLake, h: usize) -> Self {
         let mut sketches = Vec::new();
         for table in &lake.tables {
-            let types: Vec<ColumnType> =
-                table.columns.iter().map(|c| c.column_type()).collect();
+            let types: Vec<ColumnType> = table.columns.iter().map(|c| c.column_type()).collect();
             for (ki, key_col) in table.columns.iter().enumerate() {
                 // The baseline's restriction: categorical keys only.
                 if types[ki] != ColumnType::Categorical {
@@ -77,10 +76,9 @@ impl QcrIndex {
                     let mut keys: Vec<String> = Vec::new();
                     let mut vals: Vec<f64> = Vec::new();
                     for r in 0..table.n_rows() {
-                        if let (Some(k), Some(v)) = (
-                            key_col.values[r].normalized(),
-                            num_col.values[r].as_f64(),
-                        ) {
+                        if let (Some(k), Some(v)) =
+                            (key_col.values[r].normalized(), num_col.values[r].as_f64())
+                        {
                             keys.push(k.into_owned());
                             vals.push(v);
                         }
@@ -199,12 +197,15 @@ mod tests {
         let mut hit = 0usize;
         let mut total = 0usize;
         for q in &b.queries {
-            let got: Vec<TableId> = idx.query(&q.keys, &q.target, 8, 5)
+            let got: Vec<TableId> = idx
+                .query(&q.keys, &q.target, 8, 5)
                 .into_iter()
                 .map(|(t, _)| t)
                 .collect();
-            let want: std::collections::HashSet<TableId> =
-                exact_topk_tables(&b.lake, q, 8, 5).into_iter().map(|(t, _)| t).collect();
+            let want: std::collections::HashSet<TableId> = exact_topk_tables(&b.lake, q, 8, 5)
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect();
             total += want.len();
             hit += got.iter().filter(|t| want.contains(t)).count();
         }
@@ -251,7 +252,9 @@ mod tests {
             vec![
                 Column::new(
                     "k",
-                    keys.iter().map(|k| Value::Text(k.clone())).collect::<Vec<_>>(),
+                    keys.iter()
+                        .map(|k| Value::Text(k.clone()))
+                        .collect::<Vec<_>>(),
                 ),
                 Column::new(
                     "y",

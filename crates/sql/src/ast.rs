@@ -140,9 +140,7 @@ impl Expr {
     pub fn contains_agg(&self) -> bool {
         match self {
             Expr::Agg { .. } => true,
-            Expr::Unary { expr, .. } | Expr::Abs(expr) | Expr::CastInt(expr) => {
-                expr.contains_agg()
-            }
+            Expr::Unary { expr, .. } | Expr::Abs(expr) | Expr::CastInt(expr) => expr.contains_agg(),
             Expr::Binary { left, right, .. } => left.contains_agg() || right.contains_agg(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_agg() || list.iter().any(Expr::contains_agg)
@@ -156,10 +154,8 @@ impl Expr {
     /// order.
     pub fn collect_aggs<'a>(&'a self, out: &mut Vec<&'a Expr>) {
         match self {
-            Expr::Agg { .. } => {
-                if !out.iter().any(|e| *e == self) {
-                    out.push(self);
-                }
+            Expr::Agg { .. } if !out.contains(&self) => {
+                out.push(self);
             }
             Expr::Unary { expr, .. } | Expr::Abs(expr) | Expr::CastInt(expr) => {
                 expr.collect_aggs(out)

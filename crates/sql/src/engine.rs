@@ -5,9 +5,21 @@ use std::sync::Arc;
 use blend_common::{FxHashMap, Result};
 use blend_storage::FactTable;
 
-use crate::exec::{execute_plan, QueryReport, ResultSet};
+use crate::exec::{execute_plan_path, QueryReport, ResultSet};
 use crate::parser::parse;
 use crate::plan::{plan_query, Catalog};
+
+/// Executor selection for [`SqlEngine::execute_with_report_path`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPath {
+    /// Route recognized BLEND shapes to the positional executor, fall back
+    /// to the tuple executor otherwise (the production default).
+    #[default]
+    Auto,
+    /// Force the tuple executor everywhere (benchmark baseline / parity
+    /// testing).
+    TupleOnly,
+}
 
 /// A named collection of fact tables (the catalog). BLEND registers a
 /// single table, `AllTables`, but tests register small auxiliary tables.
@@ -80,10 +92,20 @@ impl SqlEngine {
     /// Execute a SQL string and return execution telemetry alongside the
     /// result (used by the optimizer experiments and tests).
     pub fn execute_with_report(&self, sql: &str) -> Result<(ResultSet, QueryReport)> {
+        self.execute_with_report_path(sql, ExecPath::Auto)
+    }
+
+    /// Execute with explicit executor selection. `QueryReport::path` records
+    /// which executor actually ran the top-level query.
+    pub fn execute_with_report_path(
+        &self,
+        sql: &str,
+        path: ExecPath,
+    ) -> Result<(ResultSet, QueryReport)> {
         let ast = parse(sql)?;
         let plan = plan_query(&ast, &self.db)?;
         let mut report = QueryReport::default();
-        let rs = execute_plan(&plan, &mut report)?;
+        let rs = execute_plan_path(&plan, &mut report, path == ExecPath::Auto)?;
         Ok((rs, report))
     }
 }
@@ -258,9 +280,7 @@ mod tests {
     fn rowid_bound_limits_sampling() {
         for eng in engines() {
             let rs = eng
-                .execute(
-                    "SELECT COUNT(*) AS n FROM AllTables WHERE RowId < 2 AND TableId = 0",
-                )
+                .execute("SELECT COUNT(*) AS n FROM AllTables WHERE RowId < 2 AND TableId = 0")
                 .unwrap();
             // 3 columns x 2 rows.
             assert_eq!(rs.i64(0, "n"), Some(6));

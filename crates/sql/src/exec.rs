@@ -10,8 +10,8 @@ use blend_common::{FxHashMap, FxHashSet, Result};
 use crate::ast::AggFunc;
 use crate::expr::CExpr;
 use crate::plan::{
-    fast_filters_pass, materialize, AccessPath, AggPlan, GroupPlan, InputPlan, QueryPlan,
-    ScanPlan, Tree,
+    fast_filters_pass, materialize, AccessPath, AggPlan, GroupPlan, InputPlan, QueryPlan, ScanPlan,
+    Tree,
 };
 use crate::value::SqlValue;
 
@@ -41,6 +41,10 @@ pub struct QueryReport {
     /// (build side rows, probe side rows, output rows) per join.
     pub joins: Vec<(usize, usize, usize)>,
     pub result_rows: usize,
+    /// Executor that ran the top-level query: `"positional"` (the
+    /// late-materialization path for recognized BLEND shapes) or `"tuple"`
+    /// (the general materializing path).
+    pub path: String,
 }
 
 /// A materialized query result.
@@ -96,9 +100,53 @@ impl ResultSet {
     }
 }
 
-/// Execute a plan, collecting telemetry.
+/// Execute a plan, collecting telemetry. Routes recognized BLEND shapes to
+/// the late-materialization positional executor; everything else runs on
+/// the general tuple-at-a-time path.
 pub fn execute_plan(plan: &QueryPlan, report: &mut QueryReport) -> Result<ResultSet> {
-    let mut tuples = exec_tree(&plan.tree, report)?;
+    execute_plan_path(plan, report, true)
+}
+
+/// [`execute_plan`] with explicit executor selection. `allow_positional =
+/// false` forces the tuple path everywhere (benchmark baseline and parity
+/// tests).
+pub fn execute_plan_path(
+    plan: &QueryPlan,
+    report: &mut QueryReport,
+    allow_positional: bool,
+) -> Result<ResultSet> {
+    if allow_positional {
+        if let Some(pos) = crate::exec_positional::plan_positional(plan) {
+            report.path = "positional".to_string();
+            return crate::exec_positional::execute(plan, &pos, report);
+        }
+    }
+    report.path = "tuple".to_string();
+    execute_tuple(plan, report, allow_positional)
+}
+
+/// Subquery dispatch: same routing as the top level, but without touching
+/// `QueryReport::path` (which describes the top-level query only).
+fn execute_sub(
+    plan: &QueryPlan,
+    report: &mut QueryReport,
+    allow_positional: bool,
+) -> Result<ResultSet> {
+    if allow_positional {
+        if let Some(pos) = crate::exec_positional::plan_positional(plan) {
+            return crate::exec_positional::execute(plan, &pos, report);
+        }
+    }
+    execute_tuple(plan, report, allow_positional)
+}
+
+/// The materializing tuple-at-a-time executor.
+fn execute_tuple(
+    plan: &QueryPlan,
+    report: &mut QueryReport,
+    allow_positional: bool,
+) -> Result<ResultSet> {
+    let mut tuples = exec_tree(&plan.tree, report, allow_positional)?;
 
     if let Some(f) = &plan.post_filter {
         tuples.retain(|t| f.eval_predicate(t));
@@ -108,15 +156,35 @@ pub fn execute_plan(plan: &QueryPlan, report: &mut QueryReport) -> Result<Result
         tuples = exec_group(group, tuples);
     }
 
-    // Evaluate projection and order keys in one pass.
-    let n_order = plan.order_by.len();
+    Ok(project_sort_limit(plan, &tuples, report))
+}
+
+/// Shared query tail: evaluate the projection and order keys over input
+/// tuples, sort, apply LIMIT, and label the result. Used by both executors
+/// for aggregated queries (the positional path projects non-aggregated
+/// queries straight from positions instead).
+pub(crate) fn project_sort_limit(
+    plan: &QueryPlan,
+    tuples: &[Tuple],
+    report: &mut QueryReport,
+) -> ResultSet {
     let mut decorated: Vec<(Vec<SqlValue>, Tuple)> = Vec::with_capacity(tuples.len());
-    for t in &tuples {
+    for t in tuples {
         let out: Tuple = plan.projection.iter().map(|(_, e)| e.eval(t)).collect();
         let keys: Vec<SqlValue> = plan.order_by.iter().map(|(e, _)| e.eval(t)).collect();
         decorated.push((keys, out));
     }
-    if n_order > 0 {
+    finish_decorated(plan, decorated, report)
+}
+
+/// Sort decorated rows by their order keys, truncate to LIMIT, and build
+/// the final [`ResultSet`].
+pub(crate) fn finish_decorated(
+    plan: &QueryPlan,
+    mut decorated: Vec<(Vec<SqlValue>, Tuple)>,
+    report: &mut QueryReport,
+) -> ResultSet {
+    if !plan.order_by.is_empty() {
         decorated.sort_by(|a, b| {
             for (i, (_, desc)) in plan.order_by.iter().enumerate() {
                 let ord = a.0[i].order_cmp(&b.0[i]);
@@ -141,17 +209,17 @@ pub fn execute_plan(plan: &QueryPlan, report: &mut QueryReport) -> Result<Result
 
     let rows: Vec<Tuple> = decorated.into_iter().map(|(_, t)| t).collect();
     report.result_rows = rows.len();
-    Ok(ResultSet {
+    ResultSet {
         columns: plan.output_labels(),
         rows,
-    })
+    }
 }
 
-fn exec_tree(tree: &Tree, report: &mut QueryReport) -> Result<Vec<Tuple>> {
+fn exec_tree(tree: &Tree, report: &mut QueryReport, allow_positional: bool) -> Result<Vec<Tuple>> {
     match tree {
         Tree::Leaf(InputPlan::Scan(scan)) => Ok(exec_scan(scan, report)),
         Tree::Leaf(InputPlan::Query(sub, _)) => {
-            let rs = execute_plan(sub, report)?;
+            let rs = execute_sub(sub, report, allow_positional)?;
             Ok(rs.rows)
         }
         Tree::Join {
@@ -161,8 +229,8 @@ fn exec_tree(tree: &Tree, report: &mut QueryReport) -> Result<Vec<Tuple>> {
             residual,
             ..
         } => {
-            let lt = exec_tree(left, report)?;
-            let rt = exec_tree(right, report)?;
+            let lt = exec_tree(left, report, allow_positional)?;
+            let rt = exec_tree(right, report, allow_positional)?;
             Ok(hash_join(lt, rt, keys, residual.as_ref(), report))
         }
     }
@@ -282,7 +350,7 @@ fn hash_join(
 
 // ---- aggregation -----------------------------------------------------------
 
-enum AggState {
+pub(crate) enum AggState {
     Count(i64),
     CountDistinct(FxHashSet<SqlValue>),
     Sum { acc: f64, all_int: bool, seen: bool },
@@ -292,7 +360,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(plan: &AggPlan) -> AggState {
+    pub(crate) fn new(plan: &AggPlan) -> AggState {
         match (plan.func, plan.distinct) {
             (AggFunc::Count, true) => AggState::CountDistinct(FxHashSet::default()),
             (AggFunc::Count, false) => AggState::Count(0),
@@ -308,7 +376,13 @@ impl AggState {
     }
 
     fn update(&mut self, plan: &AggPlan, tuple: &Tuple) {
-        let arg = plan.arg.as_ref().map(|e| e.eval(tuple));
+        self.update_value(plan.arg.as_ref().map(|e| e.eval(tuple)));
+    }
+
+    /// Fold one already-evaluated argument (`None` = no argument, i.e.
+    /// `COUNT(*)`). The positional executor evaluates arguments from
+    /// storage positions and feeds them here.
+    pub(crate) fn update_value(&mut self, arg: Option<SqlValue>) {
         match self {
             AggState::Count(n) => match &arg {
                 // COUNT(*) counts rows; COUNT(x) counts non-null x.
@@ -369,7 +443,7 @@ impl AggState {
         }
     }
 
-    fn finish(self) -> SqlValue {
+    pub(crate) fn finish(self) -> SqlValue {
         match self {
             AggState::Count(n) => SqlValue::Int(n),
             AggState::CountDistinct(set) => SqlValue::Int(set.len() as i64),
@@ -402,10 +476,7 @@ fn exec_group(group: &GroupPlan, tuples: Vec<Tuple>) -> Vec<Tuple> {
 
     let global = group.group_exprs.is_empty();
     if global {
-        groups.push((
-            Vec::new(),
-            group.aggs.iter().map(AggState::new).collect(),
-        ));
+        groups.push((Vec::new(), group.aggs.iter().map(AggState::new).collect()));
     }
 
     for t in &tuples {

@@ -1,0 +1,1064 @@
+//! Late-materialization (positional) executor for the BLEND query shapes.
+//!
+//! The tuple executor in [`crate::exec`] materializes a 6-wide
+//! `Vec<SqlValue>` — including an `Arc<str>` clone of the cell value — for
+//! every position a scan visits, clones whole tuples through joins, and
+//! hashes `Vec<SqlValue>` keys in joins and GROUP BY. For the four seeker
+//! templates (`SC`/`KW`/`MC`/`C`) all of that work is wasted: predicates,
+//! join keys, and grouping keys only ever touch the integer fact columns,
+//! and `COUNT(DISTINCT CellValue)` only needs value *identity*, not value
+//! contents.
+//!
+//! This module executes those shapes positionally:
+//!
+//! * scans emit compact `Vec<u32>` position lists — predicates run via
+//!   [`fast_filters_pass`] straight against the [`FactTable`], no tuple is
+//!   built;
+//! * the seeker self-joins (`q0.TableId = qN.TableId AND q0.RowId =
+//!   qN.RowId`) become hash joins keyed on a packed `u64`
+//!   (`TableId << 32 | RowId`) over position lists;
+//! * `GROUP BY TableId[, ColumnId]` aggregates into an
+//!   `FxHashMap<u64, _>` of packed keys, with `COUNT(DISTINCT CellValue)`
+//!   hashing dictionary codes on the column store and borrowed `&str` on
+//!   the row store — never an owned `SqlValue`;
+//! * only the final projection materializes `SqlValue` rows.
+//!
+//! [`plan_positional`] recognizes eligible plans; anything it cannot prove
+//! safe falls back to the tuple executor, so the two paths always agree
+//! (enforced by the `exec_parity` integration tests). Which path ran is
+//! observable via [`QueryReport::path`].
+
+use std::collections::hash_map::Entry;
+use std::sync::Arc;
+
+use blend_common::{FxHashMap, FxHashSet};
+use blend_storage::{FactTable, ValueProbe};
+
+use crate::ast::{AggFunc, BinOp, UnaryOp};
+use crate::exec::{self, AggState, QueryReport, ResultSet, ScanReport, Tuple};
+use crate::expr::{
+    combine_and, combine_or, eval_abs_value, eval_cast_int_value, eval_cmp_arith, eval_unary_value,
+    CExpr,
+};
+use crate::plan::{
+    fast_filters_pass, identity_scan, AccessPath, AggPlan, QueryPlan, ScanPlan, Tree,
+};
+use crate::value::SqlValue;
+use blend_common::Result;
+
+/// Width of the canonical fact tuple.
+const FACT_WIDTH: usize = 6;
+
+/// The three u32-valued fact columns usable as join/group keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IntCol {
+    Table,
+    Column,
+    Row,
+}
+
+impl IntCol {
+    fn from_offset(off: usize) -> Option<IntCol> {
+        match off {
+            1 => Some(IntCol::Table),
+            2 => Some(IntCol::Column),
+            3 => Some(IntCol::Row),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn at(self, table: &dyn FactTable, pos: u32) -> u32 {
+        match self {
+            IntCol::Table => table.table_at(pos as usize),
+            IntCol::Column => table.column_at(pos as usize),
+            IntCol::Row => table.row_at(pos as usize),
+        }
+    }
+
+    fn gather(self, table: &dyn FactTable, positions: &[u32], out: &mut Vec<u32>) {
+        match self {
+            IntCol::Table => table.gather_tables(positions, out),
+            IntCol::Column => table.gather_columns(positions, out),
+            IntCol::Row => table.gather_rows(positions, out),
+        }
+    }
+}
+
+/// A compiled positional expression: like [`CExpr`], but column references
+/// fetch directly from a leaf's storage position instead of a materialized
+/// tuple, and constant `CellValue IN (...)` lists are specialized into
+/// engine [`ValueProbe`]s (dictionary-code comparisons on the column store).
+enum PExpr {
+    Const(SqlValue),
+    /// `CellValue` of a leaf — the only variant that allocates.
+    Value(usize),
+    /// An integer fact column of a leaf.
+    Int(usize, IntCol),
+    Superkey(usize),
+    Quadrant(usize),
+    /// `CellValue IN (constant strings)`, pre-compiled as an engine probe.
+    InProbe {
+        leaf: usize,
+        probe: ValueProbe,
+        negated: bool,
+    },
+    InSet(Box<PExpr>, Arc<FxHashSet<SqlValue>>, bool),
+    IsNull(Box<PExpr>, bool),
+    Unary(UnaryOp, Box<PExpr>),
+    Binary(Box<PExpr>, BinOp, Box<PExpr>),
+    CastInt(Box<PExpr>),
+    Abs(Box<PExpr>),
+}
+
+impl PExpr {
+    /// Evaluate over a positional row. `row[g - base]` is the storage
+    /// position of global leaf `g`; `tables` is indexed by global leaf.
+    fn eval(&self, tables: &[&dyn FactTable], base: usize, row: &[u32]) -> SqlValue {
+        match self {
+            PExpr::Const(v) => v.clone(),
+            PExpr::Value(leaf) => {
+                let pos = row[*leaf - base] as usize;
+                SqlValue::Text(Arc::from(tables[*leaf].value_at(pos)))
+            }
+            PExpr::Int(leaf, col) => SqlValue::Int(col.at(tables[*leaf], row[*leaf - base]) as i64),
+            PExpr::Superkey(leaf) => {
+                SqlValue::U128(tables[*leaf].superkey_at(row[*leaf - base] as usize))
+            }
+            PExpr::Quadrant(leaf) => match tables[*leaf].quadrant_at(row[*leaf - base] as usize) {
+                None => SqlValue::Null,
+                Some(b) => SqlValue::Int(b as i64),
+            },
+            PExpr::InProbe {
+                leaf,
+                probe,
+                negated,
+            } => {
+                // CellValue is never NULL, so this mirrors InSet on a
+                // non-null text value exactly.
+                let contained = tables[*leaf].probe_at(row[*leaf - base] as usize, probe);
+                SqlValue::Bool(contained != *negated)
+            }
+            PExpr::InSet(e, set, negated) => {
+                let v = e.eval(tables, base, row);
+                if v.is_null() {
+                    return SqlValue::Null;
+                }
+                SqlValue::Bool(set.contains(&v) != *negated)
+            }
+            PExpr::IsNull(e, negated) => {
+                SqlValue::Bool(e.eval(tables, base, row).is_null() != *negated)
+            }
+            PExpr::Unary(op, e) => eval_unary_value(*op, e.eval(tables, base, row)),
+            PExpr::Binary(l, op, r) => match op {
+                BinOp::And => {
+                    let lv = l.eval(tables, base, row);
+                    if matches!(lv, SqlValue::Bool(false)) {
+                        return SqlValue::Bool(false);
+                    }
+                    combine_and(lv, r.eval(tables, base, row))
+                }
+                BinOp::Or => {
+                    let lv = l.eval(tables, base, row);
+                    if matches!(lv, SqlValue::Bool(true)) {
+                        return SqlValue::Bool(true);
+                    }
+                    combine_or(lv, r.eval(tables, base, row))
+                }
+                _ => eval_cmp_arith(*op, l.eval(tables, base, row), r.eval(tables, base, row)),
+            },
+            PExpr::CastInt(e) => eval_cast_int_value(e.eval(tables, base, row)),
+            PExpr::Abs(e) => eval_abs_value(e.eval(tables, base, row)),
+        }
+    }
+
+    /// Predicate view (NULL ⇒ false), mirroring `CExpr::eval_predicate`.
+    #[inline]
+    fn eval_predicate(&self, tables: &[&dyn FactTable], base: usize, row: &[u32]) -> bool {
+        self.eval(tables, base, row).truthy()
+    }
+}
+
+/// Compile a tuple expression into a positional one. `base` is the global
+/// index of the first leaf in the schema the expression was compiled
+/// against. Returns `None` for shapes the positional evaluator does not
+/// handle (triggering tuple-path fallback).
+fn compile_pexpr(e: &CExpr, base: usize, leaves: &[&ScanPlan]) -> Option<PExpr> {
+    Some(match e {
+        CExpr::Const(v) => PExpr::Const(v.clone()),
+        CExpr::Col(i) => {
+            let leaf = base + i / FACT_WIDTH;
+            if leaf >= leaves.len() {
+                return None;
+            }
+            match i % FACT_WIDTH {
+                0 => PExpr::Value(leaf),
+                4 => PExpr::Superkey(leaf),
+                5 => PExpr::Quadrant(leaf),
+                off => PExpr::Int(leaf, IntCol::from_offset(off)?),
+            }
+        }
+        CExpr::Unary(op, inner) => PExpr::Unary(*op, Box::new(compile_pexpr(inner, base, leaves)?)),
+        CExpr::Binary(l, op, r) => PExpr::Binary(
+            Box::new(compile_pexpr(l, base, leaves)?),
+            *op,
+            Box::new(compile_pexpr(r, base, leaves)?),
+        ),
+        CExpr::InSet(inner, set, negated) => {
+            let compiled = compile_pexpr(inner, base, leaves)?;
+            if let PExpr::Value(leaf) = compiled {
+                // Constant IN-list over CellValue: translate once into an
+                // engine probe (dictionary codes on the column store).
+                // Non-text constants can never equal a text cell, so
+                // dropping them preserves the tuple path's semantics.
+                let texts: Vec<&str> = set.iter().filter_map(SqlValue::as_str).collect();
+                PExpr::InProbe {
+                    leaf,
+                    probe: leaves[leaf].table.make_probe(&texts),
+                    negated: *negated,
+                }
+            } else {
+                PExpr::InSet(Box::new(compiled), Arc::clone(set), *negated)
+            }
+        }
+        CExpr::IsNull(inner, negated) => {
+            PExpr::IsNull(Box::new(compile_pexpr(inner, base, leaves)?), *negated)
+        }
+        CExpr::CastInt(inner) => PExpr::CastInt(Box::new(compile_pexpr(inner, base, leaves)?)),
+        CExpr::Abs(inner) => PExpr::Abs(Box::new(compile_pexpr(inner, base, leaves)?)),
+    })
+}
+
+/// A positional join/group key column: an integer fact column of a leaf.
+type PosCol = (usize, IntCol);
+
+/// Positional operator tree (parallel to [`Tree`], leaves unwrapped).
+enum PosNode {
+    Scan {
+        leaf: usize,
+        residual: Option<PExpr>,
+    },
+    Join {
+        left: Box<PosNode>,
+        right: Box<PosNode>,
+        /// Global index of the first leaf under this join.
+        base: usize,
+        n_left: usize,
+        /// Equi-keys as (left column, right column), packed into one `u64`.
+        keys: Vec<(PosCol, PosCol)>,
+        residual: Option<PExpr>,
+    },
+}
+
+/// One aggregate of the positional GROUP BY.
+enum PosAggSpec {
+    /// `COUNT(*)` — a plain counter.
+    CountStar,
+    /// `COUNT(DISTINCT CellValue)` over a leaf — hashes dictionary codes
+    /// (column store) or borrowed `&str` (row store).
+    DistinctValue { leaf: usize },
+    /// Anything else: evaluate the argument positionally and fold it into
+    /// the tuple executor's [`AggState`].
+    Generic { agg: usize, arg: Option<PExpr> },
+}
+
+/// Grouping stage shape.
+struct PosGroup {
+    keys: Vec<PosCol>,
+    aggs: Vec<PosAggSpec>,
+}
+
+/// Projection stage shape for non-aggregated queries.
+struct PosProject {
+    exprs: Vec<PExpr>,
+    order: Vec<PExpr>,
+}
+
+/// A plan admitted to the positional path.
+pub(crate) struct PosPlan<'p> {
+    leaves: Vec<&'p ScanPlan>,
+    root: PosNode,
+    post_filter: Option<PExpr>,
+    group: Option<PosGroup>,
+    project: Option<PosProject>,
+}
+
+/// Recognize a plan the positional executor can run: every leaf is a base
+/// fact-table scan (possibly wrapped in identity subqueries, as the MC/C
+/// templates produce), every join keys on 1–2 integer fact columns, group
+/// keys are integer fact columns, and all residual/filter/projection
+/// expressions compile positionally.
+pub(crate) fn plan_positional(plan: &QueryPlan) -> Option<PosPlan<'_>> {
+    let mut leaves: Vec<&ScanPlan> = Vec::new();
+    let root = build_node(&plan.tree, &mut leaves)?;
+
+    let post_filter = match &plan.post_filter {
+        Some(f) => Some(compile_pexpr(f, 0, &leaves)?),
+        None => None,
+    };
+
+    let group = match &plan.group {
+        Some(g) => {
+            let mut keys = Vec::with_capacity(g.group_exprs.len());
+            for e in &g.group_exprs {
+                match compile_pexpr(e, 0, &leaves)? {
+                    PExpr::Int(leaf, col) => keys.push((leaf, col)),
+                    _ => return None,
+                }
+            }
+            // Keys pack into at most 128 bits (32 each).
+            if keys.len() > 4 {
+                return None;
+            }
+            let mut aggs = Vec::with_capacity(g.aggs.len());
+            for (i, a) in g.aggs.iter().enumerate() {
+                aggs.push(agg_spec(i, a, &leaves)?);
+            }
+            Some(PosGroup { keys, aggs })
+        }
+        None => None,
+    };
+
+    let project = if group.is_none() {
+        let mut exprs = Vec::with_capacity(plan.projection.len());
+        for (_, e) in &plan.projection {
+            exprs.push(compile_pexpr(e, 0, &leaves)?);
+        }
+        let mut order = Vec::with_capacity(plan.order_by.len());
+        for (e, _) in &plan.order_by {
+            order.push(compile_pexpr(e, 0, &leaves)?);
+        }
+        Some(PosProject { exprs, order })
+    } else {
+        None
+    };
+
+    Some(PosPlan {
+        leaves,
+        root,
+        post_filter,
+        group,
+        project,
+    })
+}
+
+fn agg_spec(idx: usize, plan: &AggPlan, leaves: &[&ScanPlan]) -> Option<PosAggSpec> {
+    match (plan.func, plan.distinct, &plan.arg) {
+        (AggFunc::Count, false, None) => Some(PosAggSpec::CountStar),
+        (AggFunc::Count, true, Some(CExpr::Col(i)))
+            if i % FACT_WIDTH == 0 && i / FACT_WIDTH < leaves.len() =>
+        {
+            Some(PosAggSpec::DistinctValue {
+                leaf: i / FACT_WIDTH,
+            })
+        }
+        (_, _, arg) => {
+            let arg = match arg {
+                Some(e) => Some(compile_pexpr(e, 0, leaves)?),
+                None => None,
+            };
+            Some(PosAggSpec::Generic { agg: idx, arg })
+        }
+    }
+}
+
+fn build_node<'p>(tree: &'p Tree, leaves: &mut Vec<&'p ScanPlan>) -> Option<PosNode> {
+    match tree {
+        Tree::Leaf(input) => {
+            // Unwrap identity subqueries down to the base scan; the scan
+            // must expose the full 6-column fact layout for offset math.
+            let scan = identity_scan(tree)?;
+            if scan.schema.len() != FACT_WIDTH || input.schema().len() != FACT_WIDTH {
+                return None;
+            }
+            let leaf = leaves.len();
+            leaves.push(scan);
+            let residual = match &scan.residual {
+                Some(r) => {
+                    let leaf_slice = &leaves[..];
+                    Some(compile_pexpr(r, leaf, leaf_slice)?)
+                }
+                None => None,
+            };
+            Some(PosNode::Scan { leaf, residual })
+        }
+        Tree::Join {
+            left,
+            right,
+            keys,
+            residual,
+            ..
+        } => {
+            let base = leaves.len();
+            let l = build_node(left, leaves)?;
+            let n_left = leaves.len() - base;
+            let r = build_node(right, leaves)?;
+            if keys.is_empty() || keys.len() > 2 {
+                return None;
+            }
+            let mut pos_keys = Vec::with_capacity(keys.len());
+            for &(lk, rk) in keys {
+                let lcol = IntCol::from_offset(lk % FACT_WIDTH)?;
+                let rcol = IntCol::from_offset(rk % FACT_WIDTH)?;
+                let lleaf = base + lk / FACT_WIDTH;
+                let rleaf = base + n_left + rk / FACT_WIDTH;
+                if lleaf >= base + n_left || rleaf >= leaves.len() {
+                    return None;
+                }
+                pos_keys.push(((lleaf, lcol), (rleaf, rcol)));
+            }
+            let residual = match residual {
+                Some(r) => Some(compile_pexpr(r, base, leaves)?),
+                None => None,
+            };
+            Some(PosNode::Join {
+                left: Box::new(l),
+                right: Box::new(r),
+                base,
+                n_left,
+                keys: pos_keys,
+                residual,
+            })
+        }
+    }
+}
+
+// ---- execution -------------------------------------------------------------
+
+/// A batch of positional rows: `stride` positions per row, one per leaf of
+/// the producing subtree, stored flat.
+struct PosBatch {
+    stride: usize,
+    data: Vec<u32>,
+}
+
+impl PosBatch {
+    fn len(&self) -> usize {
+        self.data.len().checked_div(self.stride).unwrap_or(0)
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// One column (positions of a single leaf, subtree-local index).
+    fn col(&self, local: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut i = local;
+        while i < self.data.len() {
+            out.push(self.data[i]);
+            i += self.stride;
+        }
+        out
+    }
+}
+
+/// Execute an admitted plan.
+pub(crate) fn execute(
+    plan: &QueryPlan,
+    pos: &PosPlan<'_>,
+    report: &mut QueryReport,
+) -> Result<ResultSet> {
+    let tables: Vec<&dyn FactTable> = pos.leaves.iter().map(|s| s.table.as_ref()).collect();
+
+    let mut batch = exec_node(&pos.root, pos, &tables, report);
+
+    if let Some(f) = &pos.post_filter {
+        let mut data = Vec::with_capacity(batch.data.len());
+        for i in 0..batch.len() {
+            let row = batch.row(i);
+            if f.eval_predicate(&tables, 0, row) {
+                data.extend_from_slice(row);
+            }
+        }
+        batch = PosBatch {
+            stride: batch.stride,
+            data,
+        };
+    }
+
+    match (&pos.group, &plan.group) {
+        (Some(shape), Some(gplan)) => {
+            let tuples = exec_group(shape, &gplan.aggs, &batch, &tables);
+            Ok(exec::project_sort_limit(plan, &tuples, report))
+        }
+        _ => {
+            let project = pos
+                .project
+                .as_ref()
+                .expect("non-grouped positional plan carries a projection");
+            // Late materialization: SqlValue rows exist only here.
+            let mut decorated: Vec<(Vec<SqlValue>, Tuple)> = Vec::with_capacity(batch.len());
+            for i in 0..batch.len() {
+                let row = batch.row(i);
+                let out: Tuple = project
+                    .exprs
+                    .iter()
+                    .map(|e| e.eval(&tables, 0, row))
+                    .collect();
+                let keys: Vec<SqlValue> = project
+                    .order
+                    .iter()
+                    .map(|e| e.eval(&tables, 0, row))
+                    .collect();
+                decorated.push((keys, out));
+            }
+            Ok(exec::finish_decorated(plan, decorated, report))
+        }
+    }
+}
+
+fn exec_node(
+    node: &PosNode,
+    pos: &PosPlan<'_>,
+    tables: &[&dyn FactTable],
+    report: &mut QueryReport,
+) -> PosBatch {
+    match node {
+        PosNode::Scan { leaf, residual } => {
+            exec_scan(pos.leaves[*leaf], *leaf, residual.as_ref(), tables, report)
+        }
+        PosNode::Join {
+            left,
+            right,
+            base,
+            n_left,
+            keys,
+            residual,
+        } => {
+            let lb = exec_node(left, pos, tables, report);
+            let rb = exec_node(right, pos, tables, report);
+            exec_join(
+                lb,
+                rb,
+                *base,
+                *n_left,
+                keys,
+                residual.as_ref(),
+                tables,
+                report,
+            )
+        }
+    }
+}
+
+/// Positional scan: emit surviving positions; no tuple is materialized.
+/// Mirrors the tuple executor's visit order and telemetry exactly.
+fn exec_scan(
+    scan: &ScanPlan,
+    leaf: usize,
+    residual: Option<&PExpr>,
+    tables: &[&dyn FactTable],
+    report: &mut QueryReport,
+) -> PosBatch {
+    let table = scan.table.as_ref();
+    let mut out: Vec<u32> = Vec::new();
+    let mut scanned = 0usize;
+
+    // Unfiltered index scans copy postings/ranges wholesale — the common
+    // SC/KW case (no TID injection) never touches per-position logic.
+    let unfiltered = residual.is_none() && scan.fast.is_empty();
+    if unfiltered {
+        match &scan.access {
+            AccessPath::ValueIndex { .. } => {
+                for v in &scan.driving_values {
+                    out.extend_from_slice(table.postings(v));
+                }
+            }
+            AccessPath::TableIndex { .. } => {
+                for &t in &scan.driving_tables {
+                    out.extend(table.table_postings(t).map(|p| p as u32));
+                }
+            }
+            AccessPath::SeqScan { .. } => {
+                out.extend(0..table.len() as u32);
+            }
+        }
+        report.scans.push(ScanReport {
+            alias: scan.alias.clone(),
+            access: scan.access.label().to_string(),
+            estimated: scan.access.estimated(),
+            scanned: out.len(),
+            emitted: out.len(),
+        });
+        return PosBatch {
+            stride: 1,
+            data: out,
+        };
+    }
+
+    let mut visit = |pos: u32, out: &mut Vec<u32>| {
+        scanned += 1;
+        if !fast_filters_pass(table, pos as usize, &scan.fast) {
+            return;
+        }
+        if let Some(res) = residual {
+            if !res.eval_predicate(tables, leaf, std::slice::from_ref(&pos)) {
+                return;
+            }
+        }
+        out.push(pos);
+    };
+
+    match &scan.access {
+        AccessPath::ValueIndex { .. } => {
+            for v in &scan.driving_values {
+                for &pos in table.postings(v) {
+                    visit(pos, &mut out);
+                }
+            }
+        }
+        AccessPath::TableIndex { .. } => {
+            for &t in &scan.driving_tables {
+                for pos in table.table_postings(t) {
+                    visit(pos as u32, &mut out);
+                }
+            }
+        }
+        AccessPath::SeqScan { .. } => {
+            for pos in 0..table.len() {
+                visit(pos as u32, &mut out);
+            }
+        }
+    }
+
+    report.scans.push(ScanReport {
+        alias: scan.alias.clone(),
+        access: scan.access.label().to_string(),
+        estimated: scan.access.estimated(),
+        scanned,
+        emitted: out.len(),
+    });
+    PosBatch {
+        stride: 1,
+        data: out,
+    }
+}
+
+/// Pack 1–2 u32 key values into a u64.
+#[inline]
+fn pack2(vals: [u32; 2], n: usize) -> u64 {
+    if n == 1 {
+        vals[0] as u64
+    } else {
+        ((vals[0] as u64) << 32) | vals[1] as u64
+    }
+}
+
+/// Per-leaf position columns of a batch, extracted at most once. The MC
+/// join keys (TableId, RowId) and the SC group keys (TableId, ColumnId)
+/// both reference one leaf twice — without the cache every key column
+/// would re-copy the same strided positions. Stride-1 batches borrow the
+/// batch's data directly, copying nothing.
+struct ColCache<'b> {
+    batch: &'b PosBatch,
+    cols: Vec<Option<Vec<u32>>>,
+}
+
+impl<'b> ColCache<'b> {
+    fn new(batch: &'b PosBatch) -> Self {
+        ColCache {
+            batch,
+            cols: vec![None; batch.stride],
+        }
+    }
+
+    /// Positions of the (subtree-local) leaf column.
+    fn positions(&mut self, local: usize) -> &[u32] {
+        if self.batch.stride == 1 {
+            return &self.batch.data;
+        }
+        self.cols[local].get_or_insert_with(|| self.batch.col(local))
+    }
+}
+
+/// Positional hash join on packed u64 keys. Build/probe side selection and
+/// output row order mirror the tuple executor's `hash_join` so the two
+/// paths produce byte-identical results.
+#[allow(clippy::too_many_arguments)]
+fn exec_join(
+    left: PosBatch,
+    right: PosBatch,
+    base: usize,
+    n_left: usize,
+    keys: &[(PosCol, PosCol)],
+    residual: Option<&PExpr>,
+    tables: &[&dyn FactTable],
+    report: &mut QueryReport,
+) -> PosBatch {
+    let build_left = left.len() <= right.len();
+    let (build, probe) = if build_left {
+        (&left, &right)
+    } else {
+        (&right, &left)
+    };
+    let right_base = base + n_left;
+
+    // Key columns for one side, gathered in bulk (one virtual dispatch per
+    // column, not per row; positions extracted once per leaf).
+    let side_keys = |batch: &PosBatch, side_base: usize, pick_left: bool| -> Vec<Vec<u32>> {
+        let mut cache = ColCache::new(batch);
+        keys.iter()
+            .map(|&(lk, rk)| {
+                let (leaf, col) = if pick_left { lk } else { rk };
+                let mut vals = Vec::with_capacity(batch.len());
+                col.gather(tables[leaf], cache.positions(leaf - side_base), &mut vals);
+                vals
+            })
+            .collect()
+    };
+    let build_keys = side_keys(
+        build,
+        if build_left { base } else { right_base },
+        build_left,
+    );
+    let probe_keys = side_keys(
+        probe,
+        if build_left { right_base } else { base },
+        !build_left,
+    );
+
+    let nk = keys.len();
+    let key_at = |cols: &[Vec<u32>], i: usize| -> u64 {
+        let mut vals = [0u32; 2];
+        for (k, col) in cols.iter().enumerate() {
+            vals[k] = col[i];
+        }
+        pack2(vals, nk)
+    };
+
+    let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    for i in 0..build.len() {
+        table
+            .entry(key_at(&build_keys, i))
+            .or_default()
+            .push(i as u32);
+    }
+
+    let stride = left.stride + right.stride;
+    let mut out: Vec<u32> = Vec::new();
+    let mut joined: Vec<u32> = vec![0; stride];
+    let mut n_out = 0usize;
+    for i in 0..probe.len() {
+        let Some(matches) = table.get(&key_at(&probe_keys, i)) else {
+            continue;
+        };
+        let pt = probe.row(i);
+        for &bi in matches {
+            let bt = build.row(bi as usize);
+            let (lt, rt) = if build_left { (bt, pt) } else { (pt, bt) };
+            joined[..lt.len()].copy_from_slice(lt);
+            joined[lt.len()..].copy_from_slice(rt);
+            if let Some(res) = residual {
+                if !res.eval_predicate(tables, base, &joined) {
+                    continue;
+                }
+            }
+            out.extend_from_slice(&joined);
+            n_out += 1;
+        }
+    }
+    report.joins.push((build.len(), probe.len(), n_out));
+    PosBatch { stride, data: out }
+}
+
+// ---- aggregation -----------------------------------------------------------
+
+/// Per-group aggregate state; the distinct-value variants are what make
+/// `COUNT(DISTINCT CellValue)` allocation-free.
+enum PosAggState<'a> {
+    CountStar(i64),
+    DistinctCodes(FxHashSet<u32>),
+    DistinctStrs(FxHashSet<&'a str>),
+    Generic(AggState),
+}
+
+impl PosAggState<'_> {
+    fn finish(self) -> SqlValue {
+        match self {
+            PosAggState::CountStar(n) => SqlValue::Int(n),
+            PosAggState::DistinctCodes(set) => SqlValue::Int(set.len() as i64),
+            PosAggState::DistinctStrs(set) => SqlValue::Int(set.len() as i64),
+            PosAggState::Generic(state) => state.finish(),
+        }
+    }
+}
+
+/// Positional GROUP BY: group keys pack into a `u64` (≤2 columns, the
+/// SC/KW shape) or a `u128` (the C shape's 3 columns); aggregate updates
+/// read from storage positions. Group output order is first-seen, matching
+/// the tuple executor.
+fn exec_group<'a>(
+    shape: &PosGroup,
+    agg_plans: &[AggPlan],
+    batch: &PosBatch,
+    tables: &'a [&'a dyn FactTable],
+) -> Vec<Tuple> {
+    let n_rows = batch.len();
+    let mut cache = ColCache::new(batch);
+
+    // Gather key columns in bulk (positions extracted once per leaf).
+    let key_cols: Vec<Vec<u32>> = shape
+        .keys
+        .iter()
+        .map(|&(leaf, col)| {
+            let mut vals = Vec::with_capacity(n_rows);
+            col.gather(tables[leaf], cache.positions(leaf), &mut vals);
+            vals
+        })
+        .collect();
+
+    // Pre-gather dictionary codes for distinct-value aggregates where the
+    // engine has them; fall back to borrowed-&str hashing otherwise.
+    let prepared: Vec<Option<Vec<u32>>> = shape
+        .aggs
+        .iter()
+        .map(|spec| match spec {
+            PosAggSpec::DistinctValue { leaf } if tables[*leaf].has_value_codes() => {
+                let mut codes = Vec::with_capacity(n_rows);
+                let ok = tables[*leaf].gather_value_codes(cache.positions(*leaf), &mut codes);
+                debug_assert!(ok);
+                Some(codes)
+            }
+            _ => None,
+        })
+        .collect();
+
+    let new_states = |states: &mut Vec<PosAggState<'a>>| {
+        for (spec, pre) in shape.aggs.iter().zip(&prepared) {
+            states.push(match spec {
+                PosAggSpec::CountStar => PosAggState::CountStar(0),
+                PosAggSpec::DistinctValue { .. } if pre.is_some() => {
+                    PosAggState::DistinctCodes(FxHashSet::default())
+                }
+                PosAggSpec::DistinctValue { .. } => PosAggState::DistinctStrs(FxHashSet::default()),
+                PosAggSpec::Generic { agg, .. } => {
+                    PosAggState::Generic(AggState::new(&agg_plans[*agg]))
+                }
+            });
+        }
+    };
+
+    // first-seen row index per group (for key value output) + states.
+    let mut groups: Vec<(usize, Vec<PosAggState<'a>>)> = Vec::new();
+    let global = shape.keys.is_empty();
+    if global {
+        let mut states = Vec::with_capacity(shape.aggs.len());
+        new_states(&mut states);
+        groups.push((0, states));
+    }
+
+    let nk = shape.keys.len();
+    let mut index64: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut index128: FxHashMap<u128, u32> = FxHashMap::default();
+
+    for i in 0..n_rows {
+        let gi = if global {
+            0
+        } else if nk <= 2 {
+            let mut vals = [0u32; 2];
+            for (k, col) in key_cols.iter().enumerate() {
+                vals[k] = col[i];
+            }
+            match index64.entry(pack2(vals, nk)) {
+                Entry::Occupied(e) => *e.get() as usize,
+                Entry::Vacant(e) => {
+                    let gi = groups.len();
+                    e.insert(gi as u32);
+                    let mut states = Vec::with_capacity(shape.aggs.len());
+                    new_states(&mut states);
+                    groups.push((i, states));
+                    gi
+                }
+            }
+        } else {
+            let mut key: u128 = 0;
+            for col in &key_cols {
+                key = (key << 32) | col[i] as u128;
+            }
+            match index128.entry(key) {
+                Entry::Occupied(e) => *e.get() as usize,
+                Entry::Vacant(e) => {
+                    let gi = groups.len();
+                    e.insert(gi as u32);
+                    let mut states = Vec::with_capacity(shape.aggs.len());
+                    new_states(&mut states);
+                    groups.push((i, states));
+                    gi
+                }
+            }
+        };
+
+        let row = batch.row(i);
+        let (_, states) = &mut groups[gi];
+        for ((state, spec), pre) in states.iter_mut().zip(&shape.aggs).zip(&prepared) {
+            match (state, spec) {
+                (PosAggState::CountStar(n), _) => *n += 1,
+                (PosAggState::DistinctCodes(set), _) => {
+                    set.insert(pre.as_ref().expect("codes gathered")[i]);
+                }
+                (PosAggState::DistinctStrs(set), PosAggSpec::DistinctValue { leaf }) => {
+                    set.insert(tables[*leaf].value_at(row[*leaf] as usize));
+                }
+                (PosAggState::Generic(state), PosAggSpec::Generic { arg, .. }) => {
+                    state.update_value(arg.as_ref().map(|e| e.eval(tables, 0, row)));
+                }
+                _ => unreachable!("state/spec built in lockstep"),
+            }
+        }
+    }
+
+    // Materialize post-aggregation tuples: key columns then aggregates,
+    // exactly like the tuple executor's group output.
+    groups
+        .into_iter()
+        .map(|(first_row, states)| {
+            let mut row: Tuple = Vec::with_capacity(nk + states.len());
+            for col in &key_cols {
+                row.push(SqlValue::Int(col[first_row] as i64));
+            }
+            row.extend(states.into_iter().map(PosAggState::finish));
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ExecPath, SqlEngine};
+    use blend_storage::{build_engine, EngineKind};
+
+    fn engine(kind: EngineKind) -> SqlEngine {
+        let mut rows = Vec::new();
+        for t in 0..4u32 {
+            for r in 0..6u32 {
+                rows.push(blend_storage::FactRow::new(
+                    &format!("k{}", (t + r) % 5),
+                    t,
+                    0,
+                    r,
+                    ((t as u128) << 32) | r as u128,
+                    None,
+                ));
+                rows.push(blend_storage::FactRow::new(
+                    &format!("{}", r * 10),
+                    t,
+                    1,
+                    r,
+                    ((t as u128) << 32) | r as u128,
+                    Some(r % 2 == 0),
+                ));
+            }
+        }
+        SqlEngine::with_alltables(build_engine(kind, rows))
+    }
+
+    fn both_paths(eng: &SqlEngine, sql: &str) -> (ResultSet, String, ResultSet) {
+        let (a, ra) = eng.execute_with_report_path(sql, ExecPath::Auto).unwrap();
+        let (b, _) = eng
+            .execute_with_report_path(sql, ExecPath::TupleOnly)
+            .unwrap();
+        (a, ra.path, b)
+    }
+
+    #[test]
+    fn sc_shape_is_admitted_on_both_engines() {
+        for kind in [EngineKind::Row, EngineKind::Column] {
+            let eng = engine(kind);
+            let (a, path, b) = both_paths(
+                &eng,
+                "SELECT TableId AS t, COUNT(DISTINCT CellValue) AS score FROM AllTables \
+                 WHERE CellValue IN ('k0','k2','k4') GROUP BY TableId, ColumnId \
+                 ORDER BY score DESC LIMIT 10",
+            );
+            assert_eq!(path, "positional");
+            assert_eq!(a, b);
+            assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn mc_join_shape_is_admitted() {
+        for kind in [EngineKind::Row, EngineKind::Column] {
+            let eng = engine(kind);
+            let (a, path, b) = both_paths(
+                &eng,
+                "SELECT q0.TableId AS tid, q0.RowId AS rid, q0.SuperKey AS sk, \
+                 q0.CellValue AS v0, q1.CellValue AS v1 FROM \
+                 (SELECT * FROM AllTables WHERE CellValue IN ('k1','k3')) AS q0 \
+                 INNER JOIN (SELECT * FROM AllTables WHERE CellValue IN ('10','30')) AS q1 \
+                 ON q0.TableId = q1.TableId AND q0.RowId = q1.RowId",
+            );
+            assert_eq!(path, "positional");
+            assert_eq!(a, b);
+            assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn correlation_shape_with_residual_and_three_group_keys() {
+        for kind in [EngineKind::Row, EngineKind::Column] {
+            let eng = engine(kind);
+            let (a, path, b) = both_paths(
+                &eng,
+                "SELECT keys.TableId AS t, keys.ColumnId AS kc, nums.ColumnId AS nc, \
+                 ABS((2 * SUM(((keys.CellValue IN ('k0','k1') AND nums.Quadrant = 0) OR \
+                 (keys.CellValue IN ('k2','k3','k4') AND nums.Quadrant = 1))::int) - COUNT(*)) \
+                 / COUNT(*)) AS score, COUNT(*) AS n \
+                 FROM (SELECT * FROM AllTables WHERE RowId < 6 AND \
+                 CellValue IN ('k0','k1','k2','k3','k4')) keys \
+                 INNER JOIN (SELECT * FROM AllTables WHERE RowId < 6 AND \
+                 Quadrant IS NOT NULL) nums \
+                 ON keys.TableId = nums.TableId AND keys.RowId = nums.RowId \
+                 AND keys.ColumnId <> nums.ColumnId \
+                 GROUP BY keys.TableId, nums.ColumnId, keys.ColumnId \
+                 ORDER BY score DESC",
+            );
+            assert_eq!(path, "positional");
+            assert_eq!(a, b);
+            assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn global_aggregate_emits_one_row_even_when_empty() {
+        let eng = engine(EngineKind::Column);
+        let (a, path, b) = both_paths(
+            &eng,
+            "SELECT COUNT(*) AS n FROM AllTables WHERE CellValue IN ('no-such-value')",
+        );
+        assert_eq!(path, "positional");
+        assert_eq!(a, b);
+        assert_eq!(a.i64(0, "n"), Some(0));
+    }
+
+    #[test]
+    fn expression_group_keys_fall_back() {
+        let eng = engine(EngineKind::Column);
+        let (rs, report) = eng
+            .execute_with_report_path(
+                "SELECT TableId + 1 AS t1, COUNT(*) AS n FROM AllTables GROUP BY TableId + 1",
+                ExecPath::Auto,
+            )
+            .unwrap();
+        assert_eq!(report.path, "tuple");
+        assert!(!rs.is_empty());
+    }
+
+    #[test]
+    fn never_true_injection_yields_empty_results_positionally() {
+        // The rewriter's empty-intersection fragment (`AND 1 = 0`) must be
+        // executable on the positional path too.
+        let eng = engine(EngineKind::Column);
+        let (a, path, b) = both_paths(
+            &eng,
+            "SELECT TableId AS t, COUNT(DISTINCT CellValue) AS score FROM AllTables \
+             WHERE CellValue IN ('k0','k1') AND 1 = 0 GROUP BY TableId, ColumnId",
+        );
+        assert_eq!(path, "positional");
+        assert_eq!(a, b);
+        assert!(a.is_empty());
+    }
+}

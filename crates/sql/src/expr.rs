@@ -130,9 +130,7 @@ pub enum CExpr {
 /// calling this.
 pub fn compile(expr: &Expr, schema: &Schema) -> Result<CExpr> {
     Ok(match expr {
-        Expr::Column { qualifier, name } => {
-            CExpr::Col(schema.resolve(qualifier.as_deref(), name)?)
-        }
+        Expr::Column { qualifier, name } => CExpr::Col(schema.resolve(qualifier.as_deref(), name)?),
         Expr::Int(i) => CExpr::Const(SqlValue::Int(*i)),
         Expr::Float(f) => CExpr::Const(SqlValue::Float(*f)),
         Expr::Str(s) => CExpr::Const(SqlValue::Text(Arc::from(s.as_str()))),
@@ -171,9 +169,7 @@ pub fn compile(expr: &Expr, schema: &Schema) -> Result<CExpr> {
             }
             CExpr::InSet(Box::new(compile(expr, schema)?), Arc::new(set), *negated)
         }
-        Expr::IsNull { expr, negated } => {
-            CExpr::IsNull(Box::new(compile(expr, schema)?), *negated)
-        }
+        Expr::IsNull { expr, negated } => CExpr::IsNull(Box::new(compile(expr, schema)?), *negated),
         Expr::Agg { .. } => {
             return Err(BlendError::SqlPlan(
                 "aggregate call outside GROUP BY context".into(),
@@ -190,22 +186,7 @@ impl CExpr {
         match self {
             CExpr::Col(i) => tuple[*i].clone(),
             CExpr::Const(v) => v.clone(),
-            CExpr::Unary(op, e) => {
-                let v = e.eval(tuple);
-                match op {
-                    UnaryOp::Neg => match v {
-                        SqlValue::Int(i) => SqlValue::Int(-i),
-                        SqlValue::Float(f) => SqlValue::Float(-f),
-                        SqlValue::Null => SqlValue::Null,
-                        _ => SqlValue::Null,
-                    },
-                    UnaryOp::Not => match v {
-                        SqlValue::Bool(b) => SqlValue::Bool(!b),
-                        SqlValue::Null => SqlValue::Null,
-                        _ => SqlValue::Null,
-                    },
-                }
-            }
+            CExpr::Unary(op, e) => eval_unary_value(*op, e.eval(tuple)),
             CExpr::Binary(l, op, r) => eval_binary(l, *op, r, tuple),
             CExpr::InSet(e, set, negated) => {
                 let v = e.eval(tuple);
@@ -219,23 +200,8 @@ impl CExpr {
                 let isnull = e.eval(tuple).is_null();
                 SqlValue::Bool(isnull != *negated)
             }
-            CExpr::CastInt(e) => match e.eval(tuple) {
-                SqlValue::Null => SqlValue::Null,
-                SqlValue::Bool(b) => SqlValue::Int(b as i64),
-                SqlValue::Int(i) => SqlValue::Int(i),
-                SqlValue::Float(f) => SqlValue::Int(f as i64),
-                SqlValue::Text(s) => s
-                    .trim()
-                    .parse::<i64>()
-                    .map(SqlValue::Int)
-                    .unwrap_or(SqlValue::Null),
-                SqlValue::U128(_) => SqlValue::Null,
-            },
-            CExpr::Abs(e) => match e.eval(tuple) {
-                SqlValue::Int(i) => SqlValue::Int(i.abs()),
-                SqlValue::Float(f) => SqlValue::Float(f.abs()),
-                _ => SqlValue::Null,
-            },
+            CExpr::CastInt(e) => eval_cast_int_value(e.eval(tuple)),
+            CExpr::Abs(e) => eval_abs_value(e.eval(tuple)),
         }
     }
 
@@ -254,50 +220,106 @@ fn eval_binary(l: &CExpr, op: BinOp, r: &CExpr, tuple: &[SqlValue]) -> SqlValue 
             if matches!(lv, SqlValue::Bool(false)) {
                 return SqlValue::Bool(false);
             }
-            let rv = r.eval(tuple);
-            match (lv, rv) {
-                (_, SqlValue::Bool(false)) => SqlValue::Bool(false),
-                (SqlValue::Bool(true), SqlValue::Bool(true)) => SqlValue::Bool(true),
-                _ => SqlValue::Null,
-            }
+            combine_and(lv, r.eval(tuple))
         }
         BinOp::Or => {
             let lv = l.eval(tuple);
             if matches!(lv, SqlValue::Bool(true)) {
                 return SqlValue::Bool(true);
             }
-            let rv = r.eval(tuple);
-            match (lv, rv) {
-                (_, SqlValue::Bool(true)) => SqlValue::Bool(true),
-                (SqlValue::Bool(false), SqlValue::Bool(false)) => SqlValue::Bool(false),
-                _ => SqlValue::Null,
-            }
+            combine_or(lv, r.eval(tuple))
         }
-        BinOp::Eq | BinOp::Neq => {
-            let lv = l.eval(tuple);
-            let rv = r.eval(tuple);
-            match lv.sql_eq(&rv) {
-                SqlValue::Bool(b) => SqlValue::Bool(if op == BinOp::Eq { b } else { !b }),
-                _ => SqlValue::Null,
-            }
+        _ => eval_cmp_arith(op, l.eval(tuple), r.eval(tuple)),
+    }
+}
+
+// The value-level operator semantics below are shared by the tuple
+// evaluator above and the positional evaluator in `exec_positional`, so
+// the two executors cannot drift apart.
+
+/// Three-valued AND over both evaluated operands (callers short-circuit on
+/// a FALSE left side before evaluating the right).
+pub(crate) fn combine_and(lv: SqlValue, rv: SqlValue) -> SqlValue {
+    match (lv, rv) {
+        (_, SqlValue::Bool(false)) => SqlValue::Bool(false),
+        (SqlValue::Bool(true), SqlValue::Bool(true)) => SqlValue::Bool(true),
+        _ => SqlValue::Null,
+    }
+}
+
+/// Three-valued OR over both evaluated operands (callers short-circuit on
+/// a TRUE left side before evaluating the right).
+pub(crate) fn combine_or(lv: SqlValue, rv: SqlValue) -> SqlValue {
+    match (lv, rv) {
+        (_, SqlValue::Bool(true)) => SqlValue::Bool(true),
+        (SqlValue::Bool(false), SqlValue::Bool(false)) => SqlValue::Bool(false),
+        _ => SqlValue::Null,
+    }
+}
+
+/// Unary operator on an evaluated operand.
+pub(crate) fn eval_unary_value(op: UnaryOp, v: SqlValue) -> SqlValue {
+    match op {
+        UnaryOp::Neg => match v {
+            SqlValue::Int(i) => SqlValue::Int(-i),
+            SqlValue::Float(f) => SqlValue::Float(-f),
+            _ => SqlValue::Null,
+        },
+        UnaryOp::Not => match v {
+            SqlValue::Bool(b) => SqlValue::Bool(!b),
+            _ => SqlValue::Null,
+        },
+    }
+}
+
+/// `::int` cast on an evaluated operand.
+pub(crate) fn eval_cast_int_value(v: SqlValue) -> SqlValue {
+    match v {
+        SqlValue::Null => SqlValue::Null,
+        SqlValue::Bool(b) => SqlValue::Int(b as i64),
+        SqlValue::Int(i) => SqlValue::Int(i),
+        SqlValue::Float(f) => SqlValue::Int(f as i64),
+        SqlValue::Text(s) => s
+            .trim()
+            .parse::<i64>()
+            .map(SqlValue::Int)
+            .unwrap_or(SqlValue::Null),
+        SqlValue::U128(_) => SqlValue::Null,
+    }
+}
+
+/// `ABS` on an evaluated operand.
+pub(crate) fn eval_abs_value(v: SqlValue) -> SqlValue {
+    match v {
+        SqlValue::Int(i) => SqlValue::Int(i.abs()),
+        SqlValue::Float(f) => SqlValue::Float(f.abs()),
+        _ => SqlValue::Null,
+    }
+}
+
+/// Apply a non-logical binary operator to already-evaluated operands.
+/// Shared by the tuple evaluator above and the positional evaluator in
+/// `exec_positional` (which computes operands from storage positions).
+pub(crate) fn eval_cmp_arith(op: BinOp, lv: SqlValue, rv: SqlValue) -> SqlValue {
+    match op {
+        BinOp::And | BinOp::Or => {
+            unreachable!("logical ops are short-circuited by the caller")
         }
-        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-            let lv = l.eval(tuple);
-            let rv = r.eval(tuple);
-            match lv.sql_cmp(&rv) {
-                None => SqlValue::Null,
-                Some(ord) => SqlValue::Bool(match op {
-                    BinOp::Lt => ord.is_lt(),
-                    BinOp::Le => ord.is_le(),
-                    BinOp::Gt => ord.is_gt(),
-                    BinOp::Ge => ord.is_ge(),
-                    _ => unreachable!(),
-                }),
-            }
-        }
+        BinOp::Eq | BinOp::Neq => match lv.sql_eq(&rv) {
+            SqlValue::Bool(b) => SqlValue::Bool(if op == BinOp::Eq { b } else { !b }),
+            _ => SqlValue::Null,
+        },
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match lv.sql_cmp(&rv) {
+            None => SqlValue::Null,
+            Some(ord) => SqlValue::Bool(match op {
+                BinOp::Lt => ord.is_lt(),
+                BinOp::Le => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::Ge => ord.is_ge(),
+                _ => unreachable!(),
+            }),
+        },
         BinOp::Add | BinOp::Sub | BinOp::Mul => {
-            let lv = l.eval(tuple);
-            let rv = r.eval(tuple);
             if lv.is_null() || rv.is_null() {
                 return SqlValue::Null;
             }
@@ -320,19 +342,15 @@ fn eval_binary(l: &CExpr, op: BinOp, r: &CExpr, tuple: &[SqlValue]) -> SqlValue 
         BinOp::Div => {
             // Division always yields a float: Listing 3 relies on
             // `(2*SUM(..)-COUNT(*))/COUNT(*)` being fractional.
-            let (lv, rv) = (l.eval(tuple), r.eval(tuple));
             match (lv.as_f64(), rv.as_f64()) {
                 (Some(a), Some(b)) if b != 0.0 => SqlValue::Float(a / b),
                 _ => SqlValue::Null,
             }
         }
-        BinOp::Mod => {
-            let (lv, rv) = (l.eval(tuple), r.eval(tuple));
-            match (lv.as_i64(), rv.as_i64()) {
-                (Some(a), Some(b)) if b != 0 => SqlValue::Int(a.rem_euclid(b)),
-                _ => SqlValue::Null,
-            }
-        }
+        BinOp::Mod => match (lv.as_i64(), rv.as_i64()) {
+            (Some(a), Some(b)) if b != 0 => SqlValue::Int(a.rem_euclid(b)),
+            _ => SqlValue::Null,
+        },
     }
 }
 

@@ -49,9 +49,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 }
             }
             '/' if bytes.get(i + 1) == Some(&b'*') => {
-                let close = sql[i + 2..].find("*/").ok_or_else(|| {
-                    BlendError::SqlParse("unterminated block comment".into())
-                })?;
+                let close = sql[i + 2..]
+                    .find("*/")
+                    .ok_or_else(|| BlendError::SqlParse("unterminated block comment".into()))?;
                 i += 2 + close + 2;
             }
             '(' => {
@@ -66,10 +66,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 out.push(Token::Comma);
                 i += 1;
             }
-            '.' if !bytes
-                .get(i + 1)
-                .is_some_and(|b| b.is_ascii_digit()) =>
-            {
+            '.' if !bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) => {
                 out.push(Token::Dot);
                 i += 1;
             }
@@ -101,22 +98,20 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 out.push(Token::Neq);
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        out.push(Token::Le);
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        out.push(Token::Neq);
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    out.push(Token::Neq);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Token::Ge);
@@ -250,10 +245,8 @@ mod tests {
         );
         // Trailing semicolons are not in our grammar; strip before lexing.
         assert!(toks.is_err() || toks.is_ok()); // `;` is rejected
-        let toks = tokenize(
-            "SELECT TableId FROM AllTables WHERE CellValue IN ('a','b') LIMIT 10",
-        )
-        .unwrap();
+        let toks = tokenize("SELECT TableId FROM AllTables WHERE CellValue IN ('a','b') LIMIT 10")
+            .unwrap();
         assert!(matches!(toks[0], Token::Ident(ref s) if s == "SELECT"));
         assert!(toks.contains(&Token::Str("a".into())));
         assert!(toks.contains(&Token::Int(10)));

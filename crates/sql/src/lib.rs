@@ -29,13 +29,14 @@
 pub mod ast;
 pub mod engine;
 pub mod exec;
+pub mod exec_positional;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
 pub mod value;
 
-pub use engine::{Database, SqlEngine};
+pub use engine::{Database, ExecPath, SqlEngine};
 pub use exec::{QueryReport, ResultSet, ScanReport};
 pub use value::SqlValue;
 

@@ -99,12 +99,12 @@ impl Parser {
         self.expect_kw("SELECT")?;
         let select = self.select_list()?;
         self.expect_kw("FROM")?;
-        let from = self.from_item()?;
+        let from = self.parse_from_item()?;
         let mut joins = Vec::new();
         loop {
             let inner = self.eat_kw("INNER");
             if self.eat_kw("JOIN") {
-                let item = self.from_item()?;
+                let item = self.parse_from_item()?;
                 self.expect_kw("ON")?;
                 let on = self.expr()?;
                 joins.push(Join { item, on });
@@ -197,7 +197,7 @@ impl Parser {
         Ok(items)
     }
 
-    fn from_item(&mut self) -> Result<FromItem> {
+    fn parse_from_item(&mut self) -> Result<FromItem> {
         let source = if self.eat(&Token::LParen) {
             let q = self.query()?;
             self.expect(&Token::RParen)?;
@@ -615,7 +615,11 @@ mod tests {
         let q = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
         // Must parse as a OR (b AND c).
         match q.where_clause.unwrap() {
-            Expr::Binary { op: BinOp::Or, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
             }
             other => panic!("{other:?}"),
@@ -627,7 +631,11 @@ mod tests {
         let q = parse("SELECT 1 + 2 * 3 FROM t").unwrap();
         match &q.select[0] {
             SelectItem::Expr { expr, .. } => match expr {
-                Expr::Binary { op: BinOp::Add, right, .. } => {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    right,
+                    ..
+                } => {
                     assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("{other:?}"),
@@ -666,7 +674,13 @@ mod tests {
         let q = parse("SELECT -x FROM t WHERE NOT a = 1 AND NOT (b = 2)").unwrap();
         match &q.select[0] {
             SelectItem::Expr { expr, .. } => {
-                assert!(matches!(expr, Expr::Unary { op: UnaryOp::Neg, .. }))
+                assert!(matches!(
+                    expr,
+                    Expr::Unary {
+                        op: UnaryOp::Neg,
+                        ..
+                    }
+                ))
             }
             _ => panic!(),
         }

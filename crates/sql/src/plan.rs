@@ -85,6 +85,25 @@ impl FastFilters {
             quadrant_null: None,
         }
     }
+
+    /// True when no filter is set, i.e. [`fast_filters_pass`] accepts every
+    /// position. Kept next to the struct so adding a field forces this (and
+    /// the positional executor's bulk-scan fast path that relies on it) to
+    /// be updated in the same place.
+    pub fn is_empty(&self) -> bool {
+        let FastFilters {
+            value_probe,
+            table_set,
+            table_not_set,
+            rowid_lt,
+            quadrant_null,
+        } = self;
+        value_probe.is_none()
+            && table_set.is_none()
+            && table_not_set.is_none()
+            && rowid_lt.is_none()
+            && quadrant_null.is_none()
+    }
 }
 
 /// A physical scan of the fact table.
@@ -105,7 +124,7 @@ pub struct ScanPlan {
 
 /// A leaf input: a scan or a nested query.
 pub enum InputPlan {
-    Scan(ScanPlan),
+    Scan(Box<ScanPlan>),
     /// Subquery with its outer alias; output columns are re-qualified.
     Query(Box<QueryPlan>, String),
 }
@@ -180,7 +199,11 @@ impl QueryPlan {
     /// Human-readable result labels: bare column names unless duplicated,
     /// in which case the qualifier disambiguates (`q1.tableid`).
     pub fn output_labels(&self) -> Vec<String> {
-        let names: Vec<&str> = self.projection.iter().map(|(c, _)| c.name.as_str()).collect();
+        let names: Vec<&str> = self
+            .projection
+            .iter()
+            .map(|(c, _)| c.name.as_str())
+            .collect();
         self.projection
             .iter()
             .map(|(c, _)| {
@@ -289,6 +312,7 @@ pub fn plan_query(q: &Query, catalog: &dyn Catalog) -> Result<QueryPlan> {
         || select_exprs.iter().any(|(_, e)| e.contains_agg())
         || order_pre.iter().any(|(e, _)| e.contains_agg());
 
+    #[allow(clippy::type_complexity)]
     let (group, current_schema, select_final, order_final): (
         Option<GroupPlan>,
         Schema,
@@ -381,12 +405,7 @@ pub fn plan_query(q: &Query, catalog: &dyn Catalog) -> Result<QueryPlan> {
             order_final,
         )
     } else {
-        (
-            None,
-            input_schema.clone(),
-            select_exprs.clone(),
-            order_pre,
-        )
+        (None, input_schema.clone(), select_exprs.clone(), order_pre)
     };
 
     // 4. Compile the projection. Output names come from the *original*
@@ -417,10 +436,7 @@ pub fn plan_query(q: &Query, catalog: &dyn Catalog) -> Result<QueryPlan> {
         order_by.push((compile(&e, &current_schema)?, desc));
     }
 
-    let out_cols: Vec<ColInfo> = out_infos
-        .iter()
-        .map(|c| ColInfo::bare(&c.name))
-        .collect();
+    let out_cols: Vec<ColInfo> = out_infos.iter().map(|c| ColInfo::bare(&c.name)).collect();
     Ok(QueryPlan {
         tree,
         post_filter,
@@ -505,11 +521,7 @@ fn collect_qualifiers<'a>(e: &'a Expr, out: &mut FxHashSet<&'a str>) {
             }
         }
         Expr::IsNull { expr, .. } => collect_qualifiers(expr, out),
-        Expr::Agg { arg, .. } => {
-            if let Some(a) = arg {
-                collect_qualifiers(a, out);
-            }
-        }
+        Expr::Agg { arg: Some(a), .. } => collect_qualifiers(a, out),
         _ => {}
     }
 }
@@ -555,10 +567,10 @@ fn plan_input(f: &FromItem, extra: Option<Expr>, catalog: &dyn Catalog) -> Resul
     let alias = item_alias(f);
     match &f.source {
         TableSource::Named(name) => {
-            let table = catalog.table(name).ok_or_else(|| {
-                BlendError::SqlPlan(format!("unknown table `{name}` in catalog"))
-            })?;
-            plan_scan(table, &alias, extra).map(InputPlan::Scan)
+            let table = catalog
+                .table(name)
+                .ok_or_else(|| BlendError::SqlPlan(format!("unknown table `{name}` in catalog")))?;
+            plan_scan(table, &alias, extra).map(|s| InputPlan::Scan(Box::new(s)))
         }
         TableSource::Subquery(sub) => {
             // Push the extra predicate inside the subquery when that is
@@ -600,11 +612,7 @@ fn plan_input(f: &FromItem, extra: Option<Expr>, catalog: &dyn Catalog) -> Resul
 
 /// Plan a base-table scan: classify predicate conjuncts, choose the access
 /// path by exact cardinality, and compile what remains as residual.
-fn plan_scan(
-    table: Arc<dyn FactTable>,
-    alias: &str,
-    predicate: Option<Expr>,
-) -> Result<ScanPlan> {
+fn plan_scan(table: Arc<dyn FactTable>, alias: &str, predicate: Option<Expr>) -> Result<ScanPlan> {
     let schema = Schema::new(
         FACT_COLUMNS
             .iter()
@@ -794,9 +802,7 @@ fn classify_conjunct(e: &Expr) -> Classified {
 /// Column name if `e` is a (possibly alias-qualified) fact column.
 fn unqualified_fact_col(e: &Expr) -> Option<&str> {
     match e {
-        Expr::Column { name, .. } if FACT_COLUMNS.contains(&name.as_str()) => {
-            Some(name.as_str())
-        }
+        Expr::Column { name, .. } if FACT_COLUMNS.contains(&name.as_str()) => Some(name.as_str()),
         _ => None,
     }
 }
@@ -866,7 +872,10 @@ fn sideways_pushdown(left: &mut Tree, right: &mut Tree, keys: &[(usize, usize)])
     let Some(src) = identity_scan_mut(src_tree) else {
         return;
     };
-    if !matches!(src.access, AccessPath::ValueIndex { .. } | AccessPath::TableIndex { .. }) {
+    if !matches!(
+        src.access,
+        AccessPath::ValueIndex { .. } | AccessPath::TableIndex { .. }
+    ) {
         return;
     }
     let ids = scan_table_ids(src);
@@ -876,10 +885,7 @@ fn sideways_pushdown(left: &mut Tree, right: &mut Tree, keys: &[(usize, usize)])
     if !matches!(dst.access, AccessPath::SeqScan { .. }) {
         return;
     }
-    let new_est: usize = ids
-        .iter()
-        .map(|&t| dst.table.table_postings(t).len())
-        .sum();
+    let new_est: usize = ids.iter().map(|&t| dst.table.table_postings(t).len()).sum();
     if new_est >= dst.access.estimated() {
         return;
     }
@@ -896,8 +902,10 @@ const FACT_TABLEID_OFFSET: usize = 1;
 
 /// The base scan behind a tree, provided every intermediate query is an
 /// identity projection (no grouping/limit/filter/ordering), so tuple
-/// offsets line up with the physical fact columns.
-fn identity_scan(tree: &Tree) -> Option<&ScanPlan> {
+/// offsets line up with the physical fact columns. Also used by the
+/// positional executor to unwrap the identity subqueries the MC/C seeker
+/// templates generate.
+pub(crate) fn identity_scan(tree: &Tree) -> Option<&ScanPlan> {
     match tree {
         Tree::Leaf(InputPlan::Scan(s)) => Some(s),
         Tree::Leaf(InputPlan::Query(qp, _))
@@ -1015,10 +1023,7 @@ fn fold_cexpr_and(mut es: Vec<CExpr>) -> Option<CExpr> {
 }
 
 /// Expand the select list; `*` becomes one item per input column.
-fn expand_select(
-    items: &[SelectItem],
-    input: &Schema,
-) -> Result<Vec<(Option<String>, Expr)>> {
+fn expand_select(items: &[SelectItem], input: &Schema) -> Result<Vec<(Option<String>, Expr)>> {
     let mut out = Vec::new();
     for item in items {
         match item {

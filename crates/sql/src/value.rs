@@ -220,13 +220,19 @@ mod tests {
     fn hash_eq_coherence_across_numeric_types() {
         use std::hash::BuildHasher;
         let b = std::collections::hash_map::RandomState::new();
-        assert_eq!(b.hash_one(SqlValue::Int(3)), b.hash_one(SqlValue::Float(3.0)));
-        assert_eq!(b.hash_one(SqlValue::Bool(true)), b.hash_one(SqlValue::Int(1)));
+        assert_eq!(
+            b.hash_one(SqlValue::Int(3)),
+            b.hash_one(SqlValue::Float(3.0))
+        );
+        assert_eq!(
+            b.hash_one(SqlValue::Bool(true)),
+            b.hash_one(SqlValue::Int(1))
+        );
     }
 
     #[test]
     fn order_cmp_null_first_and_total() {
-        let mut vals = vec![
+        let mut vals = [
             SqlValue::from("z"),
             SqlValue::Int(5),
             SqlValue::Null,

@@ -69,7 +69,12 @@ impl StarmieIndex {
     /// Build the index over a lake.
     pub fn build(lake: &DataLake, config: StarmieConfig) -> Self {
         let embedder = Embedder::new(config.dim, config.seed);
-        let mut hnsw = Hnsw::new(CosineDistance, config.m, config.ef_construction, config.seed);
+        let mut hnsw = Hnsw::new(
+            CosineDistance,
+            config.m,
+            config.ef_construction,
+            config.seed,
+        );
         let mut meta = Vec::new();
         let mut table_vectors = Vec::with_capacity(lake.len());
         for table in &lake.tables {

@@ -3,9 +3,7 @@
 
 use blend_common::{FxHashMap, FxHashSet};
 
-use crate::fact::{
-    canonical_sort, decode_quadrant, table_ranges, FactRow, FactTable, ValueProbe,
-};
+use crate::fact::{canonical_sort, decode_quadrant, table_ranges, FactRow, FactTable, ValueProbe};
 use crate::stats::FactStats;
 
 /// Column-store implementation of [`FactTable`].
@@ -189,6 +187,32 @@ impl FactTable for ColumnStore {
             ValueProbe::Codes(set) => set.contains(&self.codes[pos]),
             ValueProbe::Strings(set) => set.contains(self.value_at(pos)),
         }
+    }
+
+    fn has_value_codes(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn value_code_at(&self, pos: usize) -> Option<u32> {
+        Some(self.codes[pos])
+    }
+
+    fn gather_tables(&self, positions: &[u32], out: &mut Vec<u32>) {
+        out.extend(positions.iter().map(|&p| self.tables[p as usize]));
+    }
+
+    fn gather_columns(&self, positions: &[u32], out: &mut Vec<u32>) {
+        out.extend(positions.iter().map(|&p| self.columns[p as usize]));
+    }
+
+    fn gather_rows(&self, positions: &[u32], out: &mut Vec<u32>) {
+        out.extend(positions.iter().map(|&p| self.rows[p as usize]));
+    }
+
+    fn gather_value_codes(&self, positions: &[u32], out: &mut Vec<u32>) -> bool {
+        out.extend(positions.iter().map(|&p| self.codes[p as usize]));
+        true
     }
 
     fn stats(&self) -> &FactStats {

@@ -162,6 +162,45 @@ pub trait FactTable: Send + Sync {
     /// Test `CellValue[pos] IN probe`.
     fn probe_at(&self, pos: usize, probe: &ValueProbe) -> bool;
 
+    /// True when [`FactTable::value_code_at`] yields dictionary codes.
+    ///
+    /// The positional executor uses codes for `COUNT(DISTINCT CellValue)`
+    /// so distinct counting hashes 4-byte integers instead of strings.
+    fn has_value_codes(&self) -> bool {
+        false
+    }
+
+    /// Dictionary code of `CellValue` at a position, when the engine is
+    /// dictionary-encoded (`None` on the row store). Codes are bijective
+    /// with distinct values, so `COUNT(DISTINCT code) = COUNT(DISTINCT
+    /// CellValue)`.
+    fn value_code_at(&self, _pos: usize) -> Option<u32> {
+        None
+    }
+
+    /// Batch accessor: append `TableId` for each position to `out`. One
+    /// virtual dispatch per batch instead of one per position.
+    fn gather_tables(&self, positions: &[u32], out: &mut Vec<u32>) {
+        out.extend(positions.iter().map(|&p| self.table_at(p as usize)));
+    }
+
+    /// Batch accessor: append `ColumnId` for each position to `out`.
+    fn gather_columns(&self, positions: &[u32], out: &mut Vec<u32>) {
+        out.extend(positions.iter().map(|&p| self.column_at(p as usize)));
+    }
+
+    /// Batch accessor: append `RowId` for each position to `out`.
+    fn gather_rows(&self, positions: &[u32], out: &mut Vec<u32>) {
+        out.extend(positions.iter().map(|&p| self.row_at(p as usize)));
+    }
+
+    /// Batch accessor: append the dictionary code of `CellValue` for each
+    /// position to `out`. Returns `false` (leaving `out` untouched) when the
+    /// engine has no dictionary.
+    fn gather_value_codes(&self, _positions: &[u32], _out: &mut Vec<u32>) -> bool {
+        false
+    }
+
     /// Exact catalog statistics.
     fn stats(&self) -> &FactStats;
 
@@ -221,8 +260,7 @@ mod tests {
             FactRow::new("d", 0, 0, 0, 0, None),
         ];
         canonical_sort(&mut rows);
-        let order: Vec<(u32, u32, u32)> =
-            rows.iter().map(|r| (r.table, r.column, r.row)).collect();
+        let order: Vec<(u32, u32, u32)> = rows.iter().map(|r| (r.table, r.column, r.row)).collect();
         assert_eq!(order, vec![(0, 0, 0), (0, 0, 1), (0, 1, 0), (1, 0, 0)]);
     }
 

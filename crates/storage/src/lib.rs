@@ -31,7 +31,9 @@ pub mod row_store;
 pub mod stats;
 
 pub use column_store::ColumnStore;
-pub use fact::{decode_quadrant, FactRow, FactTable, ValueProbe, QUADRANT_NULL, QUADRANT_ONE, QUADRANT_ZERO};
+pub use fact::{
+    decode_quadrant, FactRow, FactTable, ValueProbe, QUADRANT_NULL, QUADRANT_ONE, QUADRANT_ZERO,
+};
 pub use row_store::RowStore;
 pub use stats::FactStats;
 
@@ -75,12 +77,26 @@ pub(crate) mod test_support {
     pub fn sample_rows() -> Vec<FactRow> {
         let mut rows = Vec::new();
         // Table 0: columns [city, pop] with 3 rows.
-        let data0 = [("berlin", Some(false)), ("paris", None), ("rome", Some(true))];
+        let data0 = [
+            ("berlin", Some(false)),
+            ("paris", None),
+            ("rome", Some(true)),
+        ];
         for (r, (city, _)) in data0.iter().enumerate() {
             rows.push(FactRow::new(city, 0, 0, r as u32, 0xF0 + r as u128, None));
         }
-        for (r, q) in [Some(false), Some(true), Some(true)].into_iter().enumerate() {
-            rows.push(FactRow::new(&format!("{}", 100 * (r + 1)), 0, 1, r as u32, 0xF0 + r as u128, q));
+        for (r, q) in [Some(false), Some(true), Some(true)]
+            .into_iter()
+            .enumerate()
+        {
+            rows.push(FactRow::new(
+                &format!("{}", 100 * (r + 1)),
+                0,
+                1,
+                r as u32,
+                0xF0 + r as u128,
+                q,
+            ));
         }
         // Table 1: one column sharing "berlin" and "rome".
         for (r, v) in ["berlin", "munich", "rome"].into_iter().enumerate() {
@@ -152,6 +168,50 @@ mod tests {
             col.size_bytes(),
             row.size_bytes()
         );
+    }
+
+    #[test]
+    fn value_codes_only_on_the_column_store() {
+        let rows = test_support::sample_rows();
+        let row = build_engine(EngineKind::Row, rows.clone());
+        let col = build_engine(EngineKind::Column, rows);
+        assert!(!row.has_value_codes());
+        assert!(col.has_value_codes());
+        for pos in 0..col.len() {
+            assert!(row.value_code_at(pos).is_none());
+            let code = col.value_code_at(pos).expect("column store has codes");
+            // Codes are bijective with values: equal code <=> equal value.
+            for other in 0..col.len() {
+                assert_eq!(
+                    col.value_code_at(other) == Some(code),
+                    col.value_at(other) == col.value_at(pos),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_gathers_match_point_accessors() {
+        let rows = test_support::sample_rows();
+        for kind in [EngineKind::Row, EngineKind::Column] {
+            let t = build_engine(kind, rows.clone());
+            let positions: Vec<u32> = (0..t.len() as u32).rev().collect();
+            let (mut tables, mut columns, mut row_ids, mut codes) =
+                (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+            t.gather_tables(&positions, &mut tables);
+            t.gather_columns(&positions, &mut columns);
+            t.gather_rows(&positions, &mut row_ids);
+            let has_codes = t.gather_value_codes(&positions, &mut codes);
+            assert_eq!(has_codes, t.has_value_codes());
+            for (i, &p) in positions.iter().enumerate() {
+                assert_eq!(tables[i], t.table_at(p as usize));
+                assert_eq!(columns[i], t.column_at(p as usize));
+                assert_eq!(row_ids[i], t.row_at(p as usize));
+                if has_codes {
+                    assert_eq!(Some(codes[i]), t.value_code_at(p as usize));
+                }
+            }
+        }
     }
 
     #[test]

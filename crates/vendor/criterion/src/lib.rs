@@ -1,0 +1,132 @@
+//! Minimal offline stub of `criterion`.
+//!
+//! Provides the `Criterion` / `benchmark_group` / `bench_function` /
+//! `Bencher::iter` surface plus the `criterion_group!`/`criterion_main!`
+//! macros, backed by a simple wall-clock harness: each benchmark is warmed
+//! up, then timed over `sample_size` samples, and the median per-iteration
+//! time is printed. No statistics engine, plots, or baselines — enough to
+//! compare two code paths on the same machine in the same run.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== bench group `{name}`");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id.as_ref(), 10, f);
+        self
+    }
+}
+
+/// A named group sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id.as_ref(), self.sample_size, f);
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    b.samples.sort_unstable();
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or(Duration::ZERO);
+    println!("  {id:<40} median {:>12.3?}/iter", median);
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time the closure: a warm-up pass, then `sample_size` timed samples of
+    /// a small fixed batch each, recording per-iteration time.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        const BATCH: u32 = 3;
+        black_box(routine()); // warm-up
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..BATCH {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / BATCH);
+        }
+    }
+}
+
+/// Opaque value barrier (re-exported like criterion's).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` from benchmark group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

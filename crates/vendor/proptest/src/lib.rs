@@ -1,0 +1,499 @@
+//! Minimal offline stub of `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the `proptest!`
+//! macro with an optional `proptest_config` attribute, `Strategy` sampling
+//! for ranges / tuples / `any` / collections / options / a small
+//! regex-shaped string generator, and the `prop_assert*` / `prop_assume`
+//! macros. Cases are sampled from a per-test deterministic seed; there is
+//! **no shrinking** — a failing case panics with the sampled inputs left to
+//! the assertion message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Test-case configuration (`cases` only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` sampled cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+// Strategies are often consumed by combinators by value; boxing is not
+// needed in this stub because nothing here is object-safe-dependent.
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+/// Types with a canonical full-domain strategy (stub of `Arbitrary`).
+pub trait ArbitrarySample: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl ArbitrarySample for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+impl ArbitrarySample for u32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+impl ArbitrarySample for u64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+impl ArbitrarySample for i64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+impl ArbitrarySample for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Full-domain strategy for `T`.
+pub fn any<T: ArbitrarySample>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: ArbitrarySample> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    /// Element-count range for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.random_range(self.size.lo..self.size.hi.max(self.size.lo + 1));
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    /// Strategy producing `Option`s (50% `Some`).
+    pub struct OptionStrategy<S>(S);
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.random() {
+                Some(self.0.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod string {
+    use super::*;
+
+    /// Regex-parse/compile error.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    /// One parsed regex atom with repetition bounds.
+    enum Node {
+        /// Literal character.
+        Char(char),
+        /// Character class alternatives.
+        Class(Vec<char>),
+        /// Grouped subsequence.
+        Group(Vec<Repeated>),
+    }
+
+    struct Repeated {
+        node: Node,
+        min: u32,
+        max: u32, // inclusive
+    }
+
+    /// Strategy generating strings matching a small regex subset:
+    /// literals, `[...]` classes with ranges, `(...)` groups, and the
+    /// quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (star/plus capped at 8).
+    pub struct RegexGeneratorStrategy {
+        seq: Vec<Repeated>,
+    }
+
+    /// Compile `pattern` into a generator strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let seq = parse_seq(&mut chars, false)?;
+        if chars.next().is_some() {
+            return Err(Error(format!("unbalanced `)` in regex `{pattern}`")));
+        }
+        Ok(RegexGeneratorStrategy { seq })
+    }
+
+    type CharIter<'a> = core::iter::Peekable<core::str::Chars<'a>>;
+
+    fn parse_seq(chars: &mut CharIter<'_>, in_group: bool) -> Result<Vec<Repeated>, Error> {
+        let mut seq = Vec::new();
+        while let Some(&c) = chars.peek() {
+            let node = match c {
+                ')' if in_group => break,
+                '(' => {
+                    chars.next();
+                    let inner = parse_seq(chars, true)?;
+                    match chars.next() {
+                        Some(')') => Node::Group(inner),
+                        _ => return Err(Error("missing `)`".into())),
+                    }
+                }
+                '[' => {
+                    chars.next();
+                    Node::Class(parse_class(chars)?)
+                }
+                '\\' => {
+                    chars.next();
+                    let escaped = chars.next().ok_or_else(|| Error("dangling `\\`".into()))?;
+                    Node::Char(escaped)
+                }
+                _ => {
+                    chars.next();
+                    Node::Char(c)
+                }
+            };
+            let (min, max) = parse_quantifier(chars)?;
+            seq.push(Repeated { node, min, max });
+        }
+        Ok(seq)
+    }
+
+    fn parse_class(chars: &mut CharIter<'_>) -> Result<Vec<char>, Error> {
+        let mut out = Vec::new();
+        loop {
+            let c = chars.next().ok_or_else(|| Error("missing `]`".into()))?;
+            match c {
+                ']' => return Ok(out),
+                _ => {
+                    if chars.peek() == Some(&'-') {
+                        let mut lookahead = chars.clone();
+                        lookahead.next(); // consume '-'
+                        match lookahead.peek() {
+                            Some(&hi) if hi != ']' => {
+                                chars.next();
+                                chars.next();
+                                for ch in c..=hi {
+                                    out.push(ch);
+                                }
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &mut CharIter<'_>) -> Result<(u32, u32), Error> {
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                chars.next();
+                Ok((0, 8))
+            }
+            Some('+') => {
+                chars.next();
+                Ok((1, 8))
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => return Err(Error("missing `}`".into())),
+                    }
+                }
+                let parse = |s: &str| {
+                    s.trim()
+                        .parse::<u32>()
+                        .map_err(|_| Error(format!("bad repeat bound `{s}`")))
+                };
+                match spec.split_once(',') {
+                    Some((lo, hi)) => Ok((parse(lo)?, parse(hi)?)),
+                    None => {
+                        let n = parse(&spec)?;
+                        Ok((n, n))
+                    }
+                }
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    fn generate(seq: &[Repeated], rng: &mut StdRng, out: &mut String) {
+        for rep in seq {
+            let n = rng.random_range(rep.min..=rep.max);
+            for _ in 0..n {
+                match &rep.node {
+                    Node::Char(c) => out.push(*c),
+                    Node::Class(choices) => {
+                        out.push(choices[rng.random_range(0..choices.len())]);
+                    }
+                    Node::Group(inner) => generate(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn sample(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            generate(&self.seq, rng, &mut out);
+            out
+        }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the test's name so different
+/// tests explore different streams, reproducibly.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Declare property tests: each `arg in strategy` is sampled fresh per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(stringify!($name));
+            // Strategies are built once; each case samples fresh values
+            // that shadow the strategy bindings inside the closure.
+            let ($($arg,)*) = ($($strat,)*);
+            for __case in 0..__cfg.cases {
+                let ($($arg,)*) = ($($crate::Strategy::sample(&$arg, &mut __rng),)*);
+                let __run = || { $body };
+                __run();
+                let _ = __case;
+            }
+        }
+    )*};
+}
+
+/// Assert inside a property (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Discard the current case when an assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_generator_matches_shape() {
+        let strat = crate::string::string_regex("[a-z0-9]{1,12}( [a-z0-9]{1,8})?").unwrap();
+        let mut rng = crate::test_rng("regex_generator_matches_shape");
+        for _ in 0..500 {
+            let s = crate::Strategy::sample(&strat, &mut rng);
+            assert!(!s.is_empty());
+            let parts: Vec<&str> = s.split(' ').collect();
+            assert!(parts.len() <= 2, "{s:?}");
+            assert!(parts[0].len() <= 12);
+            for p in parts {
+                assert!(
+                    p.chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                    "{s:?}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_sample(
+            a in 0u32..10,
+            pair in (1usize..4, crate::option::of(any::<bool>())),
+            v in crate::collection::vec(0i64..100, 2..5),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((1..4).contains(&pair.0));
+            prop_assume!(!v.is_empty());
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert_eq!(v.iter().filter(|x| **x >= 100).count(), 0);
+        }
+    }
+}

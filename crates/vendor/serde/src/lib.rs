@@ -1,0 +1,15 @@
+//! Minimal offline stub of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few value types but
+//! never drives an actual serialization backend (persistence uses its own
+//! binary format in `blend-index`). With no network access to crates.io,
+//! this stub keeps those derives compiling: the traits are empty markers and
+//! the derive macros emit empty impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

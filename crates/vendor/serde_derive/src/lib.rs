@@ -1,0 +1,38 @@
+//! Derive macros for the offline `serde` stub: they emit empty marker-trait
+//! impls. No `syn`/`quote` (offline build), so the type name is recovered by
+//! scanning the raw token stream for the `struct`/`enum` keyword.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the type a derive input defines. Generic types are not supported
+/// (nothing in this workspace derives serde on a generic type).
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find a struct/enum name in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}

@@ -37,7 +37,10 @@ fn build_lake() -> (DataLake, Vec<String>, Vec<f64>) {
             vec![
                 Column::new(
                     "city",
-                    cities.iter().map(|c| Value::Text(c.clone())).collect::<Vec<_>>(),
+                    cities
+                        .iter()
+                        .map(|c| Value::Text(c.clone()))
+                        .collect::<Vec<_>>(),
                 ),
                 Column::new(
                     "region",
@@ -58,7 +61,10 @@ fn build_lake() -> (DataLake, Vec<String>, Vec<f64>) {
             vec![
                 Column::new(
                     "city",
-                    cities.iter().map(|c| Value::Text(c.clone())).collect::<Vec<_>>(),
+                    cities
+                        .iter()
+                        .map(|c| Value::Text(c.clone()))
+                        .collect::<Vec<_>>(),
                 ),
                 Column::new(
                     "population",
@@ -109,7 +115,8 @@ fn main() {
     let examples: Vec<(String, String)> = cities[..5]
         .iter()
         .map(|c| {
-            let region = ["north", "south", "east", "west"][cities.iter().position(|x| x == c).unwrap() % 4];
+            let region =
+                ["north", "south", "east", "west"][cities.iter().position(|x| x == c).unwrap() % 4];
             (c.clone(), region.to_string())
         })
         .collect();
@@ -119,7 +126,12 @@ fn main() {
     let (hits, report) = system.execute_with_report(&plan).expect("imputation plan");
     println!("imputation sources (MC ∩ SC), {:?} total:", report.total);
     for h in &hits {
-        println!("  {} -> `{}` (score {:.3})", h.table, lake.table(h.table).name, h.score);
+        println!(
+            "  {} -> `{}` (score {:.3})",
+            h.table,
+            lake.table(h.table).name,
+            h.score
+        );
     }
     assert_eq!(hits[0].table, TableId(0), "gazetteer must win");
 

@@ -32,22 +32,38 @@ fn main() {
     // A mixed plan: an expensive MC seeker, a broad SC seeker, and a narrow
     // SC seeker, intersected.
     let mc = workloads::mc_queries(&lake, 1, 2, 6, 42).remove(0);
-    let broad = workloads::sc_queries(&lake, &[60], 1, 43).remove(0).1.remove(0);
-    let narrow = workloads::sc_queries(&lake, &[6], 1, 44).remove(0).1.remove(0);
+    let broad = workloads::sc_queries(&lake, &[60], 1, 43)
+        .remove(0)
+        .1
+        .remove(0);
+    let narrow = workloads::sc_queries(&lake, &[6], 1, 44)
+        .remove(0)
+        .1
+        .remove(0);
 
     let mut plan = Plan::new();
     plan.add_seeker("mc", Seeker::mc(mc.rows), 10).unwrap();
     plan.add_seeker("broad_sc", Seeker::sc(broad), 10).unwrap();
-    plan.add_seeker("narrow_sc", Seeker::sc(narrow), 10).unwrap();
-    plan.add_combiner("goal", Combiner::Intersect, 10, &["mc", "broad_sc", "narrow_sc"])
+    plan.add_seeker("narrow_sc", Seeker::sc(narrow), 10)
         .unwrap();
+    plan.add_combiner(
+        "goal",
+        Combiner::Intersect,
+        10,
+        &["mc", "broad_sc", "narrow_sc"],
+    )
+    .unwrap();
 
     for optimize in [false, true] {
         system.set_optimize(optimize);
         let (hits, report) = system.execute_with_report(&plan).expect("plan runs");
         println!(
             "--- {} (total {:.2?}, {} result tables) ---",
-            if optimize { "BLEND (optimized)" } else { "B-NO (naive order)" },
+            if optimize {
+                "BLEND (optimized)"
+            } else {
+                "B-NO (naive order)"
+            },
             report.total,
             hits.len()
         );
@@ -58,7 +74,11 @@ fn main() {
                 op.op,
                 op.runtime,
                 op.n_results,
-                if op.injected { " [TableId filter injected]" } else { "" }
+                if op.injected {
+                    " [TableId filter injected]"
+                } else {
+                    ""
+                }
             );
         }
         println!();

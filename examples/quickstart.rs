@@ -67,8 +67,13 @@ fn main() {
         10,
     )
     .unwrap();
-    plan.add_combiner("exclude", Combiner::Difference, 10, &["p_examples", "n_examples"])
-        .unwrap();
+    plan.add_combiner(
+        "exclude",
+        Combiner::Difference,
+        10,
+        &["p_examples", "n_examples"],
+    )
+    .unwrap();
     plan.add_seeker(
         "dep",
         Seeker::sc(

@@ -75,7 +75,10 @@ fn main() {
     }
 
     let n = bench.queries.len() as f64;
-    println!("union search quality @ k={k} over {} queries:", bench.queries.len());
+    println!(
+        "union search quality @ k={k} over {} queries:",
+        bench.queries.len()
+    );
     println!(
         "  BLEND   P@{k}={:.2}  R@{k}={:.2}  total query time {:.2?}",
         blend_p / n,

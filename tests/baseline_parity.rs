@@ -62,7 +62,8 @@ fn blend_mc_has_higher_filter_precision_than_mate() {
 
     for q in workloads::mc_queries(&lake, 12, 2, 6, 33) {
         let mut plan = Plan::new();
-        plan.add_seeker("mc", Seeker::mc(q.rows.clone()), usize::MAX).unwrap();
+        plan.add_seeker("mc", Seeker::mc(q.rows.clone()), usize::MAX)
+            .unwrap();
         let (blend_hits, report) = blend.execute_with_report(&plan).unwrap();
         let stats = report.mc_totals();
         blend_candidates += stats.candidates;

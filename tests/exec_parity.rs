@@ -1,0 +1,175 @@
+//! Cross-path × cross-engine parity: the positional (late-materialization)
+//! executor must be selected for every seeker SQL shape and must produce
+//! byte-identical `ResultSet`s — and identical scan/join telemetry — to the
+//! tuple executor, on both storage engines.
+
+use blend::plan::Seeker;
+use blend::seekers::{self, Injected, TID_PLACEHOLDER};
+use blend::Blend;
+use blend_lake::web::{generate, WebLakeConfig};
+use blend_lake::DataLake;
+use blend_sql::ExecPath;
+use blend_storage::EngineKind;
+
+fn lake() -> DataLake {
+    generate(&WebLakeConfig {
+        name: "exec-parity".into(),
+        n_tables: 60,
+        rows: (10, 30),
+        cols: (2, 5),
+        vocab: 400,
+        zipf_s: 1.0,
+        numeric_col_ratio: 0.3,
+        null_ratio: 0.02,
+        seed: 20_260_731,
+    })
+}
+
+/// Values drawn from the lake so every shape produces non-trivial results.
+fn sample_values(lake: &DataLake, n: usize) -> Vec<String> {
+    lake.tables
+        .iter()
+        .flat_map(|t| t.columns.iter())
+        .flat_map(|c| c.values.iter())
+        .filter_map(|v| v.normalized().map(|c| c.into_owned()))
+        .filter(|v| v.parse::<f64>().is_err()) // text keys join more tables
+        .take(n)
+        .collect()
+}
+
+fn seeker_suite(lake: &DataLake) -> Vec<(&'static str, Seeker)> {
+    let vals = sample_values(lake, 10);
+    assert!(vals.len() >= 10, "lake must supply sample values");
+    vec![
+        ("sc", Seeker::sc(vals[..6].to_vec())),
+        ("kw", Seeker::kw(vals[..6].to_vec())),
+        (
+            "mc",
+            Seeker::mc(vec![
+                vec![vals[0].clone(), vals[1].clone()],
+                vec![vals[2].clone(), vals[3].clone()],
+            ]),
+        ),
+        (
+            "c",
+            Seeker::c(vals[4..10].to_vec(), vec![3.0, 17.0, 5.0, 29.0, 11.0, 23.0]),
+        ),
+    ]
+}
+
+/// The injected-fragment variants the optimizer's rewriter produces.
+fn fragments() -> Vec<(&'static str, String)> {
+    vec![
+        ("plain", String::new()),
+        ("in", Injected::In(vec![1, 3, 5, 7, 11, 13]).fragment()),
+        ("not-in", Injected::NotIn(vec![2, 4]).fragment()),
+        ("in-empty", Injected::In(vec![]).fragment()),
+    ]
+}
+
+#[test]
+fn positional_path_is_selected_and_identical_for_all_seeker_shapes() {
+    let lake = lake();
+    for kind in [EngineKind::Row, EngineKind::Column] {
+        let blend = Blend::from_lake(&lake, kind);
+        for (label, seeker) in seeker_suite(&lake) {
+            let template = seekers::seeker_sql(&seeker, 10, 64);
+            for (frag_label, fragment) in fragments() {
+                let sql = template.replace(TID_PLACEHOLDER, &fragment);
+                let (rs_auto, rep_auto) = blend
+                    .engine()
+                    .execute_with_report_path(&sql, ExecPath::Auto)
+                    .unwrap_or_else(|e| panic!("{label}/{frag_label} auto: {e}"));
+                let (rs_tuple, rep_tuple) = blend
+                    .engine()
+                    .execute_with_report_path(&sql, ExecPath::TupleOnly)
+                    .unwrap_or_else(|e| panic!("{label}/{frag_label} tuple: {e}"));
+
+                assert_eq!(
+                    rep_auto.path, "positional",
+                    "{kind:?}/{label}/{frag_label}: seeker shapes must route positionally"
+                );
+                assert_eq!(rep_tuple.path, "tuple");
+                assert_eq!(
+                    rs_auto, rs_tuple,
+                    "{kind:?}/{label}/{frag_label}: executors disagree"
+                );
+                // Telemetry parity: same access paths, visit counts, and
+                // join cardinalities.
+                assert_eq!(
+                    rep_auto.scans, rep_tuple.scans,
+                    "{kind:?}/{label}/{frag_label}"
+                );
+                assert_eq!(
+                    rep_auto.joins, rep_tuple.joins,
+                    "{kind:?}/{label}/{frag_label}"
+                );
+                assert_eq!(rep_auto.result_rows, rep_tuple.result_rows);
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_under_the_positional_path() {
+    let lake = lake();
+    let row = Blend::from_lake(&lake, EngineKind::Row);
+    let col = Blend::from_lake(&lake, EngineKind::Column);
+    for (label, seeker) in seeker_suite(&lake) {
+        let sql = seekers::seeker_sql(&seeker, 10, 64).replace(TID_PLACEHOLDER, "");
+        let (a, ra) = row
+            .engine()
+            .execute_with_report_path(&sql, ExecPath::Auto)
+            .unwrap();
+        let (b, rb) = col
+            .engine()
+            .execute_with_report_path(&sql, ExecPath::Auto)
+            .unwrap();
+        assert_eq!(ra.path, "positional", "{label}");
+        assert_eq!(rb.path, "positional", "{label}");
+        assert_eq!(a, b, "{label}: row and column stores disagree");
+    }
+}
+
+/// Non-seeker SQL (expressions the positional evaluator cannot prove safe
+/// or shapes with non-fact join keys) must fall back to the tuple path and
+/// still return correct answers.
+#[test]
+fn unrecognized_shapes_fall_back_to_tuple() {
+    let lake = lake();
+    let blend = Blend::from_lake(&lake, EngineKind::Column);
+    // Grouping on an expression (not a bare fact column) is not admitted.
+    let sql = "SELECT TableId % 7, COUNT(*) AS n FROM AllTables GROUP BY TableId % 7";
+    let (rs, report) = blend
+        .engine()
+        .execute_with_report_path(sql, ExecPath::Auto)
+        .unwrap();
+    assert_eq!(report.path, "tuple");
+    assert!(!rs.is_empty());
+    let (rs_forced, _) = blend
+        .engine()
+        .execute_with_report_path(sql, ExecPath::TupleOnly)
+        .unwrap();
+    assert_eq!(rs, rs_forced);
+}
+
+/// End-to-end: full seeker plans (including the optimizer's injections)
+/// return the same hits regardless of which executor backs the SQL engine.
+#[test]
+fn seeker_runs_match_direct_sql_results() {
+    let lake = lake();
+    let blend = Blend::from_lake(&lake, EngineKind::Column);
+    for (label, seeker) in seeker_suite(&lake) {
+        let run = seekers::run(&blend, &seeker, 10, None).unwrap();
+        // The SQL recorded on the run, re-executed on both paths, agrees.
+        let (a, _) = blend
+            .engine()
+            .execute_with_report_path(&run.sql, ExecPath::Auto)
+            .unwrap();
+        let (b, _) = blend
+            .engine()
+            .execute_with_report_path(&run.sql, ExecPath::TupleOnly)
+            .unwrap();
+        assert_eq!(a, b, "{label}");
+    }
+}

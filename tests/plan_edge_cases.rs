@@ -46,8 +46,12 @@ fn seeker_with_only_unknown_values_returns_empty() {
 fn k_one_returns_single_best() {
     let s = system();
     let mut p = Plan::new();
-    p.add_seeker("sc", Seeker::sc(vec!["a".into(), "b".into(), "c".into()]), 1)
-        .unwrap();
+    p.add_seeker(
+        "sc",
+        Seeker::sc(vec!["a".into(), "b".into(), "c".into()]),
+        1,
+    )
+    .unwrap();
     let hits = s.execute(&p).unwrap();
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].table, TableId(0)); // overlap 3
@@ -61,7 +65,8 @@ fn difference_of_everything_is_empty() {
     let q = vec!["a".into(), "b".into()];
     p.add_seeker("x", Seeker::sc(q.clone()), 10).unwrap();
     p.add_seeker("y", Seeker::sc(q), 10).unwrap();
-    p.add_combiner("d", Combiner::Difference, 10, &["x", "y"]).unwrap();
+    p.add_combiner("d", Combiner::Difference, 10, &["x", "y"])
+        .unwrap();
     assert!(s.execute(&p).unwrap().is_empty());
 }
 
@@ -74,9 +79,12 @@ fn deep_combiner_chain_executes() {
     p.add_seeker("y", Seeker::sc(vec!["c".into()]), 10).unwrap(); // 0,3
     p.add_seeker("z", Seeker::sc(vec!["p".into()]), 10).unwrap(); // 2
     p.add_seeker("w", Seeker::sc(vec!["d".into()]), 10).unwrap(); // 0
-    p.add_combiner("i", Combiner::Intersect, 10, &["x", "y"]).unwrap();
-    p.add_combiner("u", Combiner::Union, 10, &["i", "z"]).unwrap();
-    p.add_combiner("d", Combiner::Difference, 10, &["u", "w"]).unwrap();
+    p.add_combiner("i", Combiner::Intersect, 10, &["x", "y"])
+        .unwrap();
+    p.add_combiner("u", Combiner::Union, 10, &["i", "z"])
+        .unwrap();
+    p.add_combiner("d", Combiner::Difference, 10, &["u", "w"])
+        .unwrap();
     let ids: std::collections::BTreeSet<u32> =
         s.execute(&p).unwrap().iter().map(|h| h.table.0).collect();
     // (({0,1,3} ∩ {0,3}) ∪ {2}) \ {0} = {2, 3}.
@@ -150,7 +158,8 @@ fn reports_are_complete_and_ordered() {
     let mut p = Plan::new();
     p.add_seeker("x", Seeker::sc(vec!["a".into()]), 10).unwrap();
     p.add_seeker("y", Seeker::sc(vec!["c".into()]), 10).unwrap();
-    p.add_combiner("i", Combiner::Intersect, 10, &["x", "y"]).unwrap();
+    p.add_combiner("i", Combiner::Intersect, 10, &["x", "y"])
+        .unwrap();
     let (_, report) = s.execute_with_report(&p).unwrap();
     // Two seekers + one combiner, combiner last.
     assert_eq!(report.ops.len(), 3);
@@ -166,15 +175,25 @@ fn reports_are_complete_and_ordered() {
 fn same_plan_is_deterministic_across_runs() {
     let s = system();
     let mut p = Plan::new();
-    p.add_seeker("x", Seeker::sc(vec!["a".into(), "c".into(), "q".into()]), 10)
+    p.add_seeker(
+        "x",
+        Seeker::sc(vec!["a".into(), "c".into(), "q".into()]),
+        10,
+    )
+    .unwrap();
+    p.add_seeker("y", Seeker::kw(vec!["a".into(), "q".into()]), 10)
         .unwrap();
-    p.add_seeker("y", Seeker::kw(vec!["a".into(), "q".into()]), 10).unwrap();
-    p.add_combiner("u", Combiner::Union, 10, &["x", "y"]).unwrap();
+    p.add_combiner("u", Combiner::Union, 10, &["x", "y"])
+        .unwrap();
     let a = s.execute(&p).unwrap();
     let b = s.execute(&p).unwrap();
     assert_eq!(
-        a.iter().map(|h| (h.table, h.score.to_bits())).collect::<Vec<_>>(),
-        b.iter().map(|h| (h.table, h.score.to_bits())).collect::<Vec<_>>()
+        a.iter()
+            .map(|h| (h.table, h.score.to_bits()))
+            .collect::<Vec<_>>(),
+        b.iter()
+            .map(|h| (h.table, h.score.to_bits()))
+            .collect::<Vec<_>>()
     );
 }
 

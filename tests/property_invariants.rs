@@ -112,11 +112,15 @@ fn lake_from_cells(cells: Vec<Vec<String>>) -> DataLake {
             let n = vals.len();
             let col_a = Column::new(
                 "a",
-                vals.iter().map(|v| Value::Text(v.clone())).collect::<Vec<_>>(),
+                vals.iter()
+                    .map(|v| Value::Text(v.clone()))
+                    .collect::<Vec<_>>(),
             );
             let col_b = Column::new(
                 "b",
-                (0..n).map(|r| Value::Int((i * 10 + r) as i64)).collect::<Vec<_>>(),
+                (0..n)
+                    .map(|r| Value::Int((i * 10 + r) as i64))
+                    .collect::<Vec<_>>(),
             );
             Table::new(TableId(i as u32), format!("t{i}"), vec![col_a, col_b]).unwrap()
         })

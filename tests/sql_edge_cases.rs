@@ -10,9 +10,14 @@ use blend_storage::{build_engine, EngineKind, FactRow, FactTable};
 /// (quadrants 0,0,1,1); table 1 shares two values with table 0.
 fn fixture() -> Arc<dyn FactTable> {
     let mut rows = Vec::new();
-    for (r, (v, q)) in [("alpha", None), ("beta", None), ("gamma", None), ("delta", None)]
-        .into_iter()
-        .enumerate()
+    for (r, (v, q)) in [
+        ("alpha", None),
+        ("beta", None),
+        ("gamma", None),
+        ("delta", None),
+    ]
+    .into_iter()
+    .enumerate()
     {
         rows.push(FactRow::new(v, 0, 0, r as u32, 0xA0 + r as u128, q));
     }
@@ -119,7 +124,9 @@ fn limit_zero_and_oversized() {
     let e = engine();
     let rs = e.execute("SELECT TableId FROM AllTables LIMIT 0").unwrap();
     assert!(rs.is_empty());
-    let rs = e.execute("SELECT TableId FROM AllTables LIMIT 9999").unwrap();
+    let rs = e
+        .execute("SELECT TableId FROM AllTables LIMIT 9999")
+        .unwrap();
     assert_eq!(rs.len(), 23);
 }
 
@@ -161,9 +168,7 @@ fn join_residual_predicates_filter() {
 fn quadrant_comparisons_coerce_bool_to_int() {
     let e = engine();
     let rs = e
-        .execute(
-            "SELECT COUNT(*) AS n FROM AllTables WHERE Quadrant = 1 AND TableId = 0",
-        )
+        .execute("SELECT COUNT(*) AS n FROM AllTables WHERE Quadrant = 1 AND TableId = 0")
         .unwrap();
     assert_eq!(rs.i64(0, "n"), Some(2));
     let rs = e
