@@ -1,14 +1,18 @@
 //! Criterion comparison of the two storage engines on the same SC query —
 //! the row-vs-column gap behind Fig. 5 and Fig. 7 — plus the
 //! positional-vs-tuple executor comparison backing the late-materialization
-//! work (the `positional_vs_tuple` group).
+//! work (the `positional_vs_tuple` group) and the worker-pool scaling run
+//! backing the morsel-partitioned parallel executor (the
+//! `positional_threads` group).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use blend::{Blend, Plan, Seeker};
 use blend_lake::{web, workloads, WebLakeConfig};
+use blend_parallel::ParallelCtx;
 use blend_sql::{ExecPath, SqlEngine};
 use blend_storage::{build_engine, EngineKind, FactRow};
 
@@ -123,5 +127,75 @@ fn bench_positional_vs_tuple(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_positional_vs_tuple);
+/// Thread scaling of the parallel positional executor on the SC shape at
+/// 150k fact rows, both storage engines (the `positional_threads` run).
+/// Verifies byte-identical results against the single-threaded run, then
+/// reports per-phase partition counts, per-worker busy times, and the
+/// speedup per thread count. One manual timing loop per configuration —
+/// its mean both feeds the printed speedup and is the reported number, so
+/// the heavy query is not measured twice.
+fn bench_thread_scaling(_c: &mut Criterion) {
+    let rows = synthetic_rows(120, 250, 5); // 150_000 fact rows
+    let sql = sc_shape_sql();
+
+    println!("== thread scaling `positional_threads` (SC shape, 150k rows)");
+    for kind in [EngineKind::Row, EngineKind::Column] {
+        let fact = build_engine(kind, rows.clone());
+        let label = kind.label().to_lowercase();
+
+        let engine_with = |threads: usize| {
+            SqlEngine::with_alltables(fact.clone())
+                .with_parallel(Arc::new(ParallelCtx::new(threads)))
+        };
+        let (baseline, rep1) = engine_with(1)
+            .execute_with_report_path(&sql, ExecPath::Auto)
+            .unwrap();
+        assert_eq!(rep1.path, "positional");
+
+        let mut base_time = None;
+        for threads in [1usize, 2, 4, 8] {
+            let engine = engine_with(threads);
+
+            // Parity before timing: every thread count must reproduce the
+            // single-threaded result byte-for-byte.
+            let (rs, report) = engine
+                .execute_with_report_path(&sql, ExecPath::Auto)
+                .unwrap();
+            assert_eq!(rs, baseline, "{label}/{threads}t diverged from 1t");
+
+            let iters = 30;
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(
+                    engine
+                        .execute_with_report_path(&sql, ExecPath::Auto)
+                        .unwrap(),
+                );
+            }
+            let elapsed = start.elapsed() / iters;
+            let speedup = base_time.get_or_insert(elapsed).as_secs_f64() / elapsed.as_secs_f64();
+            println!("  sc_{label}_{threads}t: {elapsed:?}/iter ({speedup:.2}x vs 1t)");
+            for phase in &report.parallel {
+                let busy: Vec<String> = phase
+                    .worker_nanos
+                    .iter()
+                    .map(|n| format!("{:.2}ms", *n as f64 / 1e6))
+                    .collect();
+                println!(
+                    "       {}: {} partitions, per-worker busy [{}]",
+                    phase.phase,
+                    phase.partitions,
+                    busy.join(", ")
+                );
+            }
+        }
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_positional_vs_tuple,
+    bench_thread_scaling
+);
 criterion_main!(benches);

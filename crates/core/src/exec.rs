@@ -17,6 +17,12 @@
 //! (the injected predicate would leak into the other consumer); it executes
 //! once, un-rewritten, and is memoized. With the optimizer disabled
 //! ("B-NO") every input is evaluated independently in plan order.
+//!
+//! Every seeker executed from a plan shares the system's one
+//! [`ParallelCtx`](crate::ParallelCtx) (handed down through
+//! [`Blend::engine`]): seekers run sequentially in EG order — their SQL is
+//! data-dependent on earlier results — while each seeker's scan, join, and
+//! GROUP BY phases fan out across the shared worker pool.
 
 use std::time::{Duration, Instant};
 

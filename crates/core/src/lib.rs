@@ -56,6 +56,8 @@ pub use exec::{ExecutionReport, OpExecution};
 pub use optimizer::costmodel::{CostModelSet, SeekerFeatures};
 pub use plan::{Combiner, Plan, Seeker};
 
+pub use blend_parallel::ParallelCtx;
+
 /// How seekers inside an execution group are ordered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OrderingMode {
@@ -98,6 +100,10 @@ pub struct Blend {
     engine: SqlEngine,
     options: BlendOptions,
     cost_models: parking_lot::RwLock<CostModelSet>,
+    /// Shared worker-pool context. One `Arc` serves the whole system: plan
+    /// execution hands it (through the SQL engine) to every seeker query,
+    /// so all seekers of a plan draw from a single thread budget.
+    parallel: Arc<ParallelCtx>,
 }
 
 impl Blend {
@@ -108,11 +114,25 @@ impl Blend {
 
     /// Attach with explicit options.
     pub fn with_options(fact: Arc<dyn FactTable>, options: BlendOptions) -> Self {
+        let parallel = Arc::new(ParallelCtx::from_env());
         Blend {
-            engine: SqlEngine::with_alltables(fact),
+            engine: SqlEngine::with_alltables(fact).with_parallel(parallel.clone()),
             options,
             cost_models: parking_lot::RwLock::new(CostModelSet::default()),
+            parallel,
         }
+    }
+
+    /// The shared parallel-execution context seeker queries run with.
+    pub fn parallel_ctx(&self) -> Arc<ParallelCtx> {
+        self.parallel.clone()
+    }
+
+    /// Install a different parallel-execution context (e.g. a fixed thread
+    /// budget for benchmarks, or [`ParallelCtx::sequential`]).
+    pub fn set_parallel(&mut self, ctx: Arc<ParallelCtx>) {
+        self.parallel = ctx.clone();
+        self.engine.set_parallel(ctx);
     }
 
     /// Index a lake (offline phase, Fig. 2e) and attach to it.

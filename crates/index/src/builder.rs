@@ -113,6 +113,14 @@ impl IndexBuilder {
     }
 
     /// Index a whole lake into fact rows, in parallel across tables.
+    ///
+    /// Tables are assigned to workers by greedy size-aware chunking
+    /// ([`blend_parallel::balanced_chunks`], weighted by cell count), so
+    /// one huge table no longer serializes the build the way the old
+    /// static `i % threads` striping did — the giant gets a bin of its
+    /// own while the remaining workers share everything else. Output is
+    /// reassembled in input-table order, making the result identical at
+    /// every thread count.
     pub fn index_lake(&self, tables: &[Table]) -> Vec<FactRow> {
         let threads = self.options.threads.max(1);
         if threads == 1 || tables.len() < 2 {
@@ -123,32 +131,30 @@ impl IndexBuilder {
             return all;
         }
 
-        // Static chunking: table i goes to worker i % threads; workers fill
-        // disjoint buffers so no locking is needed.
-        let mut buffers: Vec<Vec<FactRow>> = Vec::with_capacity(threads);
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for w in 0..threads {
-                let builder = &*self;
-                let handle = scope.spawn(move |_| {
-                    let mut buf = Vec::new();
-                    for t in tables.iter().skip(w).step_by(threads) {
-                        buf.extend(builder.index_table(t));
-                    }
-                    buf
-                });
-                handles.push(handle);
-            }
-            for h in handles {
-                buffers.push(h.join().expect("index worker panicked"));
-            }
-        })
-        .expect("crossbeam scope");
+        let weights: Vec<usize> = tables.iter().map(|t| t.n_rows() * t.n_cols()).collect();
+        let bins: Vec<Vec<usize>> = blend_parallel::balanced_chunks(&weights, threads)
+            .into_iter()
+            .filter(|bin| !bin.is_empty())
+            .collect();
 
-        let total: usize = buffers.iter().map(Vec::len).sum();
+        let pool = blend_parallel::WorkerPool::new(threads);
+        let run = pool.run(bins.len(), |b| {
+            bins[b]
+                .iter()
+                .map(|&ti| (ti, self.index_table(&tables[ti])))
+                .collect::<Vec<(usize, Vec<FactRow>)>>()
+        });
+
+        let mut per_table: Vec<Vec<FactRow>> = vec![Vec::new(); tables.len()];
+        for bin in run.results {
+            for (ti, rows) in bin {
+                per_table[ti] = rows;
+            }
+        }
+        let total: usize = per_table.iter().map(Vec::len).sum();
         let mut all = Vec::with_capacity(total);
-        for b in buffers {
-            all.extend(b);
+        for rows in per_table {
+            all.extend(rows);
         }
         all
     }
@@ -283,24 +289,50 @@ mod tests {
 
     #[test]
     fn parallel_build_matches_sequential() {
+        // Output is reassembled in input-table order, so raw fact rows —
+        // not just the canonical-sorted engines — must be identical at
+        // every thread count.
         let tables: Vec<Table> = (0..9).map(staff_table).collect();
-        let seq = IndexBuilder::with_options(IndexOptions {
-            threads: 1,
-            ..Default::default()
-        })
-        .index_lake(&tables);
-        let par = IndexBuilder::with_options(IndexOptions {
-            threads: 4,
-            ..Default::default()
-        })
-        .index_lake(&tables);
-        // Storage canonical-sorts, so compare as engines.
-        let a = build_engine(EngineKind::Column, seq);
-        let b = build_engine(EngineKind::Column, par);
-        assert_eq!(a.len(), b.len());
-        for pos in 0..a.len() {
-            assert_eq!(a.value_at(pos), b.value_at(pos));
-            assert_eq!(a.superkey_at(pos), b.superkey_at(pos));
+        let build = |threads| {
+            IndexBuilder::with_options(IndexOptions {
+                threads,
+                ..Default::default()
+            })
+            .index_lake(&tables)
+        };
+        let seq = build(1);
+        for threads in [2, 4, 8, 16] {
+            assert_eq!(seq, build(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn skewed_lakes_build_identically() {
+        // One giant table plus many small ones: greedy size-aware chunking
+        // must still cover every table exactly once, in input order.
+        let mut big_cols = Vec::new();
+        for c in 0..4 {
+            let vals: Vec<Value> = (0..200)
+                .map(|r| Value::Int((c * 1000 + r) as i64))
+                .collect();
+            big_cols.push(Column::new(format!("c{c}"), vals));
+        }
+        let mut tables = vec![Table::new(TableId(0), "giant", big_cols).unwrap()];
+        tables.extend((1..8).map(staff_table));
+        let build = |threads| {
+            IndexBuilder::with_options(IndexOptions {
+                threads,
+                ..Default::default()
+            })
+            .index_lake(&tables)
+        };
+        let seq = build(1);
+        assert_eq!(
+            seq.len(),
+            tables.iter().map(|t| t.non_null_cells()).sum::<usize>()
+        );
+        for threads in [2, 4] {
+            assert_eq!(seq, build(threads), "threads={threads}");
         }
     }
 

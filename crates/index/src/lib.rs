@@ -13,7 +13,8 @@
 //!    into SQL aggregation.
 //!
 //! [`builder::IndexBuilder`] runs the pipeline, optionally in parallel
-//! (crossbeam scoped threads, one task per table) and optionally with
+//! (the shared `blend-parallel` worker pool, tables bin-packed across
+//! workers by cell count) and optionally with
 //! *pre-shuffled row order* — the "BLEND (rand)" configuration of Table VII,
 //! which converts the correlation seeker's `RowId < h` convenience sample
 //! into a random sample.

@@ -1,0 +1,118 @@
+//! The shared parallel-execution context handed down from plan execution.
+
+use crate::pool::WorkerPool;
+
+/// Environment variable overriding the worker thread count (`1` forces the
+/// sequential fallback everywhere).
+pub const THREADS_ENV: &str = "BLEND_THREADS";
+
+/// Default minimum number of input items before a phase goes parallel.
+/// Below this, scoped-thread spawn cost dwarfs the work.
+const DEFAULT_MIN_PARALLEL: usize = 4096;
+
+/// Default morsel length (items per claimable work unit) for scans.
+const DEFAULT_MORSEL_LEN: usize = 16 * 1024;
+
+/// Shared parallel-execution configuration: the worker pool plus the
+/// thresholds that decide when a phase is worth partitioning.
+///
+/// One `ParallelCtx` (behind an `Arc`) is attached to the SQL engine and
+/// handed down from plan execution to every seeker query, so the whole
+/// system shares a single thread budget. Every consumer must implement a
+/// sequential fallback: [`should_parallelize`](ParallelCtx::should_parallelize)
+/// returns `false` when `threads == 1` or the input is below the morsel
+/// threshold, and the caller then runs its ordinary single-threaded loop.
+#[derive(Debug, Clone)]
+pub struct ParallelCtx {
+    pool: WorkerPool,
+    min_parallel: usize,
+    morsel_len: usize,
+}
+
+impl ParallelCtx {
+    /// Context with the given thread budget and default tuning.
+    pub fn new(threads: usize) -> Self {
+        Self::with_tuning(threads, DEFAULT_MIN_PARALLEL, DEFAULT_MORSEL_LEN)
+    }
+
+    /// Context with explicit tuning (tests force tiny thresholds to
+    /// exercise the parallel paths on small inputs).
+    pub fn with_tuning(threads: usize, min_parallel: usize, morsel_len: usize) -> Self {
+        ParallelCtx {
+            pool: WorkerPool::new(threads),
+            min_parallel: min_parallel.max(1),
+            morsel_len: morsel_len.max(1),
+        }
+    }
+
+    /// Strictly sequential context (the `threads == 1` fallback).
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Context from the environment: `BLEND_THREADS` when set (clamped to
+    /// at least 1), otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        Self::new(threads)
+    }
+
+    /// The worker pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The thread budget.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Target items per morsel.
+    pub fn morsel_len(&self) -> usize {
+        self.morsel_len
+    }
+
+    /// Should a phase over `n_items` run on the pool? `false` means the
+    /// caller must take its sequential path.
+    pub fn should_parallelize(&self, n_items: usize) -> bool {
+        self.threads() > 1 && n_items >= self.min_parallel
+    }
+}
+
+impl Default for ParallelCtx {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_ctx_never_parallelizes() {
+        let ctx = ParallelCtx::sequential();
+        assert_eq!(ctx.threads(), 1);
+        assert!(!ctx.should_parallelize(usize::MAX));
+    }
+
+    #[test]
+    fn threshold_gates_parallelism() {
+        let ctx = ParallelCtx::with_tuning(4, 100, 10);
+        assert!(!ctx.should_parallelize(99));
+        assert!(ctx.should_parallelize(100));
+        assert_eq!(ctx.morsel_len(), 10);
+        assert_eq!(ctx.threads(), 4);
+    }
+
+    #[test]
+    fn tuning_clamps_zeroes() {
+        let ctx = ParallelCtx::with_tuning(0, 0, 0);
+        assert_eq!(ctx.threads(), 1);
+        assert_eq!(ctx.morsel_len(), 1);
+        assert!(!ctx.should_parallelize(1));
+    }
+}

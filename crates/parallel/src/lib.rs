@@ -1,0 +1,58 @@
+//! # blend-parallel — morsel-driven parallel execution
+//!
+//! BLEND's pitch is that every discovery task compiles to a handful of SQL
+//! shapes over one fact table, which means one well-parallelized executor
+//! speeds up *every* seeker at once. This crate is that shared substrate:
+//! a reusable scoped worker pool plus the partitioning arithmetic the
+//! executor, the index builder, and future scale work (sharding, batching,
+//! concurrent query serving) all build on. Nothing here knows about SQL or
+//! storage — consumers bring their own work items.
+//!
+//! ## The morsel/merge model
+//!
+//! Work is split into **morsels**: small contiguous sub-ranges of ordered
+//! input segments (a postings list, a table range, the whole position
+//! space). Workers claim morsels *dynamically* from a shared atomic cursor,
+//! so a skewed segment never serializes a phase behind one worker the way
+//! static `i % threads` striping does. Each morsel produces a private,
+//! ordered partial result; because morsels are contiguous and indexed, the
+//! partials concatenate **in morsel order** into exactly the output a
+//! sequential pass over the same segments would produce. That
+//! order-preserving merge is the invariant the whole subsystem leans on:
+//! parallel execution is byte-identical to sequential execution, at every
+//! thread count, which keeps results reproducible and lets a single parity
+//! suite guard every phase.
+//!
+//! The same recipe covers the executor's three phases:
+//!
+//! * **Scan** — morsels over postings/ranges, per-morsel position lists,
+//!   concatenated in morsel order.
+//! * **Hash join** — the build side is split into contiguous chunks with
+//!   partition-local maps merged chunk-by-chunk (per-key match lists stay
+//!   ascending); the probe side is chunked and emitted in chunk order.
+//! * **GROUP BY** — per-worker aggregate maps over contiguous row chunks,
+//!   merged in chunk order, which provably reproduces the sequential
+//!   first-seen group order.
+//!
+//! ## Components
+//!
+//! * [`WorkerPool`] — scoped threads (built on the vendored
+//!   `crossbeam::thread::scope`) running `n` indexed tasks with dynamic
+//!   claiming; returns results in task order plus per-worker busy times.
+//! * [`morsel`] — [`morselize`](morsel::morselize) (segment → morsel
+//!   splitting), [`split_even`](morsel::split_even) (row-count-balanced
+//!   contiguous ranges), and [`balanced_chunks`](morsel::balanced_chunks)
+//!   (greedy LPT bin-packing for unequal work items, used by the index
+//!   builder).
+//! * [`ParallelCtx`] — the shared knob set (thread count, morsel length,
+//!   sequential-fallback threshold) handed down from plan execution to
+//!   every phase. `threads == 1` or inputs below the threshold take the
+//!   sequential path, so single-threaded deployments pay nothing.
+
+pub mod ctx;
+pub mod morsel;
+pub mod pool;
+
+pub use ctx::ParallelCtx;
+pub use morsel::{balanced_chunks, morselize, split_even, Morsel};
+pub use pool::{PoolRun, WorkerPool};

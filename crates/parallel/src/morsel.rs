@@ -1,0 +1,211 @@
+//! Partitioning arithmetic: morsels, even range splitting, and greedy
+//! size-aware bin-packing.
+
+use std::ops::Range;
+
+/// One unit of claimable work: a contiguous sub-range `[start, end)` of
+/// ordered segment `segment`.
+///
+/// Segments are whatever ordered inputs the caller scans — postings lists,
+/// table position ranges, a whole position space. Morsels are indexed, so
+/// per-morsel outputs concatenated in morsel index order reproduce a
+/// sequential pass over the segments exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// Index of the segment this morsel belongs to.
+    pub segment: usize,
+    /// Start offset within the segment (inclusive).
+    pub start: usize,
+    /// End offset within the segment (exclusive).
+    pub end: usize,
+}
+
+impl Morsel {
+    /// Number of items in the morsel.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the morsel covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Split ordered segments of the given lengths into morsels of at most
+/// `morsel_len` items (clamped to at least 1). Oversized segments are
+/// chopped, so one huge postings list spreads across many workers instead
+/// of pinning one; empty segments yield no morsels.
+pub fn morselize(segment_lens: &[usize], morsel_len: usize) -> Vec<Morsel> {
+    let morsel_len = morsel_len.max(1);
+    let mut out = Vec::new();
+    for (segment, &len) in segment_lens.iter().enumerate() {
+        let mut start = 0usize;
+        while start < len {
+            let end = (start + morsel_len).min(len);
+            out.push(Morsel {
+                segment,
+                start,
+                end,
+            });
+            start = end;
+        }
+    }
+    out
+}
+
+/// Split `0..len` into at most `parts` contiguous ranges whose lengths
+/// differ by at most one (row-count balanced). Returns fewer ranges when
+/// `len < parts` — never an empty range — and nothing for `len == 0`.
+pub fn split_even(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(len);
+    if parts == 0 {
+        return Vec::new();
+    }
+    let base = len / parts;
+    let rem = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        let size = base + usize::from(p < rem);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Greedy size-aware chunking (longest-processing-time bin-packing): assign
+/// item indices to `bins` bins so per-bin total weight stays balanced even
+/// under heavy skew — the fix for static `i % bins` striping, where one
+/// huge item serializes a whole phase.
+///
+/// Items are placed heaviest-first into the currently lightest bin; each
+/// bin's indices are returned in ascending order and bins may be empty when
+/// there are fewer items than bins. Deterministic: ties break on the lower
+/// bin index, equal weights on the lower item index.
+pub fn balanced_chunks(weights: &[usize], bins: usize) -> Vec<Vec<usize>> {
+    let bins = bins.max(1);
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    // Stable sort: equal weights keep ascending item order.
+    order.sort_by(|&a, &b| weights[b].cmp(&weights[a]));
+
+    let mut totals = vec![0usize; bins];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); bins];
+    for idx in order {
+        let lightest = totals
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, t)| *t)
+            .map(|(b, _)| b)
+            .expect("at least one bin");
+        totals[lightest] += weights[idx];
+        out[lightest].push(idx);
+    }
+    for bin in &mut out {
+        bin.sort_unstable();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsels_cover_segments_in_order() {
+        let morsels = morselize(&[5, 0, 3], 2);
+        assert_eq!(
+            morsels,
+            vec![
+                Morsel {
+                    segment: 0,
+                    start: 0,
+                    end: 2
+                },
+                Morsel {
+                    segment: 0,
+                    start: 2,
+                    end: 4
+                },
+                Morsel {
+                    segment: 0,
+                    start: 4,
+                    end: 5
+                },
+                Morsel {
+                    segment: 2,
+                    start: 0,
+                    end: 2
+                },
+                Morsel {
+                    segment: 2,
+                    start: 2,
+                    end: 3
+                },
+            ]
+        );
+        assert!(morsels.iter().all(|m| !m.is_empty() && m.len() <= 2));
+    }
+
+    #[test]
+    fn zero_morsel_len_is_clamped() {
+        assert_eq!(morselize(&[2], 0).len(), 2);
+    }
+
+    #[test]
+    fn split_even_balances_and_covers() {
+        for (len, parts) in [(10, 3), (3, 10), (0, 4), (16, 4), (1, 1)] {
+            let ranges = split_even(len, parts);
+            assert!(ranges.len() <= parts);
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+            let covered: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(covered, len);
+            // Contiguous and in order.
+            let mut pos = 0;
+            for r in &ranges {
+                assert_eq!(r.start, pos);
+                pos = r.end;
+            }
+            // Balanced within one item.
+            if let (Some(min), Some(max)) = (
+                ranges.iter().map(|r| r.len()).min(),
+                ranges.iter().map(|r| r.len()).max(),
+            ) {
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_chunks_spread_skewed_weights() {
+        // One huge item (100) + nine small (1): static i % 4 striping would
+        // put items 0,4,8 (102 weight) in bin 0; LPT isolates the giant.
+        let weights = [100, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+        let bins = balanced_chunks(&weights, 4);
+        assert_eq!(bins.len(), 4);
+        let totals: Vec<usize> = bins
+            .iter()
+            .map(|b| b.iter().map(|&i| weights[i]).sum())
+            .collect();
+        // The giant sits alone; the nine small items share the other bins.
+        assert!(totals.contains(&100));
+        assert_eq!(totals.iter().sum::<usize>(), 109);
+        assert_eq!(*totals.iter().filter(|&&t| t != 100).max().unwrap(), 3);
+        // Every index appears exactly once, ascending within its bin.
+        let mut all: Vec<usize> = bins.iter().flatten().copied().collect();
+        assert!(bins.iter().all(|b| b.windows(2).all(|w| w[0] < w[1])));
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn balanced_chunks_deterministic_under_ties() {
+        let weights = [2, 2, 2, 2];
+        assert_eq!(balanced_chunks(&weights, 2), balanced_chunks(&weights, 2));
+        // More bins than items leaves trailing bins empty.
+        let bins = balanced_chunks(&[5], 3);
+        assert_eq!(bins[0], vec![0]);
+        assert!(bins[1].is_empty() && bins[2].is_empty());
+    }
+}

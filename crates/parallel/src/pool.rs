@@ -1,0 +1,172 @@
+//! A scoped worker pool with dynamic task claiming.
+//!
+//! Built on the vendored `crossbeam::thread::scope`, so workers may borrow
+//! from the caller's stack (fact tables, compiled expressions, position
+//! batches) without any `Arc` plumbing. Tasks are claimed from a shared
+//! atomic cursor — morsel-driven scheduling — so unequal task costs balance
+//! themselves instead of serializing behind the unluckiest worker.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Result of one [`WorkerPool::run`] call.
+#[derive(Debug)]
+pub struct PoolRun<T> {
+    /// Per-task results, in task order (independent of which worker ran
+    /// which task).
+    pub results: Vec<T>,
+    /// Busy wall-clock time per worker, in nanoseconds. Length is the
+    /// number of workers that actually ran (1 on the sequential path).
+    pub worker_nanos: Vec<u64>,
+}
+
+/// A fixed-width scoped worker pool.
+///
+/// The pool itself is just a thread budget — threads are spawned per
+/// [`run`](WorkerPool::run) call inside a scope and joined before it
+/// returns, which is what lets tasks borrow caller state. With `threads ==
+/// 1` (or a single task) no thread is spawned at all; the closure runs
+/// inline, so a sequential deployment pays zero synchronization cost.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Pool with the given thread budget (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `n_tasks` independent tasks, `f(i)` computing task `i`.
+    ///
+    /// Workers claim task indices dynamically from a shared cursor;
+    /// `min(threads, n_tasks)` workers run. Results come back in task
+    /// order, so order-sensitive merges can simply concatenate them.
+    ///
+    /// A panic inside `f` propagates to the caller after all workers have
+    /// been joined.
+    pub fn run<T, F>(&self, n_tasks: usize, f: F) -> PoolRun<T>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        if self.threads == 1 || n_tasks <= 1 {
+            let start = Instant::now();
+            let results: Vec<T> = (0..n_tasks).map(&f).collect();
+            return PoolRun {
+                results,
+                worker_nanos: vec![start.elapsed().as_nanos() as u64],
+            };
+        }
+
+        let workers = self.threads.min(n_tasks);
+        let next = AtomicUsize::new(0);
+        let (next_ref, f_ref) = (&next, &f);
+
+        // Each worker collects (task index, result) pairs privately; the
+        // merge below re-orders them by task index, so no shared mutable
+        // output buffer (and no locking) is needed.
+        let mut per_worker: Vec<(Vec<(usize, T)>, u64)> = Vec::with_capacity(workers);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move |_| {
+                        let start = Instant::now();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_tasks {
+                                break;
+                            }
+                            local.push((i, f_ref(i)));
+                        }
+                        (local, start.elapsed().as_nanos() as u64)
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_worker.push(h.join().expect("pool worker panicked"));
+            }
+        })
+        .expect("worker scope");
+
+        let mut slots: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
+        let mut worker_nanos = Vec::with_capacity(workers);
+        for (local, nanos) in per_worker {
+            worker_nanos.push(nanos);
+            for (i, v) in local {
+                slots[i] = Some(v);
+            }
+        }
+        PoolRun {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("every task index claimed exactly once"))
+                .collect(),
+            worker_nanos,
+        }
+    }
+
+    /// Parallel map over a slice, preserving element order.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        F: Fn(&I) -> T + Sync,
+        T: Send,
+    {
+        self.run(items.len(), |i| f(&items[i])).results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let run = pool.run(37, |i| i * i);
+            assert_eq!(run.results, (0..37).map(|i| i * i).collect::<Vec<_>>());
+            assert!(!run.worker_nanos.is_empty());
+            assert!(run.worker_nanos.len() <= threads.max(1));
+        }
+    }
+
+    #[test]
+    fn workers_borrow_caller_state() {
+        let data: Vec<u64> = (0..1000).collect();
+        let pool = WorkerPool::new(4);
+        let sums = pool.map(&[0usize, 250, 500, 750], |&lo| {
+            data[lo..lo + 250].iter().sum::<u64>()
+        });
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn zero_tasks_is_empty() {
+        let run: PoolRun<()> = WorkerPool::new(4).run(0, |_| unreachable!("no task to run"));
+        assert!(run.results.is_empty());
+    }
+
+    #[test]
+    fn uneven_tasks_all_complete() {
+        // Task cost skew: dynamic claiming must still cover every index.
+        let pool = WorkerPool::new(3);
+        let run = pool.run(16, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(run.results, (0..16).collect::<Vec<_>>());
+    }
+}

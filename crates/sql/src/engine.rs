@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use blend_common::{FxHashMap, Result};
+use blend_parallel::ParallelCtx;
 use blend_storage::FactTable;
 
 use crate::exec::{execute_plan_path, QueryReport, ResultSet};
@@ -66,17 +67,41 @@ impl Catalog for Database {
 /// Parse → plan → execute pipeline over a [`Database`].
 pub struct SqlEngine {
     db: Database,
+    /// Shared worker-pool context the positional executor rides. Defaults
+    /// to [`ParallelCtx::from_env`] (`BLEND_THREADS` override); one `Arc`
+    /// is shared by every query this engine executes — and, through
+    /// [`Blend`](https://docs.rs/blend), by every seeker of a plan.
+    parallel: Arc<ParallelCtx>,
 }
 
 impl SqlEngine {
     /// Engine over a catalog.
     pub fn new(db: Database) -> Self {
-        SqlEngine { db }
+        SqlEngine {
+            db,
+            parallel: Arc::new(ParallelCtx::from_env()),
+        }
     }
 
     /// Engine over a catalog holding only `AllTables`.
     pub fn with_alltables(table: Arc<dyn FactTable>) -> Self {
         SqlEngine::new(Database::with_alltables(table))
+    }
+
+    /// Replace the parallel-execution context (builder style).
+    pub fn with_parallel(mut self, ctx: Arc<ParallelCtx>) -> Self {
+        self.parallel = ctx;
+        self
+    }
+
+    /// Replace the parallel-execution context.
+    pub fn set_parallel(&mut self, ctx: Arc<ParallelCtx>) {
+        self.parallel = ctx;
+    }
+
+    /// The parallel-execution context queries run with.
+    pub fn parallel_ctx(&self) -> &Arc<ParallelCtx> {
+        &self.parallel
     }
 
     /// Access the catalog.
@@ -105,7 +130,7 @@ impl SqlEngine {
         let ast = parse(sql)?;
         let plan = plan_query(&ast, &self.db)?;
         let mut report = QueryReport::default();
-        let rs = execute_plan_path(&plan, &mut report, path == ExecPath::Auto)?;
+        let rs = execute_plan_path(&plan, &mut report, path == ExecPath::Auto, &self.parallel)?;
         Ok((rs, report))
     }
 }

@@ -6,6 +6,7 @@
 //! before anything is materialized.
 
 use blend_common::{FxHashMap, FxHashSet, Result};
+use blend_parallel::ParallelCtx;
 
 use crate::ast::AggFunc;
 use crate::expr::CExpr;
@@ -33,6 +34,19 @@ pub struct ScanReport {
     pub emitted: usize,
 }
 
+/// Parallel-execution telemetry for one positional-executor phase that ran
+/// on the worker pool. Sequential fallbacks record nothing, so a
+/// `BLEND_THREADS=1` run has an empty [`QueryReport::parallel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelPhase {
+    /// Phase label: `scan:<alias>`, `join-build`, `join-probe`, `group`.
+    pub phase: String,
+    /// Number of work partitions (morsels or contiguous chunks).
+    pub partitions: usize,
+    /// Busy wall-clock time per pool worker, in nanoseconds.
+    pub worker_nanos: Vec<u64>,
+}
+
 /// Whole-query execution telemetry (the `EXPLAIN ANALYZE` stand-in used by
 /// tests and the optimizer experiments).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -45,6 +59,22 @@ pub struct QueryReport {
     /// late-materialization path for recognized BLEND shapes) or `"tuple"`
     /// (the general materializing path).
     pub path: String,
+    /// Pool-backed phases of the positional executor, in execution order.
+    pub parallel: Vec<ParallelPhase>,
+}
+
+impl QueryReport {
+    /// Logical-telemetry equality: same scans, join cardinalities, result
+    /// rows, and executor path. Ignores [`QueryReport::parallel`], whose
+    /// partition counts and per-worker timings legitimately vary with the
+    /// thread count — everything else must be byte-identical at every
+    /// thread count (the parity suite's contract).
+    pub fn logical_eq(&self, other: &QueryReport) -> bool {
+        self.scans == other.scans
+            && self.joins == other.joins
+            && self.result_rows == other.result_rows
+            && self.path == other.path
+    }
 }
 
 /// A materialized query result.
@@ -100,29 +130,32 @@ impl ResultSet {
     }
 }
 
-/// Execute a plan, collecting telemetry. Routes recognized BLEND shapes to
-/// the late-materialization positional executor; everything else runs on
-/// the general tuple-at-a-time path.
+/// Execute a plan sequentially, collecting telemetry. Routes recognized
+/// BLEND shapes to the late-materialization positional executor; everything
+/// else runs on the general tuple-at-a-time path.
 pub fn execute_plan(plan: &QueryPlan, report: &mut QueryReport) -> Result<ResultSet> {
-    execute_plan_path(plan, report, true)
+    execute_plan_path(plan, report, true, &ParallelCtx::sequential())
 }
 
-/// [`execute_plan`] with explicit executor selection. `allow_positional =
-/// false` forces the tuple path everywhere (benchmark baseline and parity
-/// tests).
+/// [`execute_plan`] with explicit executor selection and parallel context.
+/// `allow_positional = false` forces the tuple path everywhere (benchmark
+/// baseline and parity tests). `par` is the shared worker-pool context the
+/// positional executor's scan/join/group phases ride; the tuple path is
+/// always sequential (it is the reference implementation).
 pub fn execute_plan_path(
     plan: &QueryPlan,
     report: &mut QueryReport,
     allow_positional: bool,
+    par: &ParallelCtx,
 ) -> Result<ResultSet> {
     if allow_positional {
         if let Some(pos) = crate::exec_positional::plan_positional(plan) {
             report.path = "positional".to_string();
-            return crate::exec_positional::execute(plan, &pos, report);
+            return crate::exec_positional::execute(plan, &pos, report, par);
         }
     }
     report.path = "tuple".to_string();
-    execute_tuple(plan, report, allow_positional)
+    execute_tuple(plan, report, allow_positional, par)
 }
 
 /// Subquery dispatch: same routing as the top level, but without touching
@@ -131,13 +164,14 @@ fn execute_sub(
     plan: &QueryPlan,
     report: &mut QueryReport,
     allow_positional: bool,
+    par: &ParallelCtx,
 ) -> Result<ResultSet> {
     if allow_positional {
         if let Some(pos) = crate::exec_positional::plan_positional(plan) {
-            return crate::exec_positional::execute(plan, &pos, report);
+            return crate::exec_positional::execute(plan, &pos, report, par);
         }
     }
-    execute_tuple(plan, report, allow_positional)
+    execute_tuple(plan, report, allow_positional, par)
 }
 
 /// The materializing tuple-at-a-time executor.
@@ -145,8 +179,9 @@ fn execute_tuple(
     plan: &QueryPlan,
     report: &mut QueryReport,
     allow_positional: bool,
+    par: &ParallelCtx,
 ) -> Result<ResultSet> {
-    let mut tuples = exec_tree(&plan.tree, report, allow_positional)?;
+    let mut tuples = exec_tree(&plan.tree, report, allow_positional, par)?;
 
     if let Some(f) = &plan.post_filter {
         tuples.retain(|t| f.eval_predicate(t));
@@ -215,11 +250,16 @@ pub(crate) fn finish_decorated(
     }
 }
 
-fn exec_tree(tree: &Tree, report: &mut QueryReport, allow_positional: bool) -> Result<Vec<Tuple>> {
+fn exec_tree(
+    tree: &Tree,
+    report: &mut QueryReport,
+    allow_positional: bool,
+    par: &ParallelCtx,
+) -> Result<Vec<Tuple>> {
     match tree {
         Tree::Leaf(InputPlan::Scan(scan)) => Ok(exec_scan(scan, report)),
         Tree::Leaf(InputPlan::Query(sub, _)) => {
-            let rs = execute_sub(sub, report, allow_positional)?;
+            let rs = execute_sub(sub, report, allow_positional, par)?;
             Ok(rs.rows)
         }
         Tree::Join {
@@ -229,8 +269,8 @@ fn exec_tree(tree: &Tree, report: &mut QueryReport, allow_positional: bool) -> R
             residual,
             ..
         } => {
-            let lt = exec_tree(left, report, allow_positional)?;
-            let rt = exec_tree(right, report, allow_positional)?;
+            let lt = exec_tree(left, report, allow_positional, par)?;
+            let rt = exec_tree(right, report, allow_positional, par)?;
             Ok(hash_join(lt, rt, keys, residual.as_ref(), report))
         }
     }
@@ -440,6 +480,61 @@ impl AggState {
                     *n += 1;
                 }
             }
+        }
+    }
+
+    /// Fold the state of a later input partition into this one. Partition
+    /// merging is exact for counting, distinct, and min/max states and for
+    /// integer-valued sums (integer partial sums are exact in f64, so
+    /// regrouping additions cannot change the result); the positional
+    /// executor only takes the parallel grouping path when every aggregate
+    /// satisfies one of those (see `PosAggSpec::merge_exact`).
+    ///
+    /// Tie semantics for MIN/MAX match sequential first-seen: `other` holds
+    /// strictly later rows, so it replaces `self` only on a strict win.
+    pub(crate) fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::CountDistinct(a), AggState::CountDistinct(b)) => a.extend(b),
+            (
+                AggState::Sum { acc, all_int, seen },
+                AggState::Sum {
+                    acc: acc2,
+                    all_int: all_int2,
+                    seen: seen2,
+                },
+            ) => {
+                *acc += acc2;
+                *all_int &= all_int2;
+                *seen |= seen2;
+            }
+            (AggState::Min(cur), AggState::Min(other)) => {
+                if let Some(v) = other {
+                    let replace = match cur {
+                        None => true,
+                        Some(c) => v.order_cmp(c).is_lt(),
+                    };
+                    if replace {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (AggState::Max(cur), AggState::Max(other)) => {
+                if let Some(v) = other {
+                    let replace = match cur {
+                        None => true,
+                        Some(c) => v.order_cmp(c).is_gt(),
+                    };
+                    if replace {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (AggState::Avg { sum, n }, AggState::Avg { sum: sum2, n: n2 }) => {
+                *sum += sum2;
+                *n += n2;
+            }
+            _ => unreachable!("partition states built from the same plan"),
         }
     }
 

@@ -27,15 +27,39 @@
 //! safe falls back to the tuple executor, so the two paths always agree
 //! (enforced by the `exec_parity` integration tests). Which path ran is
 //! observable via [`QueryReport::path`].
+//!
+//! ## Parallel execution
+//!
+//! All three phases ride the shared [`ParallelCtx`] worker pool
+//! (morsel-partitioned, see the `blend-parallel` crate docs), each with an
+//! order-preserving merge that makes parallel output **byte-identical** to
+//! the sequential path at every thread count:
+//!
+//! * scans split postings/table ranges into morsels and concatenate the
+//!   per-morsel position lists in morsel order;
+//! * hash joins build partition-local maps over contiguous build chunks
+//!   (merged chunk-by-chunk, keeping per-key match lists ascending) and
+//!   probe in contiguous chunks emitted in chunk order;
+//! * GROUP BY runs per-worker aggregate maps over contiguous row chunks
+//!   and merges them in chunk order, which reproduces the sequential
+//!   first-seen group order exactly. The parallel grouping path is taken
+//!   only when every aggregate merges exactly (counts, distincts, min/max,
+//!   and integer-valued sums — see `PosAggSpec::merge_exact`).
+//!
+//! With `threads == 1` (`BLEND_THREADS=1`) or inputs under the morsel
+//! threshold, every phase takes its plain sequential loop. Pool-backed
+//! phases record partition counts and per-worker timings in
+//! [`QueryReport::parallel`].
 
 use std::collections::hash_map::Entry;
 use std::sync::Arc;
 
 use blend_common::{FxHashMap, FxHashSet};
+use blend_parallel::{morselize, split_even, Morsel, ParallelCtx};
 use blend_storage::{FactTable, ValueProbe};
 
 use crate::ast::{AggFunc, BinOp, UnaryOp};
-use crate::exec::{self, AggState, QueryReport, ResultSet, ScanReport, Tuple};
+use crate::exec::{self, AggState, ParallelPhase, QueryReport, ResultSet, ScanReport, Tuple};
 use crate::expr::{
     combine_and, combine_or, eval_abs_value, eval_cast_int_value, eval_cmp_arith, eval_unary_value,
     CExpr,
@@ -177,6 +201,20 @@ impl PExpr {
     fn eval_predicate(&self, tables: &[&dyn FactTable], base: usize, row: &[u32]) -> bool {
         self.eval(tables, base, row).truthy()
     }
+
+    /// Conservatively true when evaluation can only yield `Int` or `Null`.
+    /// This is the condition under which partitioned f64 summation is
+    /// exact: integer-valued partial sums (below 2^53) are exact in f64
+    /// and their addition is associative, so regrouping across workers
+    /// cannot change a SUM/AVG result.
+    fn integer_valued(&self) -> bool {
+        match self {
+            PExpr::Int(..) | PExpr::Quadrant(_) | PExpr::CastInt(_) => true,
+            PExpr::Const(v) => matches!(v, SqlValue::Int(_) | SqlValue::Null),
+            PExpr::Abs(e) => e.integer_valued(),
+            _ => false,
+        }
+    }
 }
 
 /// Compile a tuple expression into a positional one. `base` is the global
@@ -260,6 +298,24 @@ enum PosAggSpec {
     /// Anything else: evaluate the argument positionally and fold it into
     /// the tuple executor's [`AggState`].
     Generic { agg: usize, arg: Option<PExpr> },
+}
+
+impl PosAggSpec {
+    /// True when per-partition accumulation followed by a merge is
+    /// bit-identical to sequential accumulation: counting, distinct, and
+    /// min/max states always are; SUM/AVG only when the argument is
+    /// provably integer-valued (float addition is not associative). The
+    /// parallel GROUP BY path requires this of every aggregate — the four
+    /// seeker shapes all qualify (the C shape sums an `(...)::int` cast).
+    fn merge_exact(&self, agg_plans: &[AggPlan]) -> bool {
+        match self {
+            PosAggSpec::CountStar | PosAggSpec::DistinctValue { .. } => true,
+            PosAggSpec::Generic { agg, arg } => match agg_plans[*agg].func {
+                AggFunc::Count | AggFunc::Min | AggFunc::Max => true,
+                AggFunc::Sum | AggFunc::Avg => arg.as_ref().is_some_and(PExpr::integer_valued),
+            },
+        }
+    }
 }
 
 /// Grouping stage shape.
@@ -454,15 +510,18 @@ impl PosBatch {
     }
 }
 
-/// Execute an admitted plan.
+/// Execute an admitted plan. `par` is the shared worker-pool context;
+/// every phase falls back to its sequential loop when `par` says an input
+/// is too small (or the pool has one thread).
 pub(crate) fn execute(
     plan: &QueryPlan,
     pos: &PosPlan<'_>,
     report: &mut QueryReport,
+    par: &ParallelCtx,
 ) -> Result<ResultSet> {
     let tables: Vec<&dyn FactTable> = pos.leaves.iter().map(|s| s.table.as_ref()).collect();
 
-    let mut batch = exec_node(&pos.root, pos, &tables, report);
+    let mut batch = exec_node(&pos.root, pos, &tables, report, par);
 
     if let Some(f) = &pos.post_filter {
         let mut data = Vec::with_capacity(batch.data.len());
@@ -480,7 +539,7 @@ pub(crate) fn execute(
 
     match (&pos.group, &plan.group) {
         (Some(shape), Some(gplan)) => {
-            let tuples = exec_group(shape, &gplan.aggs, &batch, &tables);
+            let tuples = exec_group(shape, &gplan.aggs, &batch, &tables, report, par);
             Ok(exec::project_sort_limit(plan, &tuples, report))
         }
         _ => {
@@ -514,11 +573,17 @@ fn exec_node(
     pos: &PosPlan<'_>,
     tables: &[&dyn FactTable],
     report: &mut QueryReport,
+    par: &ParallelCtx,
 ) -> PosBatch {
     match node {
-        PosNode::Scan { leaf, residual } => {
-            exec_scan(pos.leaves[*leaf], *leaf, residual.as_ref(), tables, report)
-        }
+        PosNode::Scan { leaf, residual } => exec_scan(
+            pos.leaves[*leaf],
+            *leaf,
+            residual.as_ref(),
+            tables,
+            report,
+            par,
+        ),
         PosNode::Join {
             left,
             right,
@@ -527,8 +592,8 @@ fn exec_node(
             keys,
             residual,
         } => {
-            let lb = exec_node(left, pos, tables, report);
-            let rb = exec_node(right, pos, tables, report);
+            let lb = exec_node(left, pos, tables, report, par);
+            let rb = exec_node(right, pos, tables, report, par);
             exec_join(
                 lb,
                 rb,
@@ -538,19 +603,44 @@ fn exec_node(
                 residual.as_ref(),
                 tables,
                 report,
+                par,
             )
         }
     }
 }
 
+/// One ordered input segment of a filtered scan: a postings list or a
+/// contiguous position range. Segments in access-path order, positions in
+/// segment order, reproduce the sequential visit order exactly — which is
+/// what makes the morsel-order merge byte-identical.
+enum Seg<'a> {
+    /// Inverted-index postings of one driving value.
+    Postings(&'a [u32]),
+    /// Physical positions `[lo, hi)` (a table range or the whole table).
+    Range(usize, usize),
+}
+
+impl Seg<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Seg::Postings(p) => p.len(),
+            Seg::Range(lo, hi) => hi - lo,
+        }
+    }
+}
+
 /// Positional scan: emit surviving positions; no tuple is materialized.
-/// Mirrors the tuple executor's visit order and telemetry exactly.
+/// Mirrors the tuple executor's visit order and telemetry exactly. Large
+/// filtered scans are morsel-partitioned across the pool; per-morsel
+/// position lists concatenate in morsel order, so the emitted batch is
+/// identical at every thread count.
 fn exec_scan(
     scan: &ScanPlan,
     leaf: usize,
     residual: Option<&PExpr>,
     tables: &[&dyn FactTable],
     report: &mut QueryReport,
+    par: &ParallelCtx,
 ) -> PosBatch {
     let table = scan.table.as_ref();
     let mut out: Vec<u32> = Vec::new();
@@ -588,8 +678,27 @@ fn exec_scan(
         };
     }
 
-    let mut visit = |pos: u32, out: &mut Vec<u32>| {
-        scanned += 1;
+    // Ordered segments of the driving access path; a sequential pass over
+    // them is exactly the original per-position loop.
+    let segs: Vec<Seg<'_>> = match &scan.access {
+        AccessPath::ValueIndex { .. } => scan
+            .driving_values
+            .iter()
+            .map(|v| Seg::Postings(table.postings(v)))
+            .collect(),
+        AccessPath::TableIndex { .. } => scan
+            .driving_tables
+            .iter()
+            .map(|&t| {
+                let r = table.table_postings(t);
+                Seg::Range(r.start, r.end)
+            })
+            .collect(),
+        AccessPath::SeqScan { .. } => vec![Seg::Range(0, table.len())],
+    };
+
+    let visit = |pos: u32, out: &mut Vec<u32>, scanned: &mut usize| {
+        *scanned += 1;
         if !fast_filters_pass(table, pos as usize, &scan.fast) {
             return;
         }
@@ -600,25 +709,58 @@ fn exec_scan(
         }
         out.push(pos);
     };
+    let scan_morsel = |m: &Morsel, out: &mut Vec<u32>, scanned: &mut usize| match segs[m.segment] {
+        Seg::Postings(p) => {
+            for &pos in &p[m.start..m.end] {
+                visit(pos, out, scanned);
+            }
+        }
+        Seg::Range(lo, _) => {
+            for pos in (lo + m.start)..(lo + m.end) {
+                visit(pos as u32, out, scanned);
+            }
+        }
+    };
 
-    match &scan.access {
-        AccessPath::ValueIndex { .. } => {
-            for v in &scan.driving_values {
-                for &pos in table.postings(v) {
-                    visit(pos, &mut out);
-                }
+    let total: usize = segs.iter().map(Seg::len).sum();
+    // A single morsel would run inline on the calling thread; only a real
+    // multi-morsel run takes the pool (and records a parallel phase).
+    let morsels = if par.should_parallelize(total) {
+        let lens: Vec<usize> = segs.iter().map(Seg::len).collect();
+        Some(morselize(&lens, par.morsel_len()))
+    } else {
+        None
+    };
+    match morsels {
+        Some(morsels) if morsels.len() > 1 => {
+            let run = par.pool().run(morsels.len(), |i| {
+                let mut local = Vec::new();
+                let mut local_scanned = 0usize;
+                scan_morsel(&morsels[i], &mut local, &mut local_scanned);
+                (local, local_scanned)
+            });
+            out.reserve(run.results.iter().map(|(l, _)| l.len()).sum());
+            for (local, local_scanned) in run.results {
+                out.extend_from_slice(&local);
+                scanned += local_scanned;
             }
+            report.parallel.push(ParallelPhase {
+                phase: format!("scan:{}", scan.alias),
+                partitions: morsels.len(),
+                worker_nanos: run.worker_nanos,
+            });
         }
-        AccessPath::TableIndex { .. } => {
-            for &t in &scan.driving_tables {
-                for pos in table.table_postings(t) {
-                    visit(pos as u32, &mut out);
-                }
-            }
-        }
-        AccessPath::SeqScan { .. } => {
-            for pos in 0..table.len() {
-                visit(pos as u32, &mut out);
+        _ => {
+            for (si, seg) in segs.iter().enumerate() {
+                scan_morsel(
+                    &Morsel {
+                        segment: si,
+                        start: 0,
+                        end: seg.len(),
+                    },
+                    &mut out,
+                    &mut scanned,
+                );
             }
         }
     }
@@ -676,6 +818,13 @@ impl<'b> ColCache<'b> {
 /// Positional hash join on packed u64 keys. Build/probe side selection and
 /// output row order mirror the tuple executor's `hash_join` so the two
 /// paths produce byte-identical results.
+///
+/// Both join phases ride the pool on large inputs: the build side splits
+/// into contiguous chunks with partition-local maps merged chunk-by-chunk
+/// (each local per-key match list is ascending and chunk `c` holds lower
+/// indices than chunk `c+1`, so concatenation reproduces the sequential
+/// per-key lists exactly), and the probe side is chunked with outputs
+/// concatenated in chunk order — the sequential probe order.
 #[allow(clippy::too_many_arguments)]
 fn exec_join(
     left: PosBatch,
@@ -686,6 +835,7 @@ fn exec_join(
     residual: Option<&PExpr>,
     tables: &[&dyn FactTable],
     report: &mut QueryReport,
+    par: &ParallelCtx,
 ) -> PosBatch {
     let build_left = left.len() <= right.len();
     let (build, probe) = if build_left {
@@ -729,36 +879,89 @@ fn exec_join(
     };
 
     let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-    for i in 0..build.len() {
-        table
-            .entry(key_at(&build_keys, i))
-            .or_default()
-            .push(i as u32);
+    if par.should_parallelize(build.len()) {
+        let chunks = split_even(build.len(), par.pool().threads());
+        let run = par.pool().run(chunks.len(), |ci| {
+            let mut local: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+            for i in chunks[ci].clone() {
+                local
+                    .entry(key_at(&build_keys, i))
+                    .or_default()
+                    .push(i as u32);
+            }
+            local
+        });
+        for local in run.results {
+            for (k, mut v) in local {
+                match table.entry(k) {
+                    Entry::Occupied(mut e) => e.get_mut().append(&mut v),
+                    Entry::Vacant(e) => {
+                        e.insert(v);
+                    }
+                }
+            }
+        }
+        report.parallel.push(ParallelPhase {
+            phase: "join-build".to_string(),
+            partitions: chunks.len(),
+            worker_nanos: run.worker_nanos,
+        });
+    } else {
+        for i in 0..build.len() {
+            table
+                .entry(key_at(&build_keys, i))
+                .or_default()
+                .push(i as u32);
+        }
     }
 
     let stride = left.stride + right.stride;
-    let mut out: Vec<u32> = Vec::new();
-    let mut joined: Vec<u32> = vec![0; stride];
-    let mut n_out = 0usize;
-    for i in 0..probe.len() {
-        let Some(matches) = table.get(&key_at(&probe_keys, i)) else {
-            continue;
-        };
-        let pt = probe.row(i);
-        for &bi in matches {
-            let bt = build.row(bi as usize);
-            let (lt, rt) = if build_left { (bt, pt) } else { (pt, bt) };
-            joined[..lt.len()].copy_from_slice(lt);
-            joined[lt.len()..].copy_from_slice(rt);
-            if let Some(res) = residual {
-                if !res.eval_predicate(tables, base, &joined) {
-                    continue;
+    let probe_chunk = |range: std::ops::Range<usize>| -> (Vec<u32>, usize) {
+        let mut out: Vec<u32> = Vec::new();
+        let mut joined: Vec<u32> = vec![0; stride];
+        let mut n_out = 0usize;
+        for i in range {
+            let Some(matches) = table.get(&key_at(&probe_keys, i)) else {
+                continue;
+            };
+            let pt = probe.row(i);
+            for &bi in matches {
+                let bt = build.row(bi as usize);
+                let (lt, rt) = if build_left { (bt, pt) } else { (pt, bt) };
+                joined[..lt.len()].copy_from_slice(lt);
+                joined[lt.len()..].copy_from_slice(rt);
+                if let Some(res) = residual {
+                    if !res.eval_predicate(tables, base, &joined) {
+                        continue;
+                    }
                 }
+                out.extend_from_slice(&joined);
+                n_out += 1;
             }
-            out.extend_from_slice(&joined);
-            n_out += 1;
         }
-    }
+        (out, n_out)
+    };
+
+    let (out, n_out) = if par.should_parallelize(probe.len()) {
+        let chunks = split_even(probe.len(), par.pool().threads());
+        let run = par
+            .pool()
+            .run(chunks.len(), |ci| probe_chunk(chunks[ci].clone()));
+        let mut out = Vec::with_capacity(run.results.iter().map(|(o, _)| o.len()).sum());
+        let mut n_out = 0usize;
+        for (local, local_n) in run.results {
+            out.extend_from_slice(&local);
+            n_out += local_n;
+        }
+        report.parallel.push(ParallelPhase {
+            phase: "join-probe".to_string(),
+            partitions: chunks.len(),
+            worker_nanos: run.worker_nanos,
+        });
+        (out, n_out)
+    } else {
+        probe_chunk(0..probe.len())
+    };
     report.joins.push((build.len(), probe.len(), n_out));
     PosBatch { stride, data: out }
 }
@@ -774,7 +977,20 @@ enum PosAggState<'a> {
     Generic(AggState),
 }
 
-impl PosAggState<'_> {
+impl<'a> PosAggState<'a> {
+    /// Fold a later partition's state for the same group into this one
+    /// (parallel GROUP BY merge). Chunks are merged in chunk order, so
+    /// `other` always covers strictly later rows than `self`.
+    fn merge(&mut self, other: PosAggState<'a>) {
+        match (self, other) {
+            (PosAggState::CountStar(a), PosAggState::CountStar(b)) => *a += b,
+            (PosAggState::DistinctCodes(a), PosAggState::DistinctCodes(b)) => a.extend(b),
+            (PosAggState::DistinctStrs(a), PosAggState::DistinctStrs(b)) => a.extend(b),
+            (PosAggState::Generic(a), PosAggState::Generic(b)) => a.merge(b),
+            _ => unreachable!("partition states built in lockstep"),
+        }
+    }
+
     fn finish(self) -> SqlValue {
         match self {
             PosAggState::CountStar(n) => SqlValue::Int(n),
@@ -789,11 +1005,20 @@ impl PosAggState<'_> {
 /// SC/KW shape) or a `u128` (the C shape's 3 columns); aggregate updates
 /// read from storage positions. Group output order is first-seen, matching
 /// the tuple executor.
+///
+/// Large inputs whose aggregates all merge exactly (see
+/// [`PosAggSpec::merge_exact`]) aggregate in parallel: per-worker maps over
+/// contiguous row chunks, merged in chunk order. Chunk-order merging
+/// reproduces sequential first-seen group order — a group's first chunk is
+/// the chunk of its globally first row, and within a chunk local first-seen
+/// order is global order restricted to that chunk.
 fn exec_group<'a>(
     shape: &PosGroup,
     agg_plans: &[AggPlan],
     batch: &PosBatch,
     tables: &'a [&'a dyn FactTable],
+    report: &mut QueryReport,
+    par: &ParallelCtx,
 ) -> Vec<Tuple> {
     let n_rows = batch.len();
     let mut cache = ColCache::new(batch);
@@ -840,16 +1065,114 @@ fn exec_group<'a>(
         }
     };
 
-    // first-seen row index per group (for key value output) + states.
-    let mut groups: Vec<(usize, Vec<PosAggState<'a>>)> = Vec::new();
+    // Fold row `i` into a group's aggregate states (shared by the
+    // sequential loop and each parallel worker).
+    let update_row = |i: usize, states: &mut [PosAggState<'a>]| {
+        let row = batch.row(i);
+        for ((state, spec), pre) in states.iter_mut().zip(&shape.aggs).zip(&prepared) {
+            match (state, spec) {
+                (PosAggState::CountStar(n), _) => *n += 1,
+                (PosAggState::DistinctCodes(set), _) => {
+                    set.insert(pre.as_ref().expect("codes gathered")[i]);
+                }
+                (PosAggState::DistinctStrs(set), PosAggSpec::DistinctValue { leaf }) => {
+                    set.insert(tables[*leaf].value_at(row[*leaf] as usize));
+                }
+                (PosAggState::Generic(state), PosAggSpec::Generic { arg, .. }) => {
+                    state.update_value(arg.as_ref().map(|e| e.eval(tables, 0, row)));
+                }
+                _ => unreachable!("state/spec built in lockstep"),
+            }
+        }
+    };
+
     let global = shape.keys.is_empty();
+    let nk = shape.keys.len();
+
+    if par.should_parallelize(n_rows) && shape.aggs.iter().all(|s| s.merge_exact(agg_plans)) {
+        // Per-worker aggregation over contiguous row chunks. Workers key
+        // their local maps on a packed u128 (injective for ≤4 u32 key
+        // columns) and remember each group's first row; the chunk-order
+        // merge below keeps the globally-first row and folds later chunks'
+        // states in.
+        let key128 = |i: usize| -> u128 {
+            let mut key: u128 = 0;
+            for col in &key_cols {
+                key = (key << 32) | col[i] as u128;
+            }
+            key
+        };
+        let chunks = split_even(n_rows, par.pool().threads());
+        let run = par.pool().run(chunks.len(), |ci| {
+            let mut index: FxHashMap<u128, u32> = FxHashMap::default();
+            let mut locals: Vec<(u128, usize, Vec<PosAggState<'a>>)> = Vec::new();
+            if global {
+                let mut states = Vec::with_capacity(shape.aggs.len());
+                new_states(&mut states);
+                locals.push((0, chunks[ci].start, states));
+            }
+            for i in chunks[ci].clone() {
+                let gi = if global {
+                    0
+                } else {
+                    match index.entry(key128(i)) {
+                        Entry::Occupied(e) => *e.get() as usize,
+                        Entry::Vacant(e) => {
+                            let gi = locals.len();
+                            e.insert(gi as u32);
+                            let mut states = Vec::with_capacity(shape.aggs.len());
+                            new_states(&mut states);
+                            locals.push((key128(i), i, states));
+                            gi
+                        }
+                    }
+                };
+                update_row(i, &mut locals[gi].2);
+            }
+            locals
+        });
+
+        let mut index: FxHashMap<u128, u32> = FxHashMap::default();
+        let mut groups: Vec<(usize, Vec<PosAggState<'a>>)> = Vec::new();
+        for locals in run.results {
+            for (key, first_row, states) in locals {
+                if global && !groups.is_empty() {
+                    for (dst, src) in groups[0].1.iter_mut().zip(states) {
+                        dst.merge(src);
+                    }
+                    continue;
+                }
+                match index.entry(key) {
+                    Entry::Vacant(e) => {
+                        e.insert(groups.len() as u32);
+                        groups.push((first_row, states));
+                    }
+                    Entry::Occupied(e) => {
+                        let gi = *e.get() as usize;
+                        for (dst, src) in groups[gi].1.iter_mut().zip(states) {
+                            dst.merge(src);
+                        }
+                    }
+                }
+            }
+        }
+        report.parallel.push(ParallelPhase {
+            phase: "group".to_string(),
+            partitions: chunks.len(),
+            worker_nanos: run.worker_nanos,
+        });
+        return finish_groups(groups, &key_cols, nk);
+    }
+
+    // Sequential path: first-seen row index per group (for key value
+    // output) + states.
+    let mut groups: Vec<(usize, Vec<PosAggState<'a>>)> = Vec::new();
     if global {
         let mut states = Vec::with_capacity(shape.aggs.len());
         new_states(&mut states);
         groups.push((0, states));
     }
 
-    let nk = shape.keys.len();
     let mut index64: FxHashMap<u64, u32> = FxHashMap::default();
     let mut index128: FxHashMap<u128, u32> = FxHashMap::default();
 
@@ -890,32 +1213,25 @@ fn exec_group<'a>(
             }
         };
 
-        let row = batch.row(i);
-        let (_, states) = &mut groups[gi];
-        for ((state, spec), pre) in states.iter_mut().zip(&shape.aggs).zip(&prepared) {
-            match (state, spec) {
-                (PosAggState::CountStar(n), _) => *n += 1,
-                (PosAggState::DistinctCodes(set), _) => {
-                    set.insert(pre.as_ref().expect("codes gathered")[i]);
-                }
-                (PosAggState::DistinctStrs(set), PosAggSpec::DistinctValue { leaf }) => {
-                    set.insert(tables[*leaf].value_at(row[*leaf] as usize));
-                }
-                (PosAggState::Generic(state), PosAggSpec::Generic { arg, .. }) => {
-                    state.update_value(arg.as_ref().map(|e| e.eval(tables, 0, row)));
-                }
-                _ => unreachable!("state/spec built in lockstep"),
-            }
-        }
+        update_row(i, &mut groups[gi].1);
     }
 
-    // Materialize post-aggregation tuples: key columns then aggregates,
-    // exactly like the tuple executor's group output.
+    finish_groups(groups, &key_cols, nk)
+}
+
+/// Materialize post-aggregation tuples: key columns (read at the group's
+/// first-seen row) then aggregates, exactly like the tuple executor's
+/// group output.
+fn finish_groups(
+    groups: Vec<(usize, Vec<PosAggState<'_>>)>,
+    key_cols: &[Vec<u32>],
+    nk: usize,
+) -> Vec<Tuple> {
     groups
         .into_iter()
         .map(|(first_row, states)| {
             let mut row: Tuple = Vec::with_capacity(nk + states.len());
-            for col in &key_cols {
+            for col in key_cols {
                 row.push(SqlValue::Int(col[first_row] as i64));
             }
             row.extend(states.into_iter().map(PosAggState::finish));
@@ -1045,6 +1361,104 @@ mod tests {
             .unwrap();
         assert_eq!(report.path, "tuple");
         assert!(!rs.is_empty());
+    }
+
+    /// Engine with parallel tuning forced low enough that every phase of
+    /// every query in this module rides the pool.
+    fn forced_parallel_engine(kind: EngineKind, threads: usize) -> SqlEngine {
+        let mut eng = engine(kind);
+        eng.set_parallel(Arc::new(ParallelCtx::with_tuning(threads, 1, 3)));
+        eng
+    }
+
+    #[test]
+    fn forced_parallel_execution_is_byte_identical() {
+        let queries = [
+            // SC shape: parallel scan + parallel group.
+            "SELECT TableId AS t, COUNT(DISTINCT CellValue) AS score FROM AllTables \
+             WHERE CellValue IN ('k0','k2','k4') GROUP BY TableId, ColumnId \
+             ORDER BY score DESC LIMIT 10",
+            // MC shape: parallel scans + parallel join build/probe.
+            "SELECT q0.TableId AS tid, q0.RowId AS rid, q0.SuperKey AS sk, \
+             q0.CellValue AS v0, q1.CellValue AS v1 FROM \
+             (SELECT * FROM AllTables WHERE CellValue IN ('k1','k3')) AS q0 \
+             INNER JOIN (SELECT * FROM AllTables WHERE CellValue IN ('10','30')) AS q1 \
+             ON q0.TableId = q1.TableId AND q0.RowId = q1.RowId",
+            // C shape: integer-valued SUM keeps the parallel group exact.
+            "SELECT keys.TableId AS t, keys.ColumnId AS kc, nums.ColumnId AS nc, \
+             ABS((2 * SUM(((keys.CellValue IN ('k0','k1') AND nums.Quadrant = 0) OR \
+             (keys.CellValue IN ('k2','k3','k4') AND nums.Quadrant = 1))::int) - COUNT(*)) \
+             / COUNT(*)) AS score, COUNT(*) AS n \
+             FROM (SELECT * FROM AllTables WHERE RowId < 6 AND \
+             CellValue IN ('k0','k1','k2','k3','k4')) keys \
+             INNER JOIN (SELECT * FROM AllTables WHERE RowId < 6 AND \
+             Quadrant IS NOT NULL) nums \
+             ON keys.TableId = nums.TableId AND keys.RowId = nums.RowId \
+             AND keys.ColumnId <> nums.ColumnId \
+             GROUP BY keys.TableId, nums.ColumnId, keys.ColumnId \
+             ORDER BY score DESC",
+            // Global aggregate with a seq scan.
+            "SELECT COUNT(*) AS n, MIN(RowId) AS lo, MAX(RowId) AS hi FROM AllTables \
+             WHERE Quadrant IS NOT NULL",
+        ];
+        for kind in [EngineKind::Row, EngineKind::Column] {
+            let reference = engine(kind);
+            for sql in queries {
+                let (want, want_rep) = reference
+                    .execute_with_report_path(sql, ExecPath::Auto)
+                    .unwrap();
+                assert_eq!(want_rep.path, "positional", "{sql}");
+                for threads in [2, 4, 8] {
+                    let eng = forced_parallel_engine(kind, threads);
+                    let (got, rep) = eng.execute_with_report_path(sql, ExecPath::Auto).unwrap();
+                    assert_eq!(got, want, "{kind:?}/{threads}t: {sql}");
+                    assert!(
+                        rep.logical_eq(&want_rep),
+                        "{kind:?}/{threads}t telemetry: {sql}"
+                    );
+                    // The pool actually ran: phases were recorded, with
+                    // more than one partition and bounded worker counts.
+                    assert!(!rep.parallel.is_empty(), "{kind:?}/{threads}t: {sql}");
+                    for phase in &rep.parallel {
+                        assert!(phase.partitions > 1, "{}: {sql}", phase.phase);
+                        assert!(!phase.worker_nanos.is_empty());
+                        assert!(phase.worker_nanos.len() <= threads);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_ctx_records_no_parallel_phases() {
+        let mut eng = engine(EngineKind::Column);
+        eng.set_parallel(Arc::new(ParallelCtx::with_tuning(1, 1, 3)));
+        let (_, rep) = eng
+            .execute_with_report_path(
+                "SELECT TableId AS t, COUNT(*) AS n FROM AllTables GROUP BY TableId",
+                ExecPath::Auto,
+            )
+            .unwrap();
+        assert_eq!(rep.path, "positional");
+        assert!(rep.parallel.is_empty());
+    }
+
+    #[test]
+    fn float_sums_fall_back_to_sequential_grouping() {
+        // `SUM(RowId / 2)` can produce non-integer values, whose partition
+        // merge would not be bit-exact; the parallel group path must refuse
+        // it (results still correct via the sequential group loop).
+        let eng = forced_parallel_engine(EngineKind::Column, 4);
+        let sql = "SELECT TableId AS t, SUM(RowId / 2) AS s FROM AllTables GROUP BY TableId";
+        let (got, rep) = eng.execute_with_report_path(sql, ExecPath::Auto).unwrap();
+        assert!(
+            rep.parallel.iter().all(|p| p.phase != "group"),
+            "float SUM must not group in parallel"
+        );
+        let (want, _) = eng
+            .execute_with_report_path(sql, ExecPath::TupleOnly)
+            .unwrap();
+        assert_eq!(got, want);
     }
 
     #[test]

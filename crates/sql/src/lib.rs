@@ -37,7 +37,9 @@ pub mod plan;
 pub mod value;
 
 pub use engine::{Database, ExecPath, SqlEngine};
-pub use exec::{QueryReport, ResultSet, ScanReport};
+pub use exec::{ParallelPhase, QueryReport, ResultSet, ScanReport};
 pub use value::SqlValue;
+
+pub use blend_parallel::ParallelCtx;
 
 pub use blend_common::{BlendError, Result};

@@ -201,6 +201,18 @@ pub trait FactTable: Send + Sync {
         false
     }
 
+    /// Split the physical position space `0..len()` into at most `parts`
+    /// contiguous ranges whose lengths differ by at most one — the
+    /// row-count-balanced partitions a parallel scan hands its workers.
+    /// Returns fewer (never empty) ranges when the table is smaller than
+    /// `parts`, and none for an empty table. Because rows are clustered in
+    /// canonical order (see [`canonical_sort`]), each range is itself a
+    /// run of whole-or-partial table clusters, so per-partition scans keep
+    /// the locality of the sequential scan.
+    fn partitions(&self, parts: usize) -> Vec<std::ops::Range<usize>> {
+        blend_parallel::split_even(self.len(), parts)
+    }
+
     /// Exact catalog statistics.
     fn stats(&self) -> &FactStats;
 
@@ -213,6 +225,12 @@ pub trait FactTable: Send + Sync {
 /// engines: clustered by table, then column, then row. Clustering by table
 /// is what makes the `TableId` index a range; column-major order within a
 /// table gives scans the locality a real column store would have.
+///
+/// This order is an **invariant** downstream code relies on:
+/// [`table_ranges`] requires it (and `debug_assert`s it) to hand out
+/// contiguous per-table ranges, and the parallel executor's
+/// order-preserving merges assume both engines share one physical order.
+/// Every engine build must call this before deriving ranges.
 pub fn canonical_sort(rows: &mut [FactRow]) {
     rows.sort_by(|a, b| {
         (a.table, a.column, a.row)
@@ -221,10 +239,21 @@ pub fn canonical_sort(rows: &mut [FactRow]) {
     });
 }
 
-/// Compute per-table contiguous ranges after [`canonical_sort`]. Index in
-/// the returned vec = table id; tables absent from the index get an empty
-/// range.
+/// Compute per-table contiguous ranges. Index in the returned vec = table
+/// id; tables absent from the index get an empty range.
+///
+/// **Requires** `rows` to be in [`canonical_sort`] order — each table's
+/// rows must form one contiguous run. The invariant is `debug_assert`ed
+/// here (release builds skip the O(n) check); violating it would silently
+/// truncate ranges to a table's *last* run and corrupt every table-index
+/// scan built on top.
 pub fn table_ranges(rows: &[FactRow]) -> Vec<(u32, u32)> {
+    debug_assert!(
+        rows.windows(2).all(|w| {
+            (w[0].table, w[0].column, w[0].row) <= (w[1].table, w[1].column, w[1].row)
+        }),
+        "table_ranges requires rows in canonical_sort order"
+    );
     let max_table = rows.iter().map(|r| r.table).max().map_or(0, |t| t + 1);
     let mut ranges = vec![(0u32, 0u32); max_table as usize];
     let mut i = 0usize;
@@ -279,5 +308,29 @@ mod tests {
     #[test]
     fn empty_rows_have_no_ranges() {
         assert!(table_ranges(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "canonical_sort order")]
+    #[cfg(debug_assertions)]
+    fn unsorted_rows_trip_the_invariant_assert() {
+        let rows = vec![
+            FactRow::new("b", 1, 0, 0, 0, None),
+            FactRow::new("a", 0, 0, 0, 0, None),
+        ];
+        let _ = table_ranges(&rows);
+    }
+
+    #[test]
+    fn fact_table_partitions_cover_the_position_space() {
+        let rows = crate::test_support::sample_rows();
+        let table = crate::build_engine(crate::EngineKind::Column, rows);
+        let parts = table.partitions(4);
+        assert_eq!(
+            parts.iter().map(ExactSizeIterator::len).sum::<usize>(),
+            table.len()
+        );
+        assert_eq!(parts.first().map(|r| r.start), Some(0));
+        assert_eq!(parts.last().map(|r| r.end), Some(table.len()));
     }
 }

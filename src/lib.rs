@@ -14,6 +14,7 @@ pub use blend_index;
 pub use blend_josie;
 pub use blend_lake;
 pub use blend_mate;
+pub use blend_parallel;
 pub use blend_qcr;
 pub use blend_sql;
 pub use blend_starmie;
