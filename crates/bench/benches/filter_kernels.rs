@@ -1,0 +1,220 @@
+//! `filter_kernels` Criterion group: batched selection-vector filter
+//! kernels vs. the scalar per-position `fast_filters_pass` oracle, on the
+//! SC scan shape at 150k fact rows, both storage engines, with a selective
+//! and a non-selective filter each.
+//!
+//! Every configuration is parity-checked (batched output must equal the
+//! scalar oracle byte-for-byte) before it is timed, the engines' memory
+//! breakdowns are printed, and the measured speedups land in
+//! `BENCH_filter_kernels.json` at the workspace root so the perf
+//! trajectory is machine-readable across PRs.
+//!
+//! `--test` runs the CI smoke mode: same parity checks and JSON emission,
+//! minimal timing (so kernel code cannot bit-rot without CI noticing).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use criterion::Criterion;
+
+use blend_sql::plan::{fast_filters_pass, FastFilters};
+use blend_storage::{build_engine, EngineKind, FactRow, FactTable};
+
+/// Deterministic fact table: `n_tables * rows_per * cols` index rows with a
+/// shared `v0..v996` vocabulary and a numeric last column (mirrors the
+/// `positional_vs_tuple` bench data).
+fn synthetic_rows(n_tables: u32, rows_per: u32, cols: u32) -> Vec<FactRow> {
+    let mut out = Vec::with_capacity((n_tables * rows_per * cols) as usize);
+    for t in 0..n_tables {
+        for r in 0..rows_per {
+            for c in 0..cols {
+                let v = format!("v{}", (t * 7 + r * 3 + c * 11) % 997);
+                let quadrant = (c == cols - 1).then_some(r % 2 == 0);
+                out.push(FactRow::new(
+                    &v,
+                    t,
+                    c,
+                    r,
+                    ((t as u128) << 64) | r as u128,
+                    quadrant,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The two filter mixes: a selective SC-style IN-list (~0.5% of rows) and a
+/// non-selective quadrant + table + rowid mix (~40% of rows).
+fn filter_cases(table: &dyn FactTable) -> Vec<(&'static str, FastFilters)> {
+    let selective_vals: Vec<String> = (0..5).map(|i| format!("v{}", i * 13)).collect();
+    let refs: Vec<&str> = selective_vals.iter().map(String::as_str).collect();
+    vec![
+        (
+            "selective",
+            FastFilters {
+                value_probe: Some(table.make_probe(&refs)),
+                table_set: None,
+                table_not_set: None,
+                rowid_lt: None,
+                quadrant_null: None,
+            },
+        ),
+        (
+            "non_selective",
+            FastFilters {
+                value_probe: None,
+                table_set: None,
+                table_not_set: Some([3u32, 57, 111].into_iter().collect()),
+                rowid_lt: Some(200),
+                quadrant_null: Some(true),
+            },
+        ),
+    ]
+}
+
+/// Median-of-`iters` wall time of one full-table filter pass.
+fn time_ns(iters: usize, mut f: impl FnMut() -> usize) -> u64 {
+    let mut samples: Vec<u64> = (0..iters.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct CaseResult {
+    engine: &'static str,
+    filter: &'static str,
+    survivors: usize,
+    scalar_ns: u64,
+    batch_ns: u64,
+}
+
+impl CaseResult {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns as f64 / self.batch_ns.max(1) as f64
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let iters = if smoke { 5 } else { 31 };
+    let rows = synthetic_rows(120, 250, 5); // 150_000 fact rows
+    let n_rows = rows.len();
+    println!(
+        "== bench `filter_kernels` (150k rows{})",
+        if smoke { ", --test smoke mode" } else { "" }
+    );
+
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("filter_kernels");
+    group.sample_size(if smoke { 2 } else { 20 });
+
+    let mut results: Vec<CaseResult> = Vec::new();
+    for kind in [EngineKind::Row, EngineKind::Column] {
+        let table = build_engine(kind, rows.clone());
+        // The memory_breakdown debug report (satellite of the kernel work:
+        // dict payload + scan scratch are now accounted).
+        println!("{}", table.memory_breakdown().report());
+
+        for (filter, fast) in filter_cases(table.as_ref()) {
+            let kernel = fast.compile_kernel();
+
+            // Parity before timing: batched output == scalar oracle.
+            let scalar = || -> Vec<u32> {
+                (0..n_rows)
+                    .filter(|&p| fast_filters_pass(table.as_ref(), p, &fast))
+                    .map(|p| p as u32)
+                    .collect()
+            };
+            let want = scalar();
+            let mut sel: Vec<u32> = Vec::with_capacity(n_rows);
+            table.filter_range(&kernel, 0, n_rows, &mut sel);
+            assert_eq!(
+                sel,
+                want,
+                "{}/{filter}: kernel diverged from oracle",
+                kind.label()
+            );
+
+            let label = kind.label().to_lowercase();
+            let scalar_ns = time_ns(iters, || scalar().len());
+            let batch_ns = time_ns(iters, || {
+                sel.clear();
+                table.filter_range(&kernel, 0, n_rows, &mut sel);
+                sel.len()
+            });
+            if !smoke {
+                group.bench_function(format!("{label}_{filter}_scalar"), |b| {
+                    b.iter(|| scalar().len())
+                });
+                group.bench_function(format!("{label}_{filter}_batch"), |b| {
+                    b.iter(|| {
+                        sel.clear();
+                        table.filter_range(&kernel, 0, n_rows, &mut sel);
+                        sel.len()
+                    })
+                });
+            }
+            let r = CaseResult {
+                engine: kind.label(),
+                filter,
+                survivors: want.len(),
+                scalar_ns,
+                batch_ns,
+            };
+            println!(
+                "  -> {label}/{filter}: {} survivors, compiled kernel {} B, \
+                 scalar {:.3}ms, batch {:.3}ms, speedup {:.2}x",
+                r.survivors,
+                kernel.memory_bytes(),
+                r.scalar_ns as f64 / 1e6,
+                r.batch_ns as f64 / 1e6,
+                r.speedup()
+            );
+            results.push(r);
+        }
+    }
+    group.finish();
+
+    // The acceptance bar this bench exists to hold: the batched kernel is
+    // at least 2x the scalar path on the selective column-store scan.
+    let selective_col = results
+        .iter()
+        .find(|r| r.engine == "Column" && r.filter == "selective")
+        .expect("selective column case ran");
+    assert!(
+        selective_col.speedup() >= 2.0,
+        "selective column-store kernel speedup {:.2}x < 2x",
+        selective_col.speedup()
+    );
+
+    // Machine-readable perf trajectory at the workspace root.
+    let mut json = String::from("{\n  \"bench\": \"filter_kernels\",\n");
+    let _ = writeln!(json, "  \"rows\": {n_rows},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"filter\": \"{}\", \"survivors\": {}, \
+             \"scalar_ns\": {}, \"batch_ns\": {}, \"speedup\": {:.3}}}{}",
+            r.engine,
+            r.filter,
+            r.survivors,
+            r.scalar_ns,
+            r.batch_ns,
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let out =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_filter_kernels.json");
+    std::fs::write(&out, json).expect("write BENCH_filter_kernels.json");
+    println!("  wrote {}", out.display());
+}

@@ -58,9 +58,24 @@ impl WorkerPool {
         F: Fn(usize) -> T + Sync,
         T: Send,
     {
+        self.run_with(n_tasks, || (), |_, i| f(i))
+    }
+
+    /// [`run`](WorkerPool::run) with per-worker scratch state: `init()`
+    /// builds one scratch per worker (one total on the sequential path),
+    /// and that scratch is handed to `f` for every task the worker claims.
+    /// This is the hook that lets scan morsels reuse selection-vector
+    /// buffers across a whole query instead of allocating per morsel.
+    pub fn run_with<S, T, FI, F>(&self, n_tasks: usize, init: FI, f: F) -> PoolRun<T>
+    where
+        FI: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+        T: Send,
+    {
         if self.threads == 1 || n_tasks <= 1 {
             let start = Instant::now();
-            let results: Vec<T> = (0..n_tasks).map(&f).collect();
+            let mut scratch = init();
+            let results: Vec<T> = (0..n_tasks).map(|i| f(&mut scratch, i)).collect();
             return PoolRun {
                 results,
                 worker_nanos: vec![start.elapsed().as_nanos() as u64],
@@ -69,7 +84,7 @@ impl WorkerPool {
 
         let workers = self.threads.min(n_tasks);
         let next = AtomicUsize::new(0);
-        let (next_ref, f_ref) = (&next, &f);
+        let (next_ref, f_ref, init_ref) = (&next, &f, &init);
 
         // Each worker collects (task index, result) pairs privately; the
         // merge below re-orders them by task index, so no shared mutable
@@ -80,13 +95,14 @@ impl WorkerPool {
                 .map(|_| {
                     scope.spawn(move |_| {
                         let start = Instant::now();
+                        let mut scratch = init_ref();
                         let mut local = Vec::new();
                         loop {
                             let i = next_ref.fetch_add(1, Ordering::Relaxed);
                             if i >= n_tasks {
                                 break;
                             }
-                            local.push((i, f_ref(i)));
+                            local.push((i, f_ref(&mut scratch, i)));
                         }
                         (local, start.elapsed().as_nanos() as u64)
                     })
@@ -155,6 +171,21 @@ mod tests {
     fn zero_tasks_is_empty() {
         let run: PoolRun<()> = WorkerPool::new(4).run(0, |_| unreachable!("no task to run"));
         assert!(run.results.is_empty());
+    }
+
+    #[test]
+    fn run_with_reuses_per_worker_scratch() {
+        for threads in [1, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            // The scratch records how many tasks it has served; with more
+            // tasks than workers, some scratch must serve several tasks.
+            let run = pool.run_with(32, Vec::<usize>::new, |scratch, i| {
+                scratch.push(i);
+                scratch.len()
+            });
+            assert_eq!(run.results.len(), 32);
+            assert!(run.results.iter().any(|&served| served > 1));
+        }
     }
 
     #[test]

@@ -8,11 +8,12 @@
 use blend_common::{FxHashMap, FxHashSet, Result};
 use blend_parallel::ParallelCtx;
 
+use blend_storage::ScanScratch;
+
 use crate::ast::AggFunc;
 use crate::expr::CExpr;
 use crate::plan::{
-    fast_filters_pass, materialize, AccessPath, AggPlan, GroupPlan, InputPlan, QueryPlan, ScanPlan,
-    Tree,
+    materialize, AccessPath, AggPlan, GroupPlan, InputPlan, QueryPlan, ScanPlan, Tree,
 };
 use crate::value::SqlValue;
 
@@ -280,40 +281,48 @@ fn exec_scan(scan: &ScanPlan, report: &mut QueryReport) -> Vec<Tuple> {
     let table = scan.table.as_ref();
     let mut out = Vec::new();
     let mut scanned = 0usize;
+    let mut scratch = ScanScratch::default();
 
-    let visit = |pos: usize, out: &mut Vec<Tuple>, scanned: &mut usize| {
-        *scanned += 1;
-        if !fast_filters_pass(table, pos, &scan.fast) {
-            return;
-        }
-        let tuple = materialize(table, pos);
-        if let Some(res) = &scan.residual {
-            if !res.eval_predicate(&tuple) {
-                return;
+    // Fast filters run through the same compiled kernel as the positional
+    // executor — one batched `filter_batch`/`filter_range` call per
+    // candidate segment into the reusable selection vector. Only the
+    // survivors materialize tuples (the residual still needs them).
+    let emit = |sel: &[u32], out: &mut Vec<Tuple>| {
+        for &pos in sel {
+            let tuple = materialize(table, pos as usize);
+            if let Some(res) = &scan.residual {
+                if !res.eval_predicate(&tuple) {
+                    continue;
+                }
             }
+            out.push(tuple);
         }
-        out.push(tuple);
     };
 
     match &scan.access {
         AccessPath::ValueIndex { .. } => {
             for v in &scan.driving_values {
-                for &pos in table.postings(v) {
-                    visit(pos as usize, &mut out, &mut scanned);
-                }
+                let postings = table.postings(v);
+                scanned += postings.len();
+                scratch.sel.clear();
+                table.filter_batch(&scan.kernel, postings, &mut scratch.sel);
+                emit(&scratch.sel, &mut out);
             }
         }
         AccessPath::TableIndex { .. } => {
             for &t in &scan.driving_tables {
-                for pos in table.table_postings(t) {
-                    visit(pos, &mut out, &mut scanned);
-                }
+                let range = table.table_postings(t);
+                scanned += range.len();
+                scratch.sel.clear();
+                table.filter_range(&scan.kernel, range.start, range.end, &mut scratch.sel);
+                emit(&scratch.sel, &mut out);
             }
         }
         AccessPath::SeqScan { .. } => {
-            for pos in 0..table.len() {
-                visit(pos, &mut out, &mut scanned);
-            }
+            scanned += table.len();
+            scratch.sel.clear();
+            table.filter_range(&scan.kernel, 0, table.len(), &mut scratch.sel);
+            emit(&scratch.sel, &mut out);
         }
     }
 

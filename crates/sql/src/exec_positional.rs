@@ -11,9 +11,9 @@
 //!
 //! This module executes those shapes positionally:
 //!
-//! * scans emit compact `Vec<u32>` position lists — predicates run via
-//!   [`fast_filters_pass`] straight against the [`FactTable`], no tuple is
-//!   built;
+//! * scans emit compact `Vec<u32>` position lists — predicates run as
+//!   **batched filter kernels** straight against the [`FactTable`], no
+//!   tuple is built (see *Selection-vector scans* below);
 //! * the seeker self-joins (`q0.TableId = qN.TableId AND q0.RowId =
 //!   qN.RowId`) become hash joins keyed on a packed `u64`
 //!   (`TableId << 32 | RowId`) over position lists;
@@ -27,6 +27,25 @@
 //! safe falls back to the tuple executor, so the two paths always agree
 //! (enforced by the `exec_parity` integration tests). Which path ran is
 //! observable via [`QueryReport::path`].
+//!
+//! ## Selection-vector scans
+//!
+//! A scan's cheap predicates are compiled **once per scan** into a
+//! [`FilterKernel`](blend_storage::FilterKernel) (`ScanPlan::kernel`):
+//! `CellValue IN` probes become dictionary-code sets on the column store,
+//! and `TableId IN / NOT IN` hash sets lower into sorted slices or dense
+//! bitmaps. The scan then evaluates whole candidate batches through the
+//! engine's [`FactTable::filter_batch`] / [`FactTable::filter_range`]
+//! entry points, which write survivors into a **selection vector** with
+//! branch-free compaction passes — the column store indexes its contiguous
+//! `tables`/`rows`/`codes` arrays directly and evaluates [`Seg::Range`]
+//! segments straight off the column slices, never materializing the
+//! candidate position list; the row store runs one fused check per tuple.
+//! Per-worker [`ScanScratch`] buffers ride the morsel path via
+//! `WorkerPool::run_with`, so parallel scans reuse selection-vector
+//! capacity across every morsel a worker claims instead of allocating per
+//! morsel. The scalar `fast_filters_pass` survives only as the parity
+//! oracle (`tests/filter_kernel_parity.rs`).
 //!
 //! ## Parallel execution
 //!
@@ -56,7 +75,7 @@ use std::sync::Arc;
 
 use blend_common::{FxHashMap, FxHashSet};
 use blend_parallel::{morselize, split_even, Morsel, ParallelCtx};
-use blend_storage::{FactTable, ValueProbe};
+use blend_storage::{FactTable, ScanScratch, ValueProbe};
 
 use crate::ast::{AggFunc, BinOp, UnaryOp};
 use crate::exec::{self, AggState, ParallelPhase, QueryReport, ResultSet, ScanReport, Tuple};
@@ -64,9 +83,7 @@ use crate::expr::{
     combine_and, combine_or, eval_abs_value, eval_cast_int_value, eval_cmp_arith, eval_unary_value,
     CExpr,
 };
-use crate::plan::{
-    fast_filters_pass, identity_scan, AccessPath, AggPlan, QueryPlan, ScanPlan, Tree,
-};
+use crate::plan::{identity_scan, AccessPath, AggPlan, QueryPlan, ScanPlan, Tree};
 use crate::value::SqlValue;
 use blend_common::Result;
 
@@ -697,29 +714,39 @@ fn exec_scan(
         AccessPath::SeqScan { .. } => vec![Seg::Range(0, table.len())],
     };
 
-    let visit = |pos: u32, out: &mut Vec<u32>, scanned: &mut usize| {
-        *scanned += 1;
-        if !fast_filters_pass(table, pos as usize, &scan.fast) {
-            return;
-        }
+    // One morsel = one batched kernel evaluation. Kernel survivors land
+    // either straight in `out` (no residual — the common case) or in the
+    // worker's reusable selection-vector scratch for the scalar residual
+    // pass. Returns the number of candidate positions visited.
+    let kernel = &scan.kernel;
+    let scan_morsel = |m: &Morsel, scratch: &mut ScanScratch, out: &mut Vec<u32>| -> usize {
+        scratch.sel.clear();
+        let dst: &mut Vec<u32> = if residual.is_some() {
+            &mut scratch.sel
+        } else {
+            &mut *out
+        };
+        let visited = match segs[m.segment] {
+            Seg::Postings(p) => {
+                let candidates = &p[m.start..m.end];
+                table.filter_batch(kernel, candidates, dst);
+                candidates.len()
+            }
+            // Ranges evaluate straight off the engine's column slices; the
+            // candidate position list is never materialized.
+            Seg::Range(lo, _) => {
+                table.filter_range(kernel, lo + m.start, lo + m.end, dst);
+                m.len()
+            }
+        };
         if let Some(res) = residual {
-            if !res.eval_predicate(tables, leaf, std::slice::from_ref(&pos)) {
-                return;
+            for &pos in &scratch.sel {
+                if res.eval_predicate(tables, leaf, std::slice::from_ref(&pos)) {
+                    out.push(pos);
+                }
             }
         }
-        out.push(pos);
-    };
-    let scan_morsel = |m: &Morsel, out: &mut Vec<u32>, scanned: &mut usize| match segs[m.segment] {
-        Seg::Postings(p) => {
-            for &pos in &p[m.start..m.end] {
-                visit(pos, out, scanned);
-            }
-        }
-        Seg::Range(lo, _) => {
-            for pos in (lo + m.start)..(lo + m.end) {
-                visit(pos as u32, out, scanned);
-            }
-        }
+        visited
     };
 
     let total: usize = segs.iter().map(Seg::len).sum();
@@ -733,12 +760,15 @@ fn exec_scan(
     };
     match morsels {
         Some(morsels) if morsels.len() > 1 => {
-            let run = par.pool().run(morsels.len(), |i| {
-                let mut local = Vec::new();
-                let mut local_scanned = 0usize;
-                scan_morsel(&morsels[i], &mut local, &mut local_scanned);
-                (local, local_scanned)
-            });
+            // Per-worker scratch: selection-vector capacity is allocated
+            // once per worker, not once per morsel.
+            let run = par
+                .pool()
+                .run_with(morsels.len(), ScanScratch::default, |scratch, i| {
+                    let mut local = Vec::new();
+                    let local_scanned = scan_morsel(&morsels[i], scratch, &mut local);
+                    (local, local_scanned)
+                });
             out.reserve(run.results.iter().map(|(l, _)| l.len()).sum());
             for (local, local_scanned) in run.results {
                 out.extend_from_slice(&local);
@@ -751,15 +781,16 @@ fn exec_scan(
             });
         }
         _ => {
+            let mut scratch = ScanScratch::default();
             for (si, seg) in segs.iter().enumerate() {
-                scan_morsel(
+                scanned += scan_morsel(
                     &Morsel {
                         segment: si,
                         start: 0,
                         end: seg.len(),
                     },
+                    &mut scratch,
                     &mut out,
-                    &mut scanned,
                 );
             }
         }

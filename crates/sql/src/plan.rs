@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use blend_common::{BlendError, FxHashSet, Result};
-use blend_storage::{FactTable, ValueProbe};
+use blend_storage::{FactTable, FilterKernel, IdSet, ValuePred, ValueProbe};
 
 use crate::ast::*;
 use crate::expr::{compile, CExpr, ColInfo, Schema};
@@ -104,6 +104,33 @@ impl FastFilters {
             && rowid_lt.is_none()
             && quadrant_null.is_none()
     }
+
+    /// Lower the filters into the batched [`FilterKernel`] both executors
+    /// evaluate through [`FactTable::filter_batch`] /
+    /// [`FactTable::filter_range`]. Compiled once per scan at plan time:
+    /// the value probe keeps its engine lowering (dictionary codes on the
+    /// column store — u32 compares instead of `probe_at` string compares),
+    /// and the table hash sets lower into [`IdSet`]s (sorted slice or dense
+    /// bitmap, chosen by cardinality). Field-for-field equivalent to the
+    /// scalar [`fast_filters_pass`] oracle.
+    pub fn compile_kernel(&self) -> FilterKernel {
+        FilterKernel {
+            value: self.value_probe.as_ref().map(|p| match p {
+                ValueProbe::Codes(set) => ValuePred::Codes(IdSet::build(set.iter().copied())),
+                ValueProbe::Strings(set) => ValuePred::Strings(set.clone()),
+            }),
+            table_in: self
+                .table_set
+                .as_ref()
+                .map(|s| IdSet::build(s.iter().copied())),
+            table_not_in: self
+                .table_not_set
+                .as_ref()
+                .map(|s| IdSet::build(s.iter().copied())),
+            rowid_lt: self.rowid_lt,
+            quadrant_null: self.quadrant_null,
+        }
+    }
 }
 
 /// A physical scan of the fact table.
@@ -117,6 +144,16 @@ pub struct ScanPlan {
     /// Driving table ids (for `TableIndex`).
     pub driving_tables: Vec<u32>,
     pub fast: FastFilters,
+    /// Batched compilation of `fast`, built once at plan time and evaluated
+    /// by both executors' scan loops via the engine's
+    /// [`FactTable::filter_batch`] / [`FactTable::filter_range`].
+    ///
+    /// **Invariant:** executors read only this, never `fast` — any plan
+    /// rewrite that mutates `fast` after construction must recompile via
+    /// [`FastFilters::compile_kernel`] or the scan silently drops filters.
+    /// (Today's only post-plan rewrite, `sideways_pushdown`, touches just
+    /// `access`/`driving_tables`.)
+    pub kernel: FilterKernel,
     /// Residual predicate over the materialized 6-column tuple.
     pub residual: Option<CExpr>,
     pub schema: Schema,
@@ -708,6 +745,7 @@ fn plan_scan(table: Arc<dyn FactTable>, alias: &str, predicate: Option<Expr>) ->
         None => None,
     };
 
+    let kernel = fast.compile_kernel();
     Ok(ScanPlan {
         table,
         alias: alias.to_string(),
@@ -715,6 +753,7 @@ fn plan_scan(table: Arc<dyn FactTable>, alias: &str, predicate: Option<Expr>) ->
         driving_values,
         driving_tables,
         fast,
+        kernel,
         residual,
         schema,
     })
@@ -1084,7 +1123,14 @@ fn substitute_agg(e: &Expr, groups: &[Expr], aggs: &[Expr]) -> Option<Expr> {
     })
 }
 
-/// Convenience: evaluate fast filters for one physical position.
+/// Scalar evaluation of the fast filters for one physical position.
+///
+/// No executor runs this anymore — scans evaluate the compiled
+/// [`FilterKernel`] a batch at a time through
+/// [`FactTable::filter_batch`] / [`FactTable::filter_range`] — but it stays
+/// alive as the **test oracle**: the `filter_kernel_parity` proptest suite
+/// pins every engine's batched output to this function byte-for-byte, and
+/// the `filter_kernels` bench uses it as the scalar baseline.
 #[inline]
 pub fn fast_filters_pass(table: &dyn FactTable, pos: usize, fast: &FastFilters) -> bool {
     if let Some(bound) = fast.rowid_lt {

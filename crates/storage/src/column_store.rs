@@ -3,7 +3,11 @@
 
 use blend_common::{FxHashMap, FxHashSet};
 
-use crate::fact::{canonical_sort, decode_quadrant, table_ranges, FactRow, FactTable, ValueProbe};
+use crate::fact::{
+    canonical_sort, decode_quadrant, scratch_component, table_ranges, FactRow, FactTable,
+    MemoryBreakdown, ValueProbe, QUADRANT_NULL,
+};
+use crate::filter::{compact_by, extend_filtered_range, FilterKernel, IdSet, ValuePred};
 use crate::stats::FactStats;
 
 /// Column-store implementation of [`FactTable`].
@@ -112,6 +116,74 @@ impl ColumnStore {
     pub fn dict_len(&self) -> usize {
         self.dict.len()
     }
+
+    /// Run the remaining predicates of a kernel as compaction passes over
+    /// `sel[start..]`, one tight branch-free loop per predicate, each
+    /// indexing its contiguous column array directly. `skip` names the
+    /// predicate a range pass already consumed (see
+    /// [`FactTable::filter_range`]); [`Pass::None`] runs them all.
+    fn kernel_passes(&self, kernel: &FilterKernel, skip: Pass, sel: &mut Vec<u32>, start: usize) {
+        if let Some(bound) = kernel.rowid_lt {
+            if skip != Pass::RowId {
+                let rows = &self.rows;
+                compact_by(sel, start, |p| rows[p as usize] < bound);
+            }
+        }
+        if let Some(set) = &kernel.table_in {
+            if skip != Pass::TableIn {
+                let tables = &self.tables;
+                compact_by(sel, start, |p| set.contains(tables[p as usize]));
+            }
+        }
+        if let Some(set) = &kernel.table_not_in {
+            if skip != Pass::TableNotIn {
+                let tables = &self.tables;
+                compact_by(sel, start, |p| !set.contains(tables[p as usize]));
+            }
+        }
+        if let Some(want_null) = kernel.quadrant_null {
+            if skip != Pass::Quadrant {
+                let quads = &self.quadrants;
+                compact_by(sel, start, |p| {
+                    (quads[p as usize] == QUADRANT_NULL) == want_null
+                });
+            }
+        }
+        if skip != Pass::Value {
+            match &kernel.value {
+                None => {}
+                Some(ValuePred::Codes(set)) => {
+                    let codes = &self.codes;
+                    compact_by(sel, start, |p| set.contains(codes[p as usize]));
+                }
+                Some(ValuePred::Strings(set)) => {
+                    // Cross-engine probe (slow path; the SQL layer always
+                    // builds probes via the same engine).
+                    compact_by(sel, start, |p| set.contains(self.value_at(p as usize)));
+                }
+            }
+        }
+    }
+
+    /// Dictionary-code probe set of a kernel, when present.
+    fn code_set(kernel: &FilterKernel) -> Option<&IdSet> {
+        match &kernel.value {
+            Some(ValuePred::Codes(set)) => Some(set),
+            _ => None,
+        }
+    }
+}
+
+/// Which predicate a range pass already evaluated (so the compaction
+/// cascade skips it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pass {
+    None,
+    RowId,
+    TableIn,
+    TableNotIn,
+    Quadrant,
+    Value,
 }
 
 impl FactTable for ColumnStore {
@@ -215,25 +287,89 @@ impl FactTable for ColumnStore {
         true
     }
 
+    /// Column-at-a-time kernel evaluation: candidates land in the selection
+    /// vector once, then each predicate compacts it with a branch-free pass
+    /// indexing the contiguous `rows`/`tables`/`quadrants`/`codes` arrays
+    /// directly — no virtual calls, no string compares (value probes are
+    /// dictionary-code [`IdSet`] tests).
+    fn filter_batch(&self, kernel: &FilterKernel, positions: &[u32], sel: &mut Vec<u32>) {
+        if kernel.never_matches() {
+            return;
+        }
+        let start = sel.len();
+        sel.extend_from_slice(positions);
+        self.kernel_passes(kernel, Pass::None, sel, start);
+    }
+
+    /// Range scans never materialize the candidate list: the first active
+    /// predicate streams survivors straight off its column slice, and the
+    /// rest compact the selection vector.
+    fn filter_range(&self, kernel: &FilterKernel, lo: usize, hi: usize, sel: &mut Vec<u32>) {
+        if hi <= lo || kernel.never_matches() {
+            return;
+        }
+        let start = sel.len();
+        let first = if let Some(bound) = kernel.rowid_lt {
+            let rows = &self.rows;
+            extend_filtered_range(sel, lo, hi, |p| rows[p as usize] < bound);
+            Pass::RowId
+        } else if let Some(set) = &kernel.table_in {
+            let tables = &self.tables;
+            extend_filtered_range(sel, lo, hi, |p| set.contains(tables[p as usize]));
+            Pass::TableIn
+        } else if let Some(set) = &kernel.table_not_in {
+            let tables = &self.tables;
+            extend_filtered_range(sel, lo, hi, |p| !set.contains(tables[p as usize]));
+            Pass::TableNotIn
+        } else if let Some(want_null) = kernel.quadrant_null {
+            let quads = &self.quadrants;
+            extend_filtered_range(sel, lo, hi, |p| {
+                (quads[p as usize] == QUADRANT_NULL) == want_null
+            });
+            Pass::Quadrant
+        } else if let Some(set) = Self::code_set(kernel) {
+            let codes = &self.codes;
+            extend_filtered_range(sel, lo, hi, |p| set.contains(codes[p as usize]));
+            Pass::Value
+        } else if let Some(ValuePred::Strings(set)) = &kernel.value {
+            extend_filtered_range(sel, lo, hi, |p| set.contains(self.value_at(p as usize)));
+            Pass::Value
+        } else {
+            // Empty kernel: the range itself is the selection.
+            sel.extend((lo..hi).map(|p| p as u32));
+            return;
+        };
+        self.kernel_passes(kernel, first, sel, start);
+    }
+
     fn stats(&self) -> &FactStats {
         &self.stats
     }
 
-    fn size_bytes(&self) -> usize {
-        let dict_bytes: usize = self
-            .dict
-            .iter()
-            .map(|s| s.len() + std::mem::size_of::<Box<str>>())
-            .sum();
-        let dict_index_bytes = self.dict.len() * 24; // hash bucket overhead
-        let col_bytes = self.codes.len() * (4 + 4 + 4 + 4 + 16 + 1);
-        let postings_bytes: usize = self
+    fn memory_breakdown(&self) -> MemoryBreakdown {
+        let box_str = std::mem::size_of::<Box<str>>();
+        let dict_strings: usize = self.dict.iter().map(|s| s.len() + box_str).sum();
+        // The dictionary index owns a *second* copy of every distinct
+        // string (keys are cloned on insert) plus hash-bucket overhead —
+        // the payload the pre-kernel estimate missed.
+        let dict_index: usize = self.dict_index.keys().map(|k| k.len() + box_str + 16).sum();
+        let columns = self.codes.len() * (4 + 4 + 4 + 4 + 16 + 1);
+        let postings: usize = self
             .postings_by_code
             .iter()
             .map(|v| v.len() * 4 + std::mem::size_of::<Vec<u32>>())
             .sum();
-        let range_bytes = self.ranges.len() * 8;
-        dict_bytes + dict_index_bytes + col_bytes + postings_bytes + range_bytes
+        MemoryBreakdown {
+            engine: "Column",
+            components: vec![
+                ("dict-strings", dict_strings),
+                ("dict-index", dict_index),
+                ("columns", columns),
+                ("postings", postings),
+                ("table-ranges", self.ranges.len() * 8),
+                scratch_component(self.len()),
+            ],
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! The `AllTables` fact-table schema and the engine-neutral [`FactTable`]
 //! trait.
 
+use crate::filter::{FilterKernel, ScanScratch, ValuePred};
 use crate::stats::FactStats;
 
 /// Encoded quadrant: cell is non-numeric (SQL NULL).
@@ -213,12 +214,137 @@ pub trait FactTable: Send + Sync {
         blend_parallel::split_even(self.len(), parts)
     }
 
+    /// Scalar check of a compiled [`FilterKernel`] at one position — the
+    /// reference semantics every batched entry point must reproduce (and
+    /// the fallback the default batch implementations loop over). Engines
+    /// should not override this; they override the batch entry points.
+    #[inline]
+    fn kernel_matches(&self, kernel: &FilterKernel, pos: usize) -> bool {
+        if let Some(bound) = kernel.rowid_lt {
+            if self.row_at(pos) >= bound {
+                return false;
+            }
+        }
+        if let Some(set) = &kernel.table_in {
+            if !set.contains(self.table_at(pos)) {
+                return false;
+            }
+        }
+        if let Some(set) = &kernel.table_not_in {
+            if set.contains(self.table_at(pos)) {
+                return false;
+            }
+        }
+        if let Some(want_null) = kernel.quadrant_null {
+            if self.quadrant_at(pos).is_none() != want_null {
+                return false;
+            }
+        }
+        match &kernel.value {
+            None => true,
+            Some(ValuePred::Strings(set)) => set.contains(self.value_at(pos)),
+            Some(ValuePred::Codes(set)) => match self.value_code_at(pos) {
+                Some(code) => set.contains(code),
+                // A codes predicate can only come from a dictionary engine;
+                // mirror `probe_at`'s contract on mismatched engines.
+                None => {
+                    debug_assert!(false, "codes predicate against an engine without codes");
+                    false
+                }
+            },
+        }
+    }
+
+    /// Batched filter: append the subset of `positions` passing `kernel` to
+    /// the selection vector `sel`, preserving input order. One virtual
+    /// dispatch per batch; engines specialize this into per-predicate
+    /// passes over their contiguous column arrays.
+    fn filter_batch(&self, kernel: &FilterKernel, positions: &[u32], sel: &mut Vec<u32>) {
+        if kernel.never_matches() {
+            return;
+        }
+        sel.extend(
+            positions
+                .iter()
+                .copied()
+                .filter(|&p| self.kernel_matches(kernel, p as usize)),
+        );
+    }
+
+    /// Batched filter over the contiguous position range `lo..hi`
+    /// (a table-index range or a whole-table scan), appending survivors to
+    /// `sel` in position order. Engines evaluate this straight off their
+    /// column slices without materializing the candidate list.
+    fn filter_range(&self, kernel: &FilterKernel, lo: usize, hi: usize, sel: &mut Vec<u32>) {
+        if kernel.never_matches() {
+            return;
+        }
+        sel.extend(
+            (lo..hi)
+                .filter(|&pos| self.kernel_matches(kernel, pos))
+                .map(|pos| pos as u32),
+        );
+    }
+
     /// Exact catalog statistics.
     fn stats(&self) -> &FactStats;
 
+    /// Structured estimate of resident bytes — the debug report the bench
+    /// harness prints (per-component: dictionary payload, column vectors,
+    /// in-DB indexes, per-worker scan scratch, ...). [`size_bytes`] is its
+    /// total.
+    ///
+    /// [`size_bytes`]: FactTable::size_bytes
+    fn memory_breakdown(&self) -> MemoryBreakdown;
+
     /// Estimated resident bytes of the table plus its in-DB indexes
     /// (Table VIII input).
-    fn size_bytes(&self) -> usize;
+    fn size_bytes(&self) -> usize {
+        self.memory_breakdown().total()
+    }
+}
+
+/// Per-component resident-memory estimate of an engine (the
+/// [`FactTable::memory_breakdown`] debug report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryBreakdown {
+    /// Engine label (`"Row"` / `"Column"`).
+    pub engine: &'static str,
+    /// `(component, bytes)` pairs, in engine-defined order.
+    pub components: Vec<(&'static str, usize)>,
+}
+
+impl MemoryBreakdown {
+    /// Total estimated bytes across all components.
+    pub fn total(&self) -> usize {
+        self.components.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Bytes of one named component, if present.
+    pub fn get(&self, name: &str) -> Option<usize> {
+        self.components
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, b)| *b)
+    }
+
+    /// Multi-line human-readable report (bench-harness output).
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = format!("{} store memory breakdown:\n", self.engine);
+        for (name, bytes) in &self.components {
+            let _ = writeln!(out, "  {name:<16} {bytes:>12} B");
+        }
+        let _ = write!(out, "  {:<16} {:>12} B", "total", self.total());
+        out
+    }
+}
+
+/// Estimated per-worker scan-scratch component shared by both engines'
+/// breakdowns: the selection-vector high-water mark of a scan over a table
+/// with `n_rows` positions.
+pub(crate) fn scratch_component(n_rows: usize) -> (&'static str, usize) {
+    ("scan-scratch", ScanScratch::estimate_bytes(n_rows))
 }
 
 /// Sort raw fact rows into the canonical physical order shared by both

@@ -1,0 +1,402 @@
+//! Vectorized filter kernels: compiled predicate sets evaluated a batch at
+//! a time through selection vectors.
+//!
+//! The SQL layer's cheap per-position predicates (`CellValue IN`,
+//! `TableId IN / NOT IN`, `RowId <`, `Quadrant IS [NOT] NULL`) used to run
+//! one position at a time through `&dyn FactTable` accessors — 2–5 virtual
+//! calls, a hash-set probe, and (on the row store) a string compare per
+//! row. A [`FilterKernel`] is the batched compilation of those predicates,
+//! built **once per scan**:
+//!
+//! * `CellValue IN (...)` keeps its engine lowering: dictionary codes on
+//!   the column store (a u32 membership test instead of a string compare),
+//!   a hashed string set on the row store;
+//! * `TableId IN / NOT IN` hash sets lower into an [`IdSet`] — a sorted
+//!   slice or a dense bitmap, chosen by cardinality vs. id domain;
+//! * engines evaluate the kernel over whole position batches via
+//!   [`FactTable::filter_batch`] / [`FactTable::filter_range`], writing
+//!   survivors through a reusable selection vector instead of returning a
+//!   verdict per call.
+//!
+//! The scalar oracle (`fast_filters_pass` in the SQL crate) stays alive as
+//! the reference semantics; the `filter_kernel_parity` proptest suite pins
+//! every engine's batched output to it byte-for-byte.
+//!
+//! [`FactTable::filter_batch`]: crate::FactTable::filter_batch
+//! [`FactTable::filter_range`]: crate::FactTable::filter_range
+
+use blend_common::FxHashSet;
+
+/// A compiled membership set over u32 ids (table ids or dictionary codes).
+///
+/// Built once per scan; probed once per candidate position. The
+/// representation is chosen at build time: a dense bitmap when it costs at
+/// most ~4× the sorted slice (bitmap probes are one shift/mask, branch-free
+/// and O(1)), otherwise a sorted slice probed by binary search — or a
+/// linear OR-fold when tiny, which the compiler unrolls.
+#[derive(Debug, Clone)]
+pub enum IdSet {
+    /// Sorted, deduplicated ids.
+    Sorted(Box<[u32]>),
+    /// Dense bitmap over `0..=max_id`; `len` distinct ids are set.
+    Bitmap {
+        /// One bit per id in `0..words.len() * 64`.
+        words: Box<[u64]>,
+        /// Number of distinct ids in the set.
+        len: usize,
+    },
+}
+
+/// Sorted-slice sets at most this long probe by linear OR-fold instead of
+/// binary search (branch-free, unrolled).
+const LINEAR_PROBE_MAX: usize = 8;
+
+impl IdSet {
+    /// Compile a set of ids, deduplicating and choosing the representation.
+    pub fn build<I: IntoIterator<Item = u32>>(ids: I) -> IdSet {
+        let mut v: Vec<u32> = ids.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        let Some(&max) = v.last() else {
+            return IdSet::Sorted(Box::from([]));
+        };
+        let n_words = (max as usize >> 6) + 1;
+        // Bitmap when its footprint is within ~4x of the sorted slice (with
+        // a 1 KiB floor so small id domains — table ids, dictionary codes of
+        // short IN-lists — always get the O(1) probe).
+        if n_words * 8 <= (v.len() * 16).max(1024) {
+            let mut words = vec![0u64; n_words];
+            for &id in &v {
+                words[(id >> 6) as usize] |= 1 << (id & 63);
+            }
+            IdSet::Bitmap {
+                words: words.into_boxed_slice(),
+                len: v.len(),
+            }
+        } else {
+            IdSet::Sorted(v.into_boxed_slice())
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        match self {
+            IdSet::Sorted(s) if s.len() <= LINEAR_PROBE_MAX => {
+                let mut hit = false;
+                for &x in s.iter() {
+                    hit |= x == id;
+                }
+                hit
+            }
+            IdSet::Sorted(s) => s.binary_search(&id).is_ok(),
+            IdSet::Bitmap { words, .. } => {
+                let w = (id >> 6) as usize;
+                words
+                    .get(w)
+                    .is_some_and(|&word| (word >> (id & 63)) & 1 == 1)
+            }
+        }
+    }
+
+    /// Number of distinct ids.
+    pub fn len(&self) -> usize {
+        match self {
+            IdSet::Sorted(s) => s.len(),
+            IdSet::Bitmap { len, .. } => *len,
+        }
+    }
+
+    /// True when no id is in the set (it can never match).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resident bytes of the compiled set.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            IdSet::Sorted(s) => s.len() * 4,
+            IdSet::Bitmap { words, .. } => words.len() * 8,
+        }
+    }
+}
+
+/// The value predicate of a kernel, lowered per engine at probe-build time
+/// (mirrors [`crate::ValueProbe`], but with the code set compiled into an
+/// [`IdSet`] for branch-free batch probes).
+#[derive(Debug, Clone)]
+pub enum ValuePred {
+    /// Dictionary codes (column store). IN-list values absent from the
+    /// dictionary vanished when the probe was built.
+    Codes(IdSet),
+    /// Hashed owned strings (row store).
+    Strings(FxHashSet<Box<str>>),
+}
+
+impl ValuePred {
+    /// Resident bytes of the compiled predicate.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            ValuePred::Codes(set) => set.memory_bytes(),
+            ValuePred::Strings(set) => set
+                .iter()
+                .map(|s| s.len() + std::mem::size_of::<Box<str>>() + 16)
+                .sum(),
+        }
+    }
+}
+
+/// The batched compilation of a scan's cheap per-position predicates.
+///
+/// Compiled once per scan (see `FastFilters::compile_kernel` in the SQL
+/// crate) and evaluated by the storage engines over whole position batches:
+/// [`FactTable::filter_batch`] for position lists,
+/// [`FactTable::filter_range`] for contiguous ranges. A field set to `None`
+/// means that predicate is absent; an all-`None` kernel accepts everything.
+///
+/// [`FactTable::filter_batch`]: crate::FactTable::filter_batch
+/// [`FactTable::filter_range`]: crate::FactTable::filter_range
+#[derive(Debug, Clone, Default)]
+pub struct FilterKernel {
+    /// `CellValue IN (...)`, lowered per engine.
+    pub value: Option<ValuePred>,
+    /// `TableId IN (...)`.
+    pub table_in: Option<IdSet>,
+    /// `TableId NOT IN (...)`.
+    pub table_not_in: Option<IdSet>,
+    /// `RowId < n` (exclusive bound).
+    pub rowid_lt: Option<u32>,
+    /// `Quadrant IS NULL` (true) / `IS NOT NULL` (false).
+    pub quadrant_null: Option<bool>,
+}
+
+impl FilterKernel {
+    /// Kernel with no predicates (accepts every position).
+    pub fn empty() -> Self {
+        FilterKernel::default()
+    }
+
+    /// True when the kernel accepts every position, i.e. batch evaluation
+    /// degenerates to a copy. Destructured so adding a predicate field
+    /// forces this (and every engine's pass cascade) to be revisited.
+    pub fn is_empty(&self) -> bool {
+        let FilterKernel {
+            value,
+            table_in,
+            table_not_in,
+            rowid_lt,
+            quadrant_null,
+        } = self;
+        value.is_none()
+            && table_in.is_none()
+            && table_not_in.is_none()
+            && rowid_lt.is_none()
+            && quadrant_null.is_none()
+    }
+
+    /// Resident bytes of the compiled predicate sets.
+    pub fn memory_bytes(&self) -> usize {
+        self.value.as_ref().map_or(0, ValuePred::memory_bytes)
+            + self.table_in.as_ref().map_or(0, IdSet::memory_bytes)
+            + self.table_not_in.as_ref().map_or(0, IdSet::memory_bytes)
+    }
+
+    /// True when the kernel provably rejects every position — an IN-list
+    /// whose values all vanished at probe build (absent from the
+    /// dictionary/index), an empty `TableId IN` set, or `RowId < 0`.
+    /// Engines check this once per batch and skip the pass cascade
+    /// entirely; callers' visit telemetry is unaffected (candidates still
+    /// count as scanned, matching the scalar oracle's behavior).
+    pub fn never_matches(&self) -> bool {
+        self.rowid_lt == Some(0)
+            || self.table_in.as_ref().is_some_and(IdSet::is_empty)
+            || self.value.as_ref().is_some_and(|v| match v {
+                ValuePred::Codes(set) => set.is_empty(),
+                ValuePred::Strings(set) => set.is_empty(),
+            })
+    }
+}
+
+/// Stable in-place compaction of `sel[start..]`: survivors of `keep` slide
+/// to the front, order preserved. The loop writes every element back
+/// unconditionally and advances the cursor by the predicate's boolean —
+/// no data-dependent branch, which is what lets one pass per predicate
+/// stream at memory speed over an unpredictable filter.
+#[inline]
+pub fn compact_by(sel: &mut Vec<u32>, start: usize, mut keep: impl FnMut(u32) -> bool) {
+    let mut n = start;
+    for i in start..sel.len() {
+        let p = sel[i];
+        sel[n] = p;
+        n += keep(p) as usize;
+    }
+    sel.truncate(n);
+}
+
+/// Append the survivors of the contiguous position range `lo..hi` to `sel`
+/// without ever materializing the candidate list: the range streams through
+/// `keep` with the same branch-free write-all / advance-on-keep pattern as
+/// [`compact_by`].
+///
+/// The `resize` pre-pass zero-fills the window before the filter loop
+/// overwrites it — one streaming memset, a deliberate tradeoff: the only
+/// way to elide it is `spare_capacity_mut` + `set_len`, and this workspace
+/// stays `unsafe`-free. It is a small fraction of a pass (the kernels
+/// clear the ≥2× bar with it included).
+#[inline]
+pub fn extend_filtered_range(
+    sel: &mut Vec<u32>,
+    lo: usize,
+    hi: usize,
+    mut keep: impl FnMut(u32) -> bool,
+) {
+    let start = sel.len();
+    sel.resize(start + hi.saturating_sub(lo), 0);
+    let mut n = start;
+    for pos in lo..hi {
+        let p = pos as u32;
+        sel[n] = p;
+        n += keep(p) as usize;
+    }
+    sel.truncate(n);
+}
+
+/// Per-worker reusable scan buffers.
+///
+/// The morsel-partitioned scan path hands one `ScanScratch` to each pool
+/// worker (via `WorkerPool::run_with`), so the selection vector's capacity
+/// is paid once per worker per query instead of once per morsel.
+#[derive(Debug, Default)]
+pub struct ScanScratch {
+    /// Selection vector: surviving positions of the current batch.
+    pub sel: Vec<u32>,
+}
+
+impl ScanScratch {
+    /// Per-worker scratch high-water bound for scans of a table with
+    /// `n_rows` positions, used by the engines' memory breakdowns. The
+    /// worst case is a non-morselized sequential scan, which streams the
+    /// whole position range through one selection-vector batch — morselized
+    /// parallel scans stay far below this (one morsel per batch).
+    pub fn estimate_bytes(n_rows: usize) -> usize {
+        n_rows * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idset_picks_bitmap_for_dense_small_domains() {
+        let set = IdSet::build([1u32, 3, 5, 7, 900]);
+        assert!(matches!(set, IdSet::Bitmap { .. }));
+        assert_eq!(set.len(), 5);
+        for id in 0..1100u32 {
+            assert_eq!(set.contains(id), [1, 3, 5, 7, 900].contains(&id));
+        }
+    }
+
+    #[test]
+    fn idset_picks_sorted_for_sparse_ids() {
+        let ids = [10u32, 1_000_000, 4_000_000_000];
+        let set = IdSet::build(ids);
+        assert!(matches!(set, IdSet::Sorted(_)));
+        for id in ids {
+            assert!(set.contains(id));
+        }
+        assert!(!set.contains(11));
+        assert!(!set.contains(u32::MAX));
+    }
+
+    #[test]
+    fn idset_dedups_and_handles_empty() {
+        let set = IdSet::build([4u32, 4, 4, 2]);
+        assert_eq!(set.len(), 2);
+        let empty = IdSet::build(std::iter::empty());
+        assert!(empty.is_empty());
+        assert!(!empty.contains(0));
+        assert_eq!(empty.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn idset_binary_search_path_matches_linear() {
+        // > LINEAR_PROBE_MAX sparse entries forces the binary-search arm.
+        let ids: Vec<u32> = (0..40u32).map(|i| i * 1_000_003).collect();
+        let set = IdSet::build(ids.iter().copied());
+        assert!(matches!(set, IdSet::Sorted(_)));
+        for &id in &ids {
+            assert!(set.contains(id));
+            assert!(!set.contains(id + 1));
+        }
+    }
+
+    #[test]
+    fn empty_kernel_is_empty() {
+        assert!(FilterKernel::empty().is_empty());
+        let k = FilterKernel {
+            rowid_lt: Some(3),
+            ..FilterKernel::empty()
+        };
+        assert!(!k.is_empty());
+        assert_eq!(k.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn never_matches_detects_provably_empty_predicates() {
+        assert!(!FilterKernel::empty().never_matches());
+        let empty_codes = FilterKernel {
+            value: Some(ValuePred::Codes(IdSet::build(std::iter::empty()))),
+            ..FilterKernel::empty()
+        };
+        assert!(empty_codes.never_matches());
+        let empty_tables = FilterKernel {
+            table_in: Some(IdSet::build(std::iter::empty())),
+            ..FilterKernel::empty()
+        };
+        assert!(empty_tables.never_matches());
+        assert!(FilterKernel {
+            rowid_lt: Some(0),
+            ..FilterKernel::empty()
+        }
+        .never_matches());
+        // Non-empty sets (and NOT IN, which excludes rather than selects)
+        // do not short-circuit.
+        let live = FilterKernel {
+            value: Some(ValuePred::Codes(IdSet::build([1u32]))),
+            table_not_in: Some(IdSet::build(std::iter::empty())),
+            rowid_lt: Some(1),
+            ..FilterKernel::empty()
+        };
+        assert!(!live.never_matches());
+    }
+
+    #[test]
+    fn compact_by_is_stable() {
+        let mut sel = vec![9, 1, 2, 3, 4, 5];
+        compact_by(&mut sel, 1, |p| p % 2 == 1);
+        assert_eq!(sel, vec![9, 1, 3, 5]);
+        compact_by(&mut sel, 0, |_| false);
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn extend_filtered_range_appends_survivors() {
+        let mut sel = vec![7];
+        extend_filtered_range(&mut sel, 10, 20, |p| p % 3 == 0);
+        assert_eq!(sel, vec![7, 12, 15, 18]);
+        // Degenerate and empty ranges are no-ops.
+        extend_filtered_range(&mut sel, 5, 5, |_| true);
+        #[allow(clippy::reversed_empty_ranges)]
+        extend_filtered_range(&mut sel, 5, 3, |_| true);
+        assert_eq!(sel, vec![7, 12, 15, 18]);
+    }
+
+    #[test]
+    fn scratch_estimate_covers_a_full_range_batch() {
+        assert_eq!(ScanScratch::estimate_bytes(0), 0);
+        // A sequential scan streams the whole range through one batch, so
+        // the bound is the full position count.
+        assert_eq!(ScanScratch::estimate_bytes(150_000), 600_000);
+    }
+}

@@ -24,16 +24,26 @@
 //! positions) and an index on `TableId` (table → contiguous position range).
 //! They also expose exact cardinality statistics, which the SQL layer's
 //! access-path chooser uses the way a DBMS optimizer uses its catalog.
+//!
+//! Scan predicates evaluate through compiled [`FilterKernel`]s (see
+//! [`filter`]): the SQL layer lowers its cheap per-position filters once
+//! per scan, and the engines run them a batch at a time over selection
+//! vectors — dictionary-code probes on the column store, fused tuple
+//! checks on the row store — via [`FactTable::filter_batch`] /
+//! [`FactTable::filter_range`].
 
 pub mod column_store;
 pub mod fact;
+pub mod filter;
 pub mod row_store;
 pub mod stats;
 
 pub use column_store::ColumnStore;
 pub use fact::{
-    decode_quadrant, FactRow, FactTable, ValueProbe, QUADRANT_NULL, QUADRANT_ONE, QUADRANT_ZERO,
+    decode_quadrant, FactRow, FactTable, MemoryBreakdown, ValueProbe, QUADRANT_NULL, QUADRANT_ONE,
+    QUADRANT_ZERO,
 };
+pub use filter::{FilterKernel, IdSet, ScanScratch, ValuePred};
 pub use row_store::RowStore;
 pub use stats::FactStats;
 

@@ -2,7 +2,11 @@
 
 use blend_common::{FxHashMap, FxHashSet};
 
-use crate::fact::{canonical_sort, table_ranges, FactRow, FactTable, ValueProbe};
+use crate::fact::{
+    canonical_sort, scratch_component, table_ranges, FactRow, FactTable, MemoryBreakdown,
+    ValueProbe,
+};
+use crate::filter::{compact_by, extend_filtered_range, FilterKernel, ValuePred};
 use crate::stats::FactStats;
 
 /// Row-store implementation of [`FactTable`].
@@ -52,6 +56,44 @@ impl RowStore {
             ranges,
             stats,
             string_bytes,
+        }
+    }
+}
+
+/// Fused scalar kernel check over one tuple: the row store has no column
+/// vectors to cascade over, so its batch specialization evaluates every
+/// predicate in a single pass per row — one pointer chase to the `FactRow`,
+/// all fields adjacent, instead of one virtual accessor call per predicate.
+#[inline]
+fn keep_fact_row(kernel: &FilterKernel, r: &FactRow) -> bool {
+    if let Some(bound) = kernel.rowid_lt {
+        if r.row >= bound {
+            return false;
+        }
+    }
+    if let Some(set) = &kernel.table_in {
+        if !set.contains(r.table) {
+            return false;
+        }
+    }
+    if let Some(set) = &kernel.table_not_in {
+        if set.contains(r.table) {
+            return false;
+        }
+    }
+    if let Some(want_null) = kernel.quadrant_null {
+        if r.quadrant.is_none() != want_null {
+            return false;
+        }
+    }
+    match &kernel.value {
+        None => true,
+        Some(ValuePred::Strings(set)) => set.contains(r.value.as_ref()),
+        // Mirror `probe_at`: a codes predicate can only come from a
+        // dictionary engine.
+        Some(ValuePred::Codes(_)) => {
+            debug_assert!(false, "codes predicate against a row store");
+            false
         }
     }
 }
@@ -146,21 +188,49 @@ impl FactTable for RowStore {
         out.extend(positions.iter().map(|&p| self.rows[p as usize].row));
     }
 
+    /// Gather-into-scratch fallback: candidates are gathered into the
+    /// selection vector wholesale, then one fused pass over the tuple
+    /// structs compacts it in place (see [`keep_fact_row`]).
+    fn filter_batch(&self, kernel: &FilterKernel, positions: &[u32], sel: &mut Vec<u32>) {
+        if kernel.never_matches() {
+            return;
+        }
+        let start = sel.len();
+        sel.extend_from_slice(positions);
+        let rows = &self.rows;
+        compact_by(sel, start, |p| keep_fact_row(kernel, &rows[p as usize]));
+    }
+
+    fn filter_range(&self, kernel: &FilterKernel, lo: usize, hi: usize, sel: &mut Vec<u32>) {
+        if kernel.never_matches() {
+            return;
+        }
+        let rows = &self.rows;
+        extend_filtered_range(sel, lo, hi, |p| keep_fact_row(kernel, &rows[p as usize]));
+    }
+
     fn stats(&self) -> &FactStats {
         &self.stats
     }
 
-    fn size_bytes(&self) -> usize {
+    fn memory_breakdown(&self) -> MemoryBreakdown {
         // Tuples: struct + heap string per row.
-        let tuple_bytes = self.rows.len() * std::mem::size_of::<FactRow>() + self.string_bytes;
+        let tuples = self.rows.len() * std::mem::size_of::<FactRow>() + self.string_bytes;
         // Inverted index: key strings + posting vectors + bucket overhead.
-        let inv_bytes: usize = self
+        let inverted: usize = self
             .inverted
             .iter()
             .map(|(k, v)| k.len() + std::mem::size_of::<Box<str>>() + v.len() * 4 + 48)
             .sum();
-        let range_bytes = self.ranges.len() * 8;
-        tuple_bytes + inv_bytes + range_bytes
+        MemoryBreakdown {
+            engine: "Row",
+            components: vec![
+                ("tuples", tuples),
+                ("inverted-index", inverted),
+                ("table-ranges", self.ranges.len() * 8),
+                scratch_component(self.len()),
+            ],
+        }
     }
 }
 

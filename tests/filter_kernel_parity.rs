@@ -1,0 +1,211 @@
+//! Filter-kernel parity: the batched selection-vector kernels
+//! (`FactTable::filter_batch` / `filter_range`) must reproduce the scalar
+//! `fast_filters_pass` oracle **byte-for-byte** — for random `FastFilters`,
+//! on both storage engines, over position lists and contiguous ranges, and
+//! through the morsel-partitioned pool at thread counts {1, 4}.
+//!
+//! The scalar function stays alive in `blend_sql::plan` precisely to serve
+//! as this suite's oracle; executors only ever run the compiled kernel.
+
+use blend_parallel::{morselize, WorkerPool};
+use blend_sql::plan::{fast_filters_pass, FastFilters};
+use blend_sql::{ExecPath, SqlEngine};
+use blend_storage::{build_engine, EngineKind, FactRow, FactTable, ScanScratch};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// Deterministic fact rows: `n_tables` tables × `rows_per` rows × 3 columns
+/// (text key, numeric with quadrant bits, extra text), vocabulary `w0..wV`.
+fn fact_rows(n_tables: u32, rows_per: u32, vocab: u32, seed: u64) -> Vec<FactRow> {
+    let mut rows = Vec::new();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for t in 0..n_tables {
+        for r in 0..rows_per {
+            let sk = ((t as u128) << 64) | ((next() as u128) & 0xFFFF_FFFF);
+            rows.push(FactRow::new(
+                &format!("w{}", next() % vocab as u64),
+                t,
+                0,
+                r,
+                sk,
+                None,
+            ));
+            let num = next() % 100;
+            rows.push(FactRow::new(&num.to_string(), t, 1, r, sk, Some(num >= 50)));
+            rows.push(FactRow::new(
+                &format!("w{}", next() % vocab as u64),
+                t,
+                2,
+                r,
+                sk,
+                None,
+            ));
+        }
+    }
+    rows
+}
+
+/// Random `FastFilters` over a table: every predicate is independently
+/// present/absent, and the id lists deliberately mix hits with misses
+/// (values absent from the dictionary, table ids past the range directory).
+#[allow(clippy::too_many_arguments)]
+fn build_filters(
+    table: &dyn FactTable,
+    vocab: u32,
+    value_sel: Option<(u64, usize)>,
+    table_in: Option<Vec<u32>>,
+    table_not_in: Option<Vec<u32>>,
+    rowid_lt: Option<u32>,
+    quadrant_null: Option<bool>,
+) -> FastFilters {
+    let value_probe = value_sel.map(|(seed, n)| {
+        let vals: Vec<String> = (0..n as u64)
+            .map(|i| {
+                format!(
+                    "w{}",
+                    (seed.wrapping_mul(31).wrapping_add(i * 7)) % (vocab as u64 + 3)
+                )
+            })
+            .collect();
+        let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+        table.make_probe(&refs)
+    });
+    FastFilters {
+        value_probe,
+        table_set: table_in.map(|v| v.into_iter().collect()),
+        table_not_set: table_not_in.map(|v| v.into_iter().collect()),
+        rowid_lt,
+        quadrant_null,
+    }
+}
+
+/// Oracle: scalar `fast_filters_pass` over every position in `lo..hi`.
+fn oracle_positions(table: &dyn FactTable, fast: &FastFilters, lo: usize, hi: usize) -> Vec<u32> {
+    (lo..hi)
+        .filter(|&p| fast_filters_pass(table, p, fast))
+        .map(|p| p as u32)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_kernels_match_the_scalar_oracle(
+        n_tables in 2u32..7,
+        rows_per in 3u32..20,
+        vocab in 3u32..12,
+        seed in any::<u64>(),
+        value_sel in proptest::option::of((any::<u64>(), 1usize..8)),
+        table_in in proptest::option::of(proptest::collection::vec(0u32..9, 1..5)),
+        table_not_in in proptest::option::of(proptest::collection::vec(0u32..9, 1..5)),
+        rowid_lt in proptest::option::of(0u32..24),
+        quadrant_null in proptest::option::of(proptest::prelude::any::<bool>()),
+        subrange in (any::<u64>(), any::<u64>()),
+    ) {
+        let rows = fact_rows(n_tables, rows_per, vocab, seed);
+        for kind in [EngineKind::Row, EngineKind::Column] {
+            let table = build_engine(kind, rows.clone());
+            let fast = build_filters(
+                table.as_ref(),
+                vocab,
+                value_sel,
+                table_in.clone(),
+                table_not_in.clone(),
+                rowid_lt,
+                quadrant_null,
+            );
+            let kernel = fast.compile_kernel();
+            let n = table.len();
+            let want = oracle_positions(table.as_ref(), &fast, 0, n);
+
+            // Batch over the full position list.
+            let all: Vec<u32> = (0..n as u32).collect();
+            let mut sel = Vec::new();
+            table.filter_batch(&kernel, &all, &mut sel);
+            prop_assert_eq!(&sel, &want, "{:?} filter_batch(full)", kind);
+
+            // Range over the full table (no candidate list materialized).
+            sel.clear();
+            table.filter_range(&kernel, 0, n, &mut sel);
+            prop_assert_eq!(&sel, &want, "{:?} filter_range(full)", kind);
+
+            // A random sub-range and the matching batch slice agree with
+            // the oracle restricted to that window.
+            let (a, b) = (subrange.0 as usize % (n + 1), subrange.1 as usize % (n + 1));
+            let (lo, hi) = (a.min(b), a.max(b));
+            let want_window = oracle_positions(table.as_ref(), &fast, lo, hi);
+            sel.clear();
+            table.filter_range(&kernel, lo, hi, &mut sel);
+            prop_assert_eq!(&sel, &want_window, "{:?} filter_range({}..{})", kind, lo, hi);
+            sel.clear();
+            table.filter_batch(&kernel, &all[lo..hi], &mut sel);
+            prop_assert_eq!(&sel, &want_window, "{:?} filter_batch({}..{})", kind, lo, hi);
+
+            // Postings-driven batch: candidates from the inverted index.
+            let postings = table.postings(&format!("w{}", seed % vocab as u64));
+            let want_postings: Vec<u32> = postings
+                .iter()
+                .copied()
+                .filter(|&p| fast_filters_pass(table.as_ref(), p as usize, &fast))
+                .collect();
+            sel.clear();
+            table.filter_batch(&kernel, postings, &mut sel);
+            prop_assert_eq!(&sel, &want_postings, "{:?} filter_batch(postings)", kind);
+
+            // Morsel-partitioned through the worker pool at 1 and 4
+            // threads, with per-worker ScanScratch: concatenating the
+            // per-morsel selection vectors in morsel order must reproduce
+            // the sequential oracle list exactly.
+            let morsels = morselize(&[n], 7);
+            for threads in THREAD_COUNTS {
+                let pool = WorkerPool::new(threads);
+                let run = pool.run_with(morsels.len(), ScanScratch::default, |scratch, i| {
+                    let m = &morsels[i];
+                    scratch.sel.clear();
+                    table.filter_range(&kernel, m.start, m.end, &mut scratch.sel);
+                    scratch.sel.clone()
+                });
+                let merged: Vec<u32> = run.results.into_iter().flatten().collect();
+                prop_assert_eq!(&merged, &want, "{:?} pooled {}t", kind, threads);
+            }
+        }
+    }
+}
+
+/// End-to-end: a query exercising every fast-filter predicate at once runs
+/// through the kernelized scan on both engines and both executor paths, at
+/// thread counts {1, 4}, with identical results.
+#[test]
+fn kernelized_scans_are_engine_path_and_thread_invariant() {
+    let rows = fact_rows(6, 24, 8, 0xB1E4D);
+    let sql = "SELECT TableId AS t, COUNT(DISTINCT CellValue) AS score FROM AllTables \
+               WHERE CellValue IN ('w0','w2','w5','w9') AND TableId NOT IN (3) \
+               AND RowId < 20 GROUP BY TableId, ColumnId ORDER BY score DESC, t";
+    for kind in [EngineKind::Row, EngineKind::Column] {
+        let reference = SqlEngine::with_alltables(build_engine(kind, rows.clone()))
+            .with_parallel(Arc::new(blend_sql::ParallelCtx::with_tuning(1, 1, 3)));
+        let (want, want_rep) = reference
+            .execute_with_report_path(sql, ExecPath::TupleOnly)
+            .unwrap();
+        for threads in THREAD_COUNTS {
+            let eng = SqlEngine::with_alltables(build_engine(kind, rows.clone()))
+                .with_parallel(Arc::new(blend_sql::ParallelCtx::with_tuning(threads, 1, 3)));
+            let (got, rep) = eng.execute_with_report_path(sql, ExecPath::Auto).unwrap();
+            assert_eq!(rep.path, "positional", "{kind:?}/{threads}t");
+            assert_eq!(
+                got, want,
+                "{kind:?}/{threads}t diverged from the tuple path"
+            );
+            assert_eq!(rep.scans, want_rep.scans, "{kind:?}/{threads}t telemetry");
+        }
+    }
+}
