@@ -94,13 +94,24 @@ pub fn combine(a: u64, b: u64) -> u64 {
 }
 
 /// A cheap deterministic 64→64 bit mixer (splitmix64 finalizer). Handy when a
-/// second independent hash of an already-hashed key is required.
+/// second independent hash of an already-hashed key is required, and the
+/// per-key hash of the flat join/group tables (one packed `u64` key per row,
+/// no `Hasher` state to thread through).
 #[inline]
 pub fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
+}
+
+/// Mix a packed 128-bit key down to 64 well-distributed bits: the wide-key
+/// counterpart of [`mix64`] used by the flat join/group tables when 3–4 u32
+/// key columns are packed into one `u128`. Both halves go through the
+/// splitmix finalizer so every input bit reaches every output bit.
+#[inline]
+pub fn mix128(x: u128) -> u64 {
+    mix64(x as u64 ^ mix64((x >> 64) as u64))
 }
 
 #[cfg(test)]

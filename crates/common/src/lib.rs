@@ -28,6 +28,6 @@ pub mod value;
 pub mod zipf;
 
 pub use error::{BlendError, Result};
-pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use hash::{mix128, mix64, FxHashMap, FxHashSet, FxHasher};
 pub use table::{Column, ColumnId, ColumnType, RowId, Table, TableId};
 pub use value::Value;

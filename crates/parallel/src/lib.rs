@@ -27,12 +27,15 @@
 //!
 //! * **Scan** — morsels over postings/ranges, per-morsel position lists,
 //!   concatenated in morsel order.
-//! * **Hash join** — the build side is split into contiguous chunks with
-//!   partition-local maps merged chunk-by-chunk (per-key match lists stay
-//!   ascending); the probe side is chunked and emitted in chunk order.
-//! * **GROUP BY** — per-worker aggregate maps over contiguous row chunks,
-//!   merged in chunk order, which provably reproduces the sequential
-//!   first-seen group order.
+//! * **Hash join** — the build side is [radix-partitioned](radix) by key
+//!   hash so each worker builds a flat table over a *disjoint* key set (no
+//!   merge step; per-key match lists stay ascending because partition
+//!   scatter preserves input order); the probe side is chunked and emitted
+//!   in chunk order.
+//! * **GROUP BY** — rows are radix-partitioned by group-key hash so each
+//!   worker owns its groups outright; per-group aggregate states see
+//!   exactly the sequential update sequence, and sorting the finished
+//!   groups by first-seen row reproduces the sequential output order.
 //!
 //! ## Components
 //!
@@ -44,6 +47,11 @@
 //!   contiguous ranges), and [`balanced_chunks`](morsel::balanced_chunks)
 //!   (greedy LPT bin-packing for unequal work items, used by the index
 //!   builder).
+//! * [`radix`] — [`radix_partition`](radix::radix_partition) (two-pass
+//!   counting sort grouping items by partition id, ascending within each
+//!   partition) and [`partition_count`](radix::partition_count) (the
+//!   thread-count → radix-fanout policy), used by the flat join/group
+//!   operators.
 //! * [`ParallelCtx`] — the shared knob set (thread count, morsel length,
 //!   sequential-fallback threshold) handed down from plan execution to
 //!   every phase. `threads == 1` or inputs below the threshold take the
@@ -52,7 +60,9 @@
 pub mod ctx;
 pub mod morsel;
 pub mod pool;
+pub mod radix;
 
 pub use ctx::ParallelCtx;
 pub use morsel::{balanced_chunks, morselize, split_even, Morsel};
 pub use pool::{PoolRun, WorkerPool};
+pub use radix::{partition_count, radix_partition, RadixPartitions};

@@ -1,0 +1,141 @@
+//! Radix partitioning: counting-sort items into disjoint partitions.
+//!
+//! The flat join/group operators hand each pool worker a **disjoint key
+//! partition** (rows whose key hashes share the low partition bits), so
+//! per-worker hash tables never hold overlapping keys and the old
+//! merge-maps-in-chunk-order step disappears. The partition step itself is
+//! a two-pass counting sort — count occupancy, prefix-sum, scatter — the
+//! same idiom the flat join table uses for its buckets.
+//!
+//! The invariant everything downstream leans on: within each partition,
+//! item indices come back **in ascending input order** (the scatter pass
+//! walks items in order and appends). A consumer that processes one
+//! partition's items front to back therefore sees exactly the subsequence
+//! a sequential pass would have seen, which is what keeps radix-partitioned
+//! execution byte-identical to sequential execution.
+
+/// Items grouped by partition in CSR form: partition `p` owns
+/// `items[offsets[p]..offsets[p + 1]]`, ascending within each partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RadixPartitions {
+    offsets: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl RadixPartitions {
+    /// Number of partitions.
+    pub fn n_parts(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Item indices of partition `p`, in ascending input order.
+    pub fn part(&self, p: usize) -> &[u32] {
+        let lo = self.offsets[p] as usize;
+        let hi = self.offsets[p + 1] as usize;
+        &self.items[lo..hi]
+    }
+
+    /// CSR partition offsets (length `n_parts + 1`).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// All item indices, grouped by partition.
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Decompose into `(offsets, items)` — for consumers that store the
+    /// CSR arrays directly (e.g. the flat join table's bucket layout).
+    pub fn into_parts(self) -> (Vec<u32>, Vec<u32>) {
+        (self.offsets, self.items)
+    }
+}
+
+/// Group item indices `0..parts.len()` by their partition id with a two-pass
+/// counting sort. `parts[i]` must be `< n_parts`; within each partition the
+/// returned indices are ascending (see the module docs for why that order is
+/// load-bearing).
+pub fn radix_partition(parts: &[u32], n_parts: usize) -> RadixPartitions {
+    debug_assert!(parts.iter().all(|&p| (p as usize) < n_parts));
+    // Pass 1: count per-partition occupancy, prefix-summed into offsets.
+    let mut offsets = vec![0u32; n_parts + 1];
+    for &p in parts {
+        offsets[p as usize + 1] += 1;
+    }
+    for p in 0..n_parts {
+        offsets[p + 1] += offsets[p];
+    }
+    // Pass 2: scatter item indices; walking items in input order keeps each
+    // partition's slice ascending.
+    let mut cursor: Vec<u32> = offsets[..n_parts].to_vec();
+    let mut items = vec![0u32; parts.len()];
+    for (i, &p) in parts.iter().enumerate() {
+        let c = &mut cursor[p as usize];
+        items[*c as usize] = i as u32;
+        *c += 1;
+    }
+    RadixPartitions { offsets, items }
+}
+
+/// Radix partition count for a pool of `threads` workers: 4× the thread
+/// count rounded up to a power of two (the partition selector is a hash
+/// mask), capped so per-partition fixed costs stay negligible. The 4×
+/// over-decomposition lets the pool's dynamic task claiming balance skewed
+/// key distributions — with exactly one partition per worker, the worker
+/// that draws the hottest keys would serialize the phase.
+pub fn partition_count(threads: usize) -> usize {
+    threads.saturating_mul(4).next_power_of_two().clamp(1, 256)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_cover_all_items_ascending() {
+        let parts = [2u32, 0, 2, 1, 0, 2, 2];
+        let rp = radix_partition(&parts, 4);
+        assert_eq!(rp.n_parts(), 4);
+        assert_eq!(rp.part(0), &[1, 4]);
+        assert_eq!(rp.part(1), &[3]);
+        assert_eq!(rp.part(2), &[0, 2, 5, 6]);
+        assert!(rp.part(3).is_empty());
+        // Every index appears exactly once.
+        let mut all: Vec<u32> = rp.items().to_vec();
+        all.sort_unstable();
+        assert_eq!(all, (0..parts.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_partitions() {
+        let rp = radix_partition(&[], 3);
+        assert_eq!(rp.n_parts(), 3);
+        for p in 0..3 {
+            assert!(rp.part(p).is_empty());
+        }
+        let rp0 = radix_partition(&[], 0);
+        assert_eq!(rp0.n_parts(), 0);
+        assert!(rp0.items().is_empty());
+    }
+
+    #[test]
+    fn single_partition_is_identity_order() {
+        let parts = vec![0u32; 9];
+        let rp = radix_partition(&parts, 1);
+        assert_eq!(rp.part(0), (0..9u32).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn partition_count_is_a_bounded_power_of_two() {
+        assert_eq!(partition_count(1), 4);
+        assert_eq!(partition_count(2), 8);
+        assert_eq!(partition_count(3), 16);
+        assert_eq!(partition_count(8), 32);
+        assert_eq!(partition_count(1000), 256);
+        assert!(partition_count(0) >= 1);
+        for t in 0..100 {
+            assert!(partition_count(t).is_power_of_two());
+        }
+    }
+}

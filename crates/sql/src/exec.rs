@@ -48,6 +48,34 @@ pub struct ParallelPhase {
     pub worker_nanos: Vec<u64>,
 }
 
+/// Flat hash-table telemetry for one join or GROUP BY phase of the
+/// positional executor (see `blend_sql::hashtable`): how the table was
+/// built and how healthy its key distribution is. Printed by the bench
+/// harness alongside [`memory_breakdown`].
+///
+/// [`memory_breakdown`]: blend_storage::FactTable::memory_breakdown
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashTableStats {
+    /// Phase label: `"join"` or `"group"`.
+    pub phase: String,
+    /// Wall-clock nanos spent building the flat structure. For joins this
+    /// covers radix partitioning plus the counting/scatter table builds
+    /// (probing is excluded — it is the separately-timed phase output).
+    /// For GROUP BY it covers the whole fused grouping phase: the
+    /// group-id index pass *and* the aggregate accumulation passes, which
+    /// have no separable "probe" side — so join and group nanos are not
+    /// directly comparable.
+    pub build_nanos: u64,
+    /// Total buckets (join) / index slots (group) across all radix
+    /// partitions.
+    pub buckets: usize,
+    /// Fullest bucket run (join) / longest probe sequence (group) across
+    /// all radix partitions.
+    pub max_chain: usize,
+    /// Radix partition count (1 = the sequential, unpartitioned path).
+    pub partitions: usize,
+}
+
 /// Whole-query execution telemetry (the `EXPLAIN ANALYZE` stand-in used by
 /// tests and the optimizer experiments).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -62,14 +90,17 @@ pub struct QueryReport {
     pub path: String,
     /// Pool-backed phases of the positional executor, in execution order.
     pub parallel: Vec<ParallelPhase>,
+    /// Flat join/group hash-table builds, in execution order.
+    pub hash_tables: Vec<HashTableStats>,
 }
 
 impl QueryReport {
     /// Logical-telemetry equality: same scans, join cardinalities, result
-    /// rows, and executor path. Ignores [`QueryReport::parallel`], whose
-    /// partition counts and per-worker timings legitimately vary with the
-    /// thread count — everything else must be byte-identical at every
-    /// thread count (the parity suite's contract).
+    /// rows, and executor path. Ignores [`QueryReport::parallel`] and
+    /// [`QueryReport::hash_tables`], whose partition counts, table sizing,
+    /// and timings legitimately vary with the thread count — everything
+    /// else must be byte-identical at every thread count (the parity
+    /// suite's contract).
     pub fn logical_eq(&self, other: &QueryReport) -> bool {
         self.scans == other.scans
             && self.joins == other.joins
@@ -492,12 +523,14 @@ impl AggState {
         }
     }
 
-    /// Fold the state of a later input partition into this one. Partition
-    /// merging is exact for counting, distinct, and min/max states and for
+    /// Fold the state of a later input chunk into this one. Chunk merging
+    /// is exact for counting, distinct, and min/max states and for
     /// integer-valued sums (integer partial sums are exact in f64, so
     /// regrouping additions cannot change the result); the positional
-    /// executor only takes the parallel grouping path when every aggregate
-    /// satisfies one of those (see `PosAggSpec::merge_exact`).
+    /// executor's *global* (ungrouped) aggregation is its only remaining
+    /// chunk-merge path and takes it only when every aggregate satisfies
+    /// one of those (see `PosAggSpec::merge_exact`) — keyed grouping
+    /// radix-partitions by key instead, which needs no merge at all.
     ///
     /// Tie semantics for MIN/MAX match sequential first-seen: `other` holds
     /// strictly later rows, so it replaces `self` only on a strict win.

@@ -15,12 +15,18 @@
 //!   **batched filter kernels** straight against the [`FactTable`], no
 //!   tuple is built (see *Selection-vector scans* below);
 //! * the seeker self-joins (`q0.TableId = qN.TableId AND q0.RowId =
-//!   qN.RowId`) become hash joins keyed on a packed `u64`
-//!   (`TableId << 32 | RowId`) over position lists;
-//! * `GROUP BY TableId[, ColumnId]` aggregates into an
-//!   `FxHashMap<u64, _>` of packed keys, with `COUNT(DISTINCT CellValue)`
-//!   hashing dictionary codes on the column store and borrowed `&str` on
-//!   the row store — never an owned `SqlValue`;
+//!   qN.RowId`) become **flat hash joins**: 1–2 integer key columns pack
+//!   into a `u64` (3–4 into a `u128`) and probe a CSR
+//!   [`JoinTable`](crate::hashtable::JoinTable) built with two counting
+//!   passes — zero per-key allocations, one hash per row (see *Flat
+//!   join/group tables* below);
+//! * `GROUP BY` over integer fact columns maps packed keys to **dense
+//!   group ids** through an open-addressing
+//!   [`GroupIndex`](crate::hashtable::GroupIndex), with aggregate state in
+//!   struct-of-arrays vectors and `COUNT(DISTINCT CellValue)` counted by
+//!   per-group sort-unique over gathered dictionary codes (column store)
+//!   or dense string ids (row store) — never an owned `SqlValue`, never a
+//!   per-group hash set;
 //! * only the final projection materializes `SqlValue` rows.
 //!
 //! [`plan_positional`] recognizes eligible plans; anything it cannot prove
@@ -47,35 +53,68 @@
 //! morsel. The scalar `fast_filters_pass` survives only as the parity
 //! oracle (`tests/filter_kernel_parity.rs`).
 //!
+//! ## Flat join/group tables
+//!
+//! Join and GROUP BY used to pay one `FxHashMap` operation per row — the
+//! join built `FxHashMap<u64, Vec<u32>>` (a heap `Vec` per distinct key),
+//! grouping kept an `FxHashSet` per group for distinct counting. Both
+//! phases now run on the flat operators in [`crate::hashtable`]:
+//!
+//! * **Join** — build-side keys pack once into a contiguous array; a
+//!   [`JoinTable`](crate::hashtable::JoinTable) (CSR bucket runs over a
+//!   power-of-two bucket array, two counting passes) serves match runs in
+//!   ascending build-row order. The probe loop hashes each packed probe
+//!   key once and walks one bucket run.
+//! * **GROUP BY** — a [`GroupIndex`](crate::hashtable::GroupIndex)
+//!   (open addressing, linear probing) assigns dense group ids in
+//!   first-seen order; aggregates then run column-at-a-time over
+//!   `(row, group id)` pairs into flat vectors — counts in `Vec<i64>`,
+//!   min/max in `Vec<u32>`, and `COUNT(DISTINCT ...)` by radix-grouping
+//!   the gathered code column by group id and sort-uniquing each group's
+//!   contiguous run.
+//!
+//! Each build records [`HashTableStats`] (build nanos, bucket count, max
+//! chain, radix partition count) in [`QueryReport::hash_tables`].
+//!
 //! ## Parallel execution
 //!
 //! All three phases ride the shared [`ParallelCtx`] worker pool
 //! (morsel-partitioned, see the `blend-parallel` crate docs), each with an
-//! order-preserving merge that makes parallel output **byte-identical** to
-//! the sequential path at every thread count:
+//! order-preserving strategy that makes parallel output **byte-identical**
+//! to the sequential path at every thread count:
 //!
 //! * scans split postings/table ranges into morsels and concatenate the
 //!   per-morsel position lists in morsel order;
-//! * hash joins build partition-local maps over contiguous build chunks
-//!   (merged chunk-by-chunk, keeping per-key match lists ascending) and
-//!   probe in contiguous chunks emitted in chunk order;
-//! * GROUP BY runs per-worker aggregate maps over contiguous row chunks
-//!   and merges them in chunk order, which reproduces the sequential
-//!   first-seen group order exactly. The parallel grouping path is taken
-//!   only when every aggregate merges exactly (counts, distincts, min/max,
-//!   and integer-valued sums — see `PosAggSpec::merge_exact`).
+//! * joins **radix-partition the build side by key hash** (low hash bits;
+//!   see `blend_parallel::radix`), so each worker builds a flat table over
+//!   a disjoint key set and no merge is needed — a key's whole match list
+//!   lives in one partition, ascending because partition scatter preserves
+//!   input order. The probe side is chunked in row order and emitted in
+//!   chunk order;
+//! * GROUP BY radix-partitions rows by group-key hash, so each worker owns
+//!   its groups outright: every group's aggregate state sees **exactly the
+//!   sequential update sequence** (which is why even float SUM/AVG group in
+//!   parallel bit-identically), and sorting the finished groups by their
+//!   first-seen row reproduces the sequential output order. Only *global*
+//!   (ungrouped) aggregation still chunk-merges, gated on exactly-merging
+//!   aggregates (see `PosAggSpec::merge_exact`).
 //!
 //! With `threads == 1` (`BLEND_THREADS=1`) or inputs under the morsel
 //! threshold, every phase takes its plain sequential loop. Pool-backed
 //! phases record partition counts and per-worker timings in
 //! [`QueryReport::parallel`].
 
-use std::collections::hash_map::Entry;
 use std::sync::Arc;
+use std::time::Instant;
 
 use blend_common::{FxHashMap, FxHashSet};
-use blend_parallel::{morselize, split_even, Morsel, ParallelCtx};
+use blend_parallel::{
+    morselize, partition_count, radix_partition, split_even, Morsel, ParallelCtx, RadixPartitions,
+};
 use blend_storage::{FactTable, ScanScratch, ValueProbe};
+
+use crate::exec::HashTableStats;
+use crate::hashtable::{GroupIndex, JoinKey, JoinTable};
 
 use crate::ast::{AggFunc, BinOp, UnaryOp};
 use crate::exec::{self, AggState, ParallelPhase, QueryReport, ResultSet, ScanReport, Tuple};
@@ -309,24 +348,32 @@ enum PosNode {
 enum PosAggSpec {
     /// `COUNT(*)` — a plain counter.
     CountStar,
-    /// `COUNT(DISTINCT CellValue)` over a leaf — hashes dictionary codes
-    /// (column store) or borrowed `&str` (row store).
+    /// `COUNT(DISTINCT CellValue)` over a leaf — sort-uniques dictionary
+    /// codes (column store) or dense string ids (row store).
     DistinctValue { leaf: usize },
+    /// `MIN(<integer fact column>)` — folds into a flat `Vec<u32>`.
+    MinCol { leaf: usize, col: IntCol },
+    /// `MAX(<integer fact column>)` — folds into a flat `Vec<u32>`.
+    MaxCol { leaf: usize, col: IntCol },
     /// Anything else: evaluate the argument positionally and fold it into
     /// the tuple executor's [`AggState`].
     Generic { agg: usize, arg: Option<PExpr> },
 }
 
 impl PosAggSpec {
-    /// True when per-partition accumulation followed by a merge is
+    /// True when per-chunk accumulation followed by a chunk-order merge is
     /// bit-identical to sequential accumulation: counting, distinct, and
     /// min/max states always are; SUM/AVG only when the argument is
-    /// provably integer-valued (float addition is not associative). The
-    /// parallel GROUP BY path requires this of every aggregate — the four
-    /// seeker shapes all qualify (the C shape sums an `(...)::int` cast).
+    /// provably integer-valued (float addition is not associative). Only
+    /// the *global* (ungrouped) parallel path needs this — keyed grouping
+    /// radix-partitions rows by key, so every group's state sees the exact
+    /// sequential update sequence and no merge happens at all.
     fn merge_exact(&self, agg_plans: &[AggPlan]) -> bool {
         match self {
-            PosAggSpec::CountStar | PosAggSpec::DistinctValue { .. } => true,
+            PosAggSpec::CountStar
+            | PosAggSpec::DistinctValue { .. }
+            | PosAggSpec::MinCol { .. }
+            | PosAggSpec::MaxCol { .. } => true,
             PosAggSpec::Generic { agg, arg } => match agg_plans[*agg].func {
                 AggFunc::Count | AggFunc::Min | AggFunc::Max => true,
                 AggFunc::Sum | AggFunc::Avg => arg.as_ref().is_some_and(PExpr::integer_valued),
@@ -425,6 +472,17 @@ fn agg_spec(idx: usize, plan: &AggPlan, leaves: &[&ScanPlan]) -> Option<PosAggSp
                 leaf: i / FACT_WIDTH,
             })
         }
+        // MIN/MAX straight over an integer fact column fold into flat u32
+        // vectors (DISTINCT is irrelevant to min/max but kept on the
+        // generic path for byte-identical state handling).
+        (AggFunc::Min | AggFunc::Max, false, Some(e)) => Some(match compile_pexpr(e, 0, leaves)? {
+            PExpr::Int(leaf, col) if plan.func == AggFunc::Min => PosAggSpec::MinCol { leaf, col },
+            PExpr::Int(leaf, col) => PosAggSpec::MaxCol { leaf, col },
+            other => PosAggSpec::Generic {
+                agg: idx,
+                arg: Some(other),
+            },
+        }),
         (_, _, arg) => {
             let arg = match arg {
                 Some(e) => Some(compile_pexpr(e, 0, leaves)?),
@@ -466,7 +524,8 @@ fn build_node<'p>(tree: &'p Tree, leaves: &mut Vec<&'p ScanPlan>) -> Option<PosN
             let l = build_node(left, leaves)?;
             let n_left = leaves.len() - base;
             let r = build_node(right, leaves)?;
-            if keys.is_empty() || keys.len() > 2 {
+            // 1–2 key columns pack into a u64, 3–4 into a u128.
+            if keys.is_empty() || keys.len() > 4 {
                 return None;
             }
             let mut pos_keys = Vec::with_capacity(keys.len());
@@ -809,14 +868,31 @@ fn exec_scan(
     }
 }
 
-/// Pack 1–2 u32 key values into a u64.
-#[inline]
-fn pack2(vals: [u32; 2], n: usize) -> u64 {
-    if n == 1 {
-        vals[0] as u64
-    } else {
-        ((vals[0] as u64) << 32) | vals[1] as u64
-    }
+/// Pack 1–2 u32 key columns into one `u64` per row (shift-fold, so a
+/// single column packs to its plain value).
+fn pack_rows64(cols: &[Vec<u32>], n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            let mut key = 0u64;
+            for col in cols {
+                key = (key << 32) | col[i] as u64;
+            }
+            key
+        })
+        .collect()
+}
+
+/// Pack 3–4 u32 key columns into one `u128` per row.
+fn pack_rows128(cols: &[Vec<u32>], n: usize) -> Vec<u128> {
+    (0..n)
+        .map(|i| {
+            let mut key = 0u128;
+            for col in cols {
+                key = (key << 32) | col[i] as u128;
+            }
+            key
+        })
+        .collect()
 }
 
 /// Per-leaf position columns of a batch, extracted at most once. The MC
@@ -846,16 +922,17 @@ impl<'b> ColCache<'b> {
     }
 }
 
-/// Positional hash join on packed u64 keys. Build/probe side selection and
-/// output row order mirror the tuple executor's `hash_join` so the two
-/// paths produce byte-identical results.
+/// Positional hash join on packed `u64`/`u128` keys through the flat
+/// [`JoinTable`]. Build/probe side selection and output row order mirror
+/// the tuple executor's `hash_join` so the two paths produce byte-identical
+/// results.
 ///
-/// Both join phases ride the pool on large inputs: the build side splits
-/// into contiguous chunks with partition-local maps merged chunk-by-chunk
-/// (each local per-key match list is ascending and chunk `c` holds lower
-/// indices than chunk `c+1`, so concatenation reproduces the sequential
-/// per-key lists exactly), and the probe side is chunked with outputs
-/// concatenated in chunk order — the sequential probe order.
+/// On large inputs the build side is **radix-partitioned by key hash** (low
+/// hash bits), so each pool worker builds a flat table over a disjoint key
+/// set — no partial-map merge exists; a key's whole match run lives in one
+/// partition and stays ascending because partition scatter preserves input
+/// order. The probe side is chunked in row order with outputs concatenated
+/// in chunk order — the sequential probe order.
 #[allow(clippy::too_many_arguments)]
 fn exec_join(
     left: PosBatch,
@@ -900,63 +977,107 @@ fn exec_join(
         !build_left,
     );
 
-    let nk = keys.len();
-    let key_at = |cols: &[Vec<u32>], i: usize| -> u64 {
-        let mut vals = [0u32; 2];
-        for (k, col) in cols.iter().enumerate() {
-            vals[k] = col[i];
-        }
-        pack2(vals, nk)
+    // Monomorphize on packed key width: u64 covers 1–2 key columns, u128
+    // covers 3–4.
+    let (out, n_out) = if keys.len() <= 2 {
+        join_flat(
+            build,
+            probe,
+            &pack_rows64(&build_keys, build.len()),
+            &pack_rows64(&probe_keys, probe.len()),
+            build_left,
+            base,
+            residual,
+            tables,
+            report,
+            par,
+        )
+    } else {
+        join_flat(
+            build,
+            probe,
+            &pack_rows128(&build_keys, build.len()),
+            &pack_rows128(&probe_keys, probe.len()),
+            build_left,
+            base,
+            residual,
+            tables,
+            report,
+            par,
+        )
     };
+    let stride = left.stride + right.stride;
+    report.joins.push((build.len(), probe.len(), n_out));
+    PosBatch { stride, data: out }
+}
 
-    let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-    if par.should_parallelize(build.len()) {
-        let chunks = split_even(build.len(), par.pool().threads());
-        let run = par.pool().run(chunks.len(), |ci| {
-            let mut local: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-            for i in chunks[ci].clone() {
-                local
-                    .entry(key_at(&build_keys, i))
-                    .or_default()
-                    .push(i as u32);
-            }
-            local
+/// The key-width-generic core of [`exec_join`]: build flat tables over the
+/// (possibly radix-partitioned) build side, then probe in row order.
+#[allow(clippy::too_many_arguments)]
+fn join_flat<K: JoinKey>(
+    build: &PosBatch,
+    probe: &PosBatch,
+    build_keys: &[K],
+    probe_keys: &[K],
+    build_left: bool,
+    base: usize,
+    residual: Option<&PExpr>,
+    tables: &[&dyn FactTable],
+    report: &mut QueryReport,
+    par: &ParallelCtx,
+) -> (Vec<u32>, usize) {
+    let n_build = build.len();
+    let t0 = Instant::now();
+    let n_parts = if par.should_parallelize(n_build) {
+        partition_count(par.pool().threads())
+    } else {
+        1
+    };
+    let pmask = (n_parts - 1) as u64;
+
+    let flat_tables: Vec<JoinTable> = if n_parts == 1 {
+        vec![JoinTable::build(build_keys, None)]
+    } else {
+        // Radix-partition build rows by the low hash bits; each partition's
+        // row list is ascending, so per-key match runs stay ascending.
+        let hashes: Vec<u64> = build_keys.iter().map(|k| k.hash64()).collect();
+        let parts: Vec<u32> = hashes.iter().map(|&h| (h & pmask) as u32).collect();
+        let rp = radix_partition(&parts, n_parts);
+        let run = par.pool().run(n_parts, |p| {
+            JoinTable::build_prehashed(&hashes, Some(rp.part(p)))
         });
-        for local in run.results {
-            for (k, mut v) in local {
-                match table.entry(k) {
-                    Entry::Occupied(mut e) => e.get_mut().append(&mut v),
-                    Entry::Vacant(e) => {
-                        e.insert(v);
-                    }
-                }
-            }
-        }
         report.parallel.push(ParallelPhase {
             phase: "join-build".to_string(),
-            partitions: chunks.len(),
+            partitions: n_parts,
             worker_nanos: run.worker_nanos,
         });
-    } else {
-        for i in 0..build.len() {
-            table
-                .entry(key_at(&build_keys, i))
-                .or_default()
-                .push(i as u32);
-        }
-    }
+        run.results
+    };
+    report.hash_tables.push(HashTableStats {
+        phase: "join".to_string(),
+        build_nanos: t0.elapsed().as_nanos() as u64,
+        buckets: flat_tables.iter().map(JoinTable::buckets).sum(),
+        max_chain: flat_tables
+            .iter()
+            .map(JoinTable::max_chain)
+            .max()
+            .unwrap_or(0),
+        partitions: n_parts,
+    });
 
-    let stride = left.stride + right.stride;
+    let stride = build.stride + probe.stride;
     let probe_chunk = |range: std::ops::Range<usize>| -> (Vec<u32>, usize) {
         let mut out: Vec<u32> = Vec::new();
         let mut joined: Vec<u32> = vec![0; stride];
         let mut n_out = 0usize;
         for i in range {
-            let Some(matches) = table.get(&key_at(&probe_keys, i)) else {
-                continue;
-            };
+            let key = probe_keys[i];
+            // One hash per probe row selects both the radix partition (low
+            // bits) and, inside `matches_hashed`, the bucket (bits 32..).
+            let hash = key.hash64();
+            let flat = &flat_tables[(hash & pmask) as usize];
             let pt = probe.row(i);
-            for &bi in matches {
+            for bi in flat.matches_hashed(build_keys, key, hash) {
                 let bt = build.row(bi as usize);
                 let (lt, rt) = if build_left { (bt, pt) } else { (pt, bt) };
                 joined[..lt.len()].copy_from_slice(lt);
@@ -973,7 +1094,7 @@ fn exec_join(
         (out, n_out)
     };
 
-    let (out, n_out) = if par.should_parallelize(probe.len()) {
+    if par.should_parallelize(probe.len()) {
         let chunks = split_even(probe.len(), par.pool().threads());
         let run = par
             .pool()
@@ -992,57 +1113,38 @@ fn exec_join(
         (out, n_out)
     } else {
         probe_chunk(0..probe.len())
-    };
-    report.joins.push((build.len(), probe.len(), n_out));
-    PosBatch { stride, data: out }
+    }
 }
 
 // ---- aggregation -----------------------------------------------------------
 
-/// Per-group aggregate state; the distinct-value variants are what make
-/// `COUNT(DISTINCT CellValue)` allocation-free.
-enum PosAggState<'a> {
-    CountStar(i64),
-    DistinctCodes(FxHashSet<u32>),
-    DistinctStrs(FxHashSet<&'a str>),
-    Generic(AggState),
-}
-
-impl<'a> PosAggState<'a> {
-    /// Fold a later partition's state for the same group into this one
-    /// (parallel GROUP BY merge). Chunks are merged in chunk order, so
-    /// `other` always covers strictly later rows than `self`.
-    fn merge(&mut self, other: PosAggState<'a>) {
-        match (self, other) {
-            (PosAggState::CountStar(a), PosAggState::CountStar(b)) => *a += b,
-            (PosAggState::DistinctCodes(a), PosAggState::DistinctCodes(b)) => a.extend(b),
-            (PosAggState::DistinctStrs(a), PosAggState::DistinctStrs(b)) => a.extend(b),
-            (PosAggState::Generic(a), PosAggState::Generic(b)) => a.merge(b),
-            _ => unreachable!("partition states built in lockstep"),
-        }
-    }
-
-    fn finish(self) -> SqlValue {
-        match self {
-            PosAggState::CountStar(n) => SqlValue::Int(n),
-            PosAggState::DistinctCodes(set) => SqlValue::Int(set.len() as i64),
-            PosAggState::DistinctStrs(set) => SqlValue::Int(set.len() as i64),
-            PosAggState::Generic(state) => state.finish(),
-        }
-    }
+/// Pre-gathered input column of one aggregate spec (one bulk gather per
+/// spec, done once before any partitioning so every radix partition reads
+/// the same flat arrays).
+enum SpecData {
+    /// `COUNT(*)` / generic aggregates: nothing to pre-gather.
+    None,
+    /// Distinct via dictionary codes (column store), indexed by batch row.
+    Codes(Vec<u32>),
+    /// Distinct via strings (row store): the leaf's storage positions per
+    /// batch row; dense string ids are assigned per partition.
+    Positions(Vec<u32>),
+    /// `MinCol`/`MaxCol` argument column, indexed by batch row.
+    Ints(Vec<u32>),
 }
 
 /// Positional GROUP BY: group keys pack into a `u64` (≤2 columns, the
-/// SC/KW shape) or a `u128` (the C shape's 3 columns); aggregate updates
-/// read from storage positions. Group output order is first-seen, matching
-/// the tuple executor.
+/// SC/KW shape) or a `u128` (3–4 columns, the C shape); a flat
+/// [`GroupIndex`] assigns dense group ids in first-seen order and
+/// aggregates accumulate column-at-a-time into struct-of-arrays state.
+/// Group output order is first-seen, matching the tuple executor.
 ///
-/// Large inputs whose aggregates all merge exactly (see
-/// [`PosAggSpec::merge_exact`]) aggregate in parallel: per-worker maps over
-/// contiguous row chunks, merged in chunk order. Chunk-order merging
-/// reproduces sequential first-seen group order — a group's first chunk is
-/// the chunk of its globally first row, and within a chunk local first-seen
-/// order is global order restricted to that chunk.
+/// Large keyed inputs radix-partition rows by key hash so each pool worker
+/// owns its groups outright — per-group update order is exactly the
+/// sequential ascending row order (no merge, no exactness gate), and
+/// sorting finished groups by first-seen row recovers the sequential
+/// output order. Global (ungrouped) aggregation chunk-merges instead,
+/// gated on exactly-merging aggregates ([`PosAggSpec::merge_exact`]).
 fn exec_group<'a>(
     shape: &PosGroup,
     agg_plans: &[AggPlan],
@@ -1065,9 +1167,8 @@ fn exec_group<'a>(
         })
         .collect();
 
-    // Pre-gather dictionary codes for distinct-value aggregates where the
-    // engine has them; fall back to borrowed-&str hashing otherwise.
-    let prepared: Vec<Option<Vec<u32>>> = shape
+    // Pre-gather per-spec argument columns.
+    let spec_data: Vec<SpecData> = shape
         .aggs
         .iter()
         .map(|spec| match spec {
@@ -1075,200 +1176,442 @@ fn exec_group<'a>(
                 let mut codes = Vec::with_capacity(n_rows);
                 let ok = tables[*leaf].gather_value_codes(cache.positions(*leaf), &mut codes);
                 debug_assert!(ok);
-                Some(codes)
+                SpecData::Codes(codes)
             }
-            _ => None,
+            PosAggSpec::DistinctValue { leaf } => {
+                SpecData::Positions(cache.positions(*leaf).to_vec())
+            }
+            PosAggSpec::MinCol { leaf, col } | PosAggSpec::MaxCol { leaf, col } => {
+                let mut vals = Vec::with_capacity(n_rows);
+                col.gather(tables[*leaf], cache.positions(*leaf), &mut vals);
+                SpecData::Ints(vals)
+            }
+            _ => SpecData::None,
         })
         .collect();
 
-    let new_states = |states: &mut Vec<PosAggState<'a>>| {
-        for (spec, pre) in shape.aggs.iter().zip(&prepared) {
-            states.push(match spec {
-                PosAggSpec::CountStar => PosAggState::CountStar(0),
-                PosAggSpec::DistinctValue { .. } if pre.is_some() => {
-                    PosAggState::DistinctCodes(FxHashSet::default())
-                }
-                PosAggSpec::DistinctValue { .. } => PosAggState::DistinctStrs(FxHashSet::default()),
-                PosAggSpec::Generic { agg, .. } => {
-                    PosAggState::Generic(AggState::new(&agg_plans[*agg]))
-                }
-            });
-        }
-    };
-
-    // Fold row `i` into a group's aggregate states (shared by the
-    // sequential loop and each parallel worker).
-    let update_row = |i: usize, states: &mut [PosAggState<'a>]| {
-        let row = batch.row(i);
-        for ((state, spec), pre) in states.iter_mut().zip(&shape.aggs).zip(&prepared) {
-            match (state, spec) {
-                (PosAggState::CountStar(n), _) => *n += 1,
-                (PosAggState::DistinctCodes(set), _) => {
-                    set.insert(pre.as_ref().expect("codes gathered")[i]);
-                }
-                (PosAggState::DistinctStrs(set), PosAggSpec::DistinctValue { leaf }) => {
-                    set.insert(tables[*leaf].value_at(row[*leaf] as usize));
-                }
-                (PosAggState::Generic(state), PosAggSpec::Generic { arg, .. }) => {
-                    state.update_value(arg.as_ref().map(|e| e.eval(tables, 0, row)));
-                }
-                _ => unreachable!("state/spec built in lockstep"),
-            }
-        }
-    };
-
-    let global = shape.keys.is_empty();
-    let nk = shape.keys.len();
-
-    if par.should_parallelize(n_rows) && shape.aggs.iter().all(|s| s.merge_exact(agg_plans)) {
-        // Per-worker aggregation over contiguous row chunks. Workers key
-        // their local maps on a packed u128 (injective for ≤4 u32 key
-        // columns) and remember each group's first row; the chunk-order
-        // merge below keeps the globally-first row and folds later chunks'
-        // states in.
-        let key128 = |i: usize| -> u128 {
-            let mut key: u128 = 0;
-            for col in &key_cols {
-                key = (key << 32) | col[i] as u128;
-            }
-            key
-        };
-        let chunks = split_even(n_rows, par.pool().threads());
-        let run = par.pool().run(chunks.len(), |ci| {
-            let mut index: FxHashMap<u128, u32> = FxHashMap::default();
-            let mut locals: Vec<(u128, usize, Vec<PosAggState<'a>>)> = Vec::new();
-            if global {
-                let mut states = Vec::with_capacity(shape.aggs.len());
-                new_states(&mut states);
-                locals.push((0, chunks[ci].start, states));
-            }
-            for i in chunks[ci].clone() {
-                let gi = if global {
-                    0
-                } else {
-                    match index.entry(key128(i)) {
-                        Entry::Occupied(e) => *e.get() as usize,
-                        Entry::Vacant(e) => {
-                            let gi = locals.len();
-                            e.insert(gi as u32);
-                            let mut states = Vec::with_capacity(shape.aggs.len());
-                            new_states(&mut states);
-                            locals.push((key128(i), i, states));
-                            gi
-                        }
-                    }
-                };
-                update_row(i, &mut locals[gi].2);
-            }
-            locals
-        });
-
-        let mut index: FxHashMap<u128, u32> = FxHashMap::default();
-        let mut groups: Vec<(usize, Vec<PosAggState<'a>>)> = Vec::new();
-        for locals in run.results {
-            for (key, first_row, states) in locals {
-                if global && !groups.is_empty() {
-                    for (dst, src) in groups[0].1.iter_mut().zip(states) {
-                        dst.merge(src);
-                    }
-                    continue;
-                }
-                match index.entry(key) {
-                    Entry::Vacant(e) => {
-                        e.insert(groups.len() as u32);
-                        groups.push((first_row, states));
-                    }
-                    Entry::Occupied(e) => {
-                        let gi = *e.get() as usize;
-                        for (dst, src) in groups[gi].1.iter_mut().zip(states) {
-                            dst.merge(src);
-                        }
-                    }
-                }
-            }
-        }
-        report.parallel.push(ParallelPhase {
-            phase: "group".to_string(),
-            partitions: chunks.len(),
-            worker_nanos: run.worker_nanos,
-        });
-        return finish_groups(groups, &key_cols, nk);
+    if shape.keys.is_empty() {
+        return group_global(shape, agg_plans, &spec_data, batch, tables, report, par);
     }
 
-    // Sequential path: first-seen row index per group (for key value
-    // output) + states.
-    let mut groups: Vec<(usize, Vec<PosAggState<'a>>)> = Vec::new();
-    if global {
-        let mut states = Vec::with_capacity(shape.aggs.len());
-        new_states(&mut states);
-        groups.push((0, states));
+    // Monomorphize on packed key width.
+    if shape.keys.len() <= 2 {
+        let packed = pack_rows64(&key_cols, n_rows);
+        group_keyed(
+            &packed, shape, agg_plans, &spec_data, &key_cols, batch, tables, report, par,
+        )
+    } else {
+        let packed = pack_rows128(&key_cols, n_rows);
+        group_keyed(
+            &packed, shape, agg_plans, &spec_data, &key_cols, batch, tables, report, par,
+        )
     }
-
-    let mut index64: FxHashMap<u64, u32> = FxHashMap::default();
-    let mut index128: FxHashMap<u128, u32> = FxHashMap::default();
-
-    for i in 0..n_rows {
-        let gi = if global {
-            0
-        } else if nk <= 2 {
-            let mut vals = [0u32; 2];
-            for (k, col) in key_cols.iter().enumerate() {
-                vals[k] = col[i];
-            }
-            match index64.entry(pack2(vals, nk)) {
-                Entry::Occupied(e) => *e.get() as usize,
-                Entry::Vacant(e) => {
-                    let gi = groups.len();
-                    e.insert(gi as u32);
-                    let mut states = Vec::with_capacity(shape.aggs.len());
-                    new_states(&mut states);
-                    groups.push((i, states));
-                    gi
-                }
-            }
-        } else {
-            let mut key: u128 = 0;
-            for col in &key_cols {
-                key = (key << 32) | col[i] as u128;
-            }
-            match index128.entry(key) {
-                Entry::Occupied(e) => *e.get() as usize,
-                Entry::Vacant(e) => {
-                    let gi = groups.len();
-                    e.insert(gi as u32);
-                    let mut states = Vec::with_capacity(shape.aggs.len());
-                    new_states(&mut states);
-                    groups.push((i, states));
-                    gi
-                }
-            }
-        };
-
-        update_row(i, &mut groups[gi].1);
-    }
-
-    finish_groups(groups, &key_cols, nk)
 }
 
-/// Materialize post-aggregation tuples: key columns (read at the group's
-/// first-seen row) then aggregates, exactly like the tuple executor's
-/// group output.
-fn finish_groups(
-    groups: Vec<(usize, Vec<PosAggState<'_>>)>,
+/// The key-width-generic core of the keyed GROUP BY.
+#[allow(clippy::too_many_arguments)]
+fn group_keyed<'a, K: JoinKey>(
+    packed: &[K],
+    shape: &PosGroup,
+    agg_plans: &[AggPlan],
+    spec_data: &[SpecData],
     key_cols: &[Vec<u32>],
-    nk: usize,
+    batch: &PosBatch,
+    tables: &'a [&'a dyn FactTable],
+    report: &mut QueryReport,
+    par: &ParallelCtx,
 ) -> Vec<Tuple> {
-    groups
-        .into_iter()
-        .map(|(first_row, states)| {
-            let mut row: Tuple = Vec::with_capacity(nk + states.len());
-            for col in key_cols {
-                row.push(SqlValue::Int(col[first_row] as i64));
+    let n_rows = packed.len();
+    let t0 = Instant::now();
+    let n_parts = if par.should_parallelize(n_rows) {
+        partition_count(par.pool().threads())
+    } else {
+        1
+    };
+
+    if n_parts == 1 {
+        let (groups, slots, max_probe) = group_partition(
+            packed, None, None, shape, agg_plans, spec_data, key_cols, batch, tables,
+        );
+        report.hash_tables.push(HashTableStats {
+            phase: "group".to_string(),
+            build_nanos: t0.elapsed().as_nanos() as u64,
+            buckets: slots,
+            max_chain: max_probe,
+            partitions: 1,
+        });
+        // A single partition's groups are already in first-seen order.
+        return groups.into_iter().map(|(_, t)| t).collect();
+    }
+
+    // Radix-partition rows by key hash (low bits): each worker owns its
+    // groups outright, and within a partition rows keep ascending global
+    // order, so every group's aggregates see the exact sequential update
+    // sequence.
+    let pmask = (n_parts - 1) as u64;
+    let hashes: Vec<u64> = packed.iter().map(|k| k.hash64()).collect();
+    let parts: Vec<u32> = hashes.iter().map(|&h| (h & pmask) as u32).collect();
+    let rp = radix_partition(&parts, n_parts);
+    let run = par.pool().run(n_parts, |p| {
+        group_partition(
+            packed,
+            Some(&hashes),
+            Some(rp.part(p)),
+            shape,
+            agg_plans,
+            spec_data,
+            key_cols,
+            batch,
+            tables,
+        )
+    });
+    report.parallel.push(ParallelPhase {
+        phase: "group".to_string(),
+        partitions: n_parts,
+        worker_nanos: run.worker_nanos,
+    });
+
+    let mut slots = 0usize;
+    let mut max_probe = 0usize;
+    let mut all: Vec<(u32, Tuple)> = Vec::new();
+    for (groups, part_slots, part_probe) in run.results {
+        slots += part_slots;
+        max_probe = max_probe.max(part_probe);
+        all.extend(groups);
+    }
+    // Keys are disjoint across partitions, so first-seen rows are globally
+    // unique per group; sorting by them reproduces the sequential
+    // first-seen output order exactly.
+    all.sort_unstable_by_key(|&(first_row, _)| first_row);
+    report.hash_tables.push(HashTableStats {
+        phase: "group".to_string(),
+        build_nanos: t0.elapsed().as_nanos() as u64,
+        buckets: slots,
+        max_chain: max_probe,
+        partitions: n_parts,
+    });
+    all.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Group one partition's rows (`None` = all rows): assign dense group ids
+/// through a flat [`GroupIndex`], then run one column-at-a-time
+/// accumulation pass per aggregate into struct-of-arrays state. Returns
+/// `(first-seen row, output tuple)` per group in first-seen order, plus the
+/// index's slot count and max probe length (telemetry).
+#[allow(clippy::too_many_arguments)]
+fn group_partition<'a, K: JoinKey>(
+    packed: &[K],
+    hashes: Option<&[u64]>,
+    rows: Option<&[u32]>,
+    shape: &PosGroup,
+    agg_plans: &[AggPlan],
+    spec_data: &[SpecData],
+    key_cols: &[Vec<u32>],
+    batch: &PosBatch,
+    tables: &'a [&'a dyn FactTable],
+) -> (Vec<(u32, Tuple)>, usize, usize) {
+    let part_n = rows.map_or(packed.len(), <[u32]>::len);
+    let row_at = |idx: usize| -> usize {
+        match rows {
+            Some(r) => r[idx] as usize,
+            None => idx,
+        }
+    };
+
+    // Pass 1: dense group ids in first-seen order + first row per group.
+    let mut index: GroupIndex<K> = GroupIndex::with_capacity((part_n / 4).min(1 << 16));
+    let mut first_rows: Vec<u32> = Vec::new();
+    let mut row_gids: Vec<u32> = Vec::with_capacity(part_n);
+    for idx in 0..part_n {
+        let i = row_at(idx);
+        let before = index.len();
+        // The radix path already hashed every key to pick partitions;
+        // reuse that hash instead of paying a second one per row.
+        let gid = match hashes {
+            Some(h) => index.insert_or_get_hashed(packed[i], h[i]),
+            None => index.insert_or_get(packed[i]),
+        };
+        if index.len() != before {
+            first_rows.push(i as u32);
+        }
+        row_gids.push(gid);
+    }
+    let n_groups = index.len();
+
+    // Pass 2: accumulate each aggregate column-at-a-time into flat
+    // vectors indexed by group id, finishing straight to output values.
+    // Distinct specs share one gid-grouping CSR.
+    let mut gid_csr: Option<RadixPartitions> = None;
+    let mut finished: Vec<std::vec::IntoIter<SqlValue>> = Vec::with_capacity(shape.aggs.len());
+    for (spec, data) in shape.aggs.iter().zip(spec_data) {
+        let vals: Vec<SqlValue> = match (spec, data) {
+            (PosAggSpec::CountStar, _) => {
+                let mut counts = vec![0i64; n_groups];
+                for &g in &row_gids {
+                    counts[g as usize] += 1;
+                }
+                counts.into_iter().map(SqlValue::Int).collect()
             }
-            row.extend(states.into_iter().map(PosAggState::finish));
-            row
+            (PosAggSpec::DistinctValue { .. }, SpecData::Codes(codes)) => {
+                let csr = gid_csr.get_or_insert_with(|| radix_partition(&row_gids, n_groups));
+                distinct_counts(csr, n_groups, |idx| codes[row_at(idx)])
+            }
+            (PosAggSpec::DistinctValue { leaf }, SpecData::Positions(positions)) => {
+                // Dense string ids: one map per partition, never per group.
+                // Ids are bijective with distinct strings within the
+                // partition, so sort-unique over ids counts strings.
+                let mut ids: FxHashMap<&str, u32> = FxHashMap::default();
+                let str_ids: Vec<u32> = (0..part_n)
+                    .map(|idx| {
+                        let s = tables[*leaf].value_at(positions[row_at(idx)] as usize);
+                        let next = ids.len() as u32;
+                        *ids.entry(s).or_insert(next)
+                    })
+                    .collect();
+                let csr = gid_csr.get_or_insert_with(|| radix_partition(&row_gids, n_groups));
+                distinct_counts(csr, n_groups, |idx| str_ids[idx])
+            }
+            (PosAggSpec::MinCol { .. }, SpecData::Ints(col)) => {
+                let mut mins = vec![u32::MAX; n_groups];
+                for (idx, &g) in row_gids.iter().enumerate() {
+                    let v = col[row_at(idx)];
+                    let m = &mut mins[g as usize];
+                    if v < *m {
+                        *m = v;
+                    }
+                }
+                mins.into_iter().map(|v| SqlValue::Int(v as i64)).collect()
+            }
+            (PosAggSpec::MaxCol { .. }, SpecData::Ints(col)) => {
+                let mut maxs = vec![0u32; n_groups];
+                for (idx, &g) in row_gids.iter().enumerate() {
+                    let v = col[row_at(idx)];
+                    let m = &mut maxs[g as usize];
+                    if v > *m {
+                        *m = v;
+                    }
+                }
+                maxs.into_iter().map(|v| SqlValue::Int(v as i64)).collect()
+            }
+            (PosAggSpec::Generic { agg, arg }, _) => {
+                let mut states: Vec<AggState> = (0..n_groups)
+                    .map(|_| AggState::new(&agg_plans[*agg]))
+                    .collect();
+                for (idx, &g) in row_gids.iter().enumerate() {
+                    let row = batch.row(row_at(idx));
+                    states[g as usize].update_value(arg.as_ref().map(|e| e.eval(tables, 0, row)));
+                }
+                states.into_iter().map(AggState::finish).collect()
+            }
+            _ => unreachable!("spec/data built in lockstep"),
+        };
+        finished.push(vals.into_iter());
+    }
+
+    // Assemble output tuples: key values read at the group's first-seen
+    // row, then one value per aggregate — the tuple executor's layout.
+    let nk = shape.keys.len();
+    let out = first_rows
+        .iter()
+        .map(|&first_row| {
+            let mut row: Tuple = Vec::with_capacity(nk + finished.len());
+            for col in key_cols {
+                row.push(SqlValue::Int(col[first_row as usize] as i64));
+            }
+            row.extend(
+                finished
+                    .iter_mut()
+                    .map(|it| it.next().expect("one value per group")),
+            );
+            (first_row, row)
+        })
+        .collect();
+    (out, index.slot_count(), index.max_probe())
+}
+
+/// `COUNT(DISTINCT ...)` over pre-gathered u32 codes: the code column is
+/// radix-grouped by dense group id (`csr`), then each group's contiguous
+/// run is sort-uniqued in place — no per-group hash set, and the counting
+/// passes stream at memory speed.
+fn distinct_counts(
+    csr: &RadixPartitions,
+    n_groups: usize,
+    code_of: impl Fn(usize) -> u32,
+) -> Vec<SqlValue> {
+    let mut codes: Vec<u32> = csr.items().iter().map(|&it| code_of(it as usize)).collect();
+    let offsets = csr.offsets();
+    (0..n_groups)
+        .map(|g| {
+            let run = &mut codes[offsets[g] as usize..offsets[g + 1] as usize];
+            run.sort_unstable();
+            let mut distinct = 0i64;
+            let mut prev = None;
+            for &c in run.iter() {
+                if prev != Some(c) {
+                    distinct += 1;
+                    prev = Some(c);
+                }
+            }
+            SqlValue::Int(distinct)
         })
         .collect()
+}
+
+/// Per-chunk accumulator of the global (ungrouped) aggregation path — flat
+/// scalars instead of per-group maps. Distinct codes collect raw u32s and
+/// sort-dedup once at finish (cheap, cache-friendly); distinct strings
+/// keep an incremental set so duplicate-heavy row-store data never buffers
+/// one `&str` per row. Both merge exactly in any chunk order (count-only,
+/// order-free).
+enum GlobalAccum<'a> {
+    Count(i64),
+    /// Raw dictionary codes, deduplicated at finish.
+    Codes(Vec<u32>),
+    /// Distinct borrowed cell values.
+    Strs(FxHashSet<&'a str>),
+    Min(Option<u32>),
+    Max(Option<u32>),
+    State(AggState),
+}
+
+impl<'a> GlobalAccum<'a> {
+    /// Fold a later chunk's accumulator into this one. Chunks merge in
+    /// chunk order, so `other` always covers strictly later rows.
+    fn merge(&mut self, other: GlobalAccum<'a>) {
+        match (self, other) {
+            (GlobalAccum::Count(a), GlobalAccum::Count(b)) => *a += b,
+            (GlobalAccum::Codes(a), GlobalAccum::Codes(b)) => a.extend(b),
+            (GlobalAccum::Strs(a), GlobalAccum::Strs(b)) => a.extend(b),
+            (GlobalAccum::Min(a), GlobalAccum::Min(b)) => {
+                if let Some(v) = b {
+                    if a.is_none_or(|cur| v < cur) {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (GlobalAccum::Max(a), GlobalAccum::Max(b)) => {
+                if let Some(v) = b {
+                    if a.is_none_or(|cur| v > cur) {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (GlobalAccum::State(a), GlobalAccum::State(b)) => a.merge(b),
+            _ => unreachable!("chunk accumulators built in lockstep"),
+        }
+    }
+
+    fn finish(self) -> SqlValue {
+        match self {
+            GlobalAccum::Count(n) => SqlValue::Int(n),
+            GlobalAccum::Codes(mut codes) => {
+                codes.sort_unstable();
+                codes.dedup();
+                SqlValue::Int(codes.len() as i64)
+            }
+            GlobalAccum::Strs(strs) => SqlValue::Int(strs.len() as i64),
+            GlobalAccum::Min(v) | GlobalAccum::Max(v) => {
+                v.map_or(SqlValue::Null, |x| SqlValue::Int(x as i64))
+            }
+            GlobalAccum::State(state) => state.finish(),
+        }
+    }
+}
+
+/// Global (ungrouped) aggregation: exactly one output row, even over zero
+/// input rows. Parallelizes by contiguous row chunks merged in chunk order
+/// when every aggregate merges exactly (see [`PosAggSpec::merge_exact`]).
+fn group_global<'a>(
+    shape: &PosGroup,
+    agg_plans: &[AggPlan],
+    spec_data: &[SpecData],
+    batch: &PosBatch,
+    tables: &'a [&'a dyn FactTable],
+    report: &mut QueryReport,
+    par: &ParallelCtx,
+) -> Vec<Tuple> {
+    let n_rows = batch.len();
+    let accum_chunk = |range: std::ops::Range<usize>| -> Vec<GlobalAccum<'a>> {
+        let mut acc: Vec<GlobalAccum<'a>> = shape
+            .aggs
+            .iter()
+            .zip(spec_data)
+            .map(|(spec, data)| match (spec, data) {
+                (PosAggSpec::CountStar, _) => GlobalAccum::Count(0),
+                (PosAggSpec::DistinctValue { .. }, SpecData::Codes(_)) => {
+                    GlobalAccum::Codes(Vec::new())
+                }
+                (PosAggSpec::DistinctValue { .. }, _) => GlobalAccum::Strs(FxHashSet::default()),
+                (PosAggSpec::MinCol { .. }, _) => GlobalAccum::Min(None),
+                (PosAggSpec::MaxCol { .. }, _) => GlobalAccum::Max(None),
+                (PosAggSpec::Generic { agg, .. }, _) => {
+                    GlobalAccum::State(AggState::new(&agg_plans[*agg]))
+                }
+            })
+            .collect();
+        for i in range {
+            for ((a, spec), data) in acc.iter_mut().zip(&shape.aggs).zip(spec_data) {
+                match (a, spec, data) {
+                    (GlobalAccum::Count(n), ..) => *n += 1,
+                    (GlobalAccum::Codes(codes), _, SpecData::Codes(col)) => codes.push(col[i]),
+                    (
+                        GlobalAccum::Strs(strs),
+                        PosAggSpec::DistinctValue { leaf },
+                        SpecData::Positions(positions),
+                    ) => {
+                        strs.insert(tables[*leaf].value_at(positions[i] as usize));
+                    }
+                    (GlobalAccum::Min(m), _, SpecData::Ints(col)) => {
+                        let v = col[i];
+                        if m.is_none_or(|cur| v < cur) {
+                            *m = Some(v);
+                        }
+                    }
+                    (GlobalAccum::Max(m), _, SpecData::Ints(col)) => {
+                        let v = col[i];
+                        if m.is_none_or(|cur| v > cur) {
+                            *m = Some(v);
+                        }
+                    }
+                    (GlobalAccum::State(state), PosAggSpec::Generic { arg, .. }, _) => {
+                        state.update_value(arg.as_ref().map(|e| e.eval(tables, 0, batch.row(i))));
+                    }
+                    _ => unreachable!("accumulator/spec built in lockstep"),
+                }
+            }
+        }
+        acc
+    };
+
+    let parallel =
+        par.should_parallelize(n_rows) && shape.aggs.iter().all(|s| s.merge_exact(agg_plans));
+    let acc: Vec<GlobalAccum<'a>> = if parallel {
+        let chunks = split_even(n_rows, par.pool().threads());
+        if chunks.len() > 1 {
+            let run = par
+                .pool()
+                .run(chunks.len(), |ci| accum_chunk(chunks[ci].clone()));
+            report.parallel.push(ParallelPhase {
+                phase: "group".to_string(),
+                partitions: chunks.len(),
+                worker_nanos: run.worker_nanos,
+            });
+            let mut results = run.results.into_iter();
+            let mut acc = results.next().expect("at least one chunk");
+            for later in results {
+                for (dst, src) in acc.iter_mut().zip(later) {
+                    dst.merge(src);
+                }
+            }
+            acc
+        } else {
+            accum_chunk(0..n_rows)
+        }
+    } else {
+        accum_chunk(0..n_rows)
+    };
+
+    vec![acc.into_iter().map(GlobalAccum::finish).collect()]
 }
 
 #[cfg(test)]
@@ -1475,21 +1818,109 @@ mod tests {
     }
 
     #[test]
-    fn float_sums_fall_back_to_sequential_grouping() {
-        // `SUM(RowId / 2)` can produce non-integer values, whose partition
-        // merge would not be bit-exact; the parallel group path must refuse
-        // it (results still correct via the sequential group loop).
+    fn keyed_float_sums_group_in_parallel_bit_identically() {
+        // `SUM(RowId / 2)` produces non-integer values — a chunk-merge
+        // would not be bit-exact, but the radix-partitioned keyed path
+        // owns each group outright, so per-group f64 accumulation order is
+        // exactly sequential and the parallel group phase stays admitted.
         let eng = forced_parallel_engine(EngineKind::Column, 4);
         let sql = "SELECT TableId AS t, SUM(RowId / 2) AS s FROM AllTables GROUP BY TableId";
         let (got, rep) = eng.execute_with_report_path(sql, ExecPath::Auto).unwrap();
         assert!(
-            rep.parallel.iter().all(|p| p.phase != "group"),
-            "float SUM must not group in parallel"
+            rep.parallel.iter().any(|p| p.phase == "group"),
+            "keyed float SUM should group in parallel via radix partitions"
         );
         let (want, _) = eng
             .execute_with_report_path(sql, ExecPath::TupleOnly)
             .unwrap();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn global_float_sums_fall_back_to_sequential_grouping() {
+        // The *global* path still chunk-merges, where float addition order
+        // would change — it must refuse non-integer SUMs (results still
+        // correct via the sequential loop).
+        let eng = forced_parallel_engine(EngineKind::Column, 4);
+        let sql = "SELECT SUM(RowId / 2) AS s FROM AllTables";
+        let (got, rep) = eng.execute_with_report_path(sql, ExecPath::Auto).unwrap();
+        assert!(
+            rep.parallel.iter().all(|p| p.phase != "group"),
+            "global float SUM must not group in parallel"
+        );
+        let (want, _) = eng
+            .execute_with_report_path(sql, ExecPath::TupleOnly)
+            .unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn wide_join_keys_take_the_positional_u128_path() {
+        // 3 and 4 equi-key columns (4 via a repeated equality) pack into
+        // the u128 key path; both must stay on the positional executor and
+        // agree with the tuple oracle.
+        let on3 = "q0.TableId = q1.TableId AND q0.ColumnId = q1.ColumnId \
+                   AND q0.RowId = q1.RowId";
+        let on4 = "q0.TableId = q1.TableId AND q0.ColumnId = q1.ColumnId \
+                   AND q0.RowId = q1.RowId AND q0.TableId = q1.TableId";
+        for on in [on3, on4] {
+            for kind in [EngineKind::Row, EngineKind::Column] {
+                let eng = engine(kind);
+                let sql = format!(
+                    "SELECT q0.TableId AS t, q0.ColumnId AS c, q0.RowId AS r, \
+                     q1.CellValue AS v FROM \
+                     (SELECT * FROM AllTables WHERE RowId < 4) AS q0 INNER JOIN \
+                     (SELECT * FROM AllTables WHERE RowId < 4) AS q1 ON {on}"
+                );
+                let (a, path, b) = both_paths(&eng, &sql);
+                assert_eq!(path, "positional", "{on}");
+                assert_eq!(a, b, "{on}");
+                assert!(!a.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn hash_table_telemetry_is_recorded() {
+        let eng = engine(EngineKind::Column);
+        // Join + group: one "join" and one "group" entry, sequential
+        // (single partition) at default tuning on this tiny input.
+        let (_, rep) = eng
+            .execute_with_report_path(
+                "SELECT q0.TableId AS t, COUNT(*) AS n FROM \
+                 (SELECT * FROM AllTables WHERE CellValue IN ('k1','k3')) AS q0 \
+                 INNER JOIN (SELECT * FROM AllTables WHERE CellValue IN ('10','30')) AS q1 \
+                 ON q0.TableId = q1.TableId AND q0.RowId = q1.RowId \
+                 GROUP BY q0.TableId",
+                ExecPath::Auto,
+            )
+            .unwrap();
+        assert_eq!(rep.path, "positional");
+        let phases: Vec<&str> = rep.hash_tables.iter().map(|h| h.phase.as_str()).collect();
+        assert_eq!(phases, vec!["join", "group"]);
+        for h in &rep.hash_tables {
+            assert_eq!(h.partitions, 1);
+            assert!(h.buckets >= 1);
+            assert!(h.buckets.is_power_of_two());
+            assert!(h.max_chain >= 1);
+        }
+
+        // Forced-parallel run: radix partition counts land in telemetry.
+        let eng = forced_parallel_engine(EngineKind::Column, 4);
+        let (_, rep) = eng
+            .execute_with_report_path(
+                "SELECT TableId AS t, COUNT(DISTINCT CellValue) AS s FROM AllTables \
+                 GROUP BY TableId, ColumnId",
+                ExecPath::Auto,
+            )
+            .unwrap();
+        let group = rep
+            .hash_tables
+            .iter()
+            .find(|h| h.phase == "group")
+            .expect("group stats recorded");
+        assert!(group.partitions > 1);
+        assert!(group.partitions.is_power_of_two());
     }
 
     #[test]

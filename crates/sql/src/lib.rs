@@ -31,13 +31,15 @@ pub mod engine;
 pub mod exec;
 pub mod exec_positional;
 pub mod expr;
+pub mod hashtable;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
 pub mod value;
 
 pub use engine::{Database, ExecPath, SqlEngine};
-pub use exec::{ParallelPhase, QueryReport, ResultSet, ScanReport};
+pub use exec::{HashTableStats, ParallelPhase, QueryReport, ResultSet, ScanReport};
+pub use hashtable::{GroupIndex, JoinKey, JoinTable};
 pub use value::SqlValue;
 
 pub use blend_parallel::ParallelCtx;

@@ -6,7 +6,7 @@ use crate::fact::{
     canonical_sort, scratch_component, table_ranges, FactRow, FactTable, MemoryBreakdown,
     ValueProbe,
 };
-use crate::filter::{compact_by, extend_filtered_range, FilterKernel, ValuePred};
+use crate::filter::{extend_filtered_range, FilterKernel, ValuePred};
 use crate::stats::FactStats;
 
 /// Row-store implementation of [`FactTable`].
@@ -188,17 +188,27 @@ impl FactTable for RowStore {
         out.extend(positions.iter().map(|&p| self.rows[p as usize].row));
     }
 
-    /// Gather-into-scratch fallback: candidates are gathered into the
-    /// selection vector wholesale, then one fused pass over the tuple
-    /// structs compacts it in place (see [`keep_fact_row`]).
+    /// Single fused pass: each candidate position is written to the
+    /// selection vector unconditionally and the cursor advances by the
+    /// fused tuple check's boolean (see [`keep_fact_row`]) — the same
+    /// branch-free write-all/advance-on-keep pattern as
+    /// [`extend_filtered_range`], with no separate gather-then-compact
+    /// passes (the old two-pass form wrote and re-read every candidate
+    /// once more than necessary, which is why the row store trailed the
+    /// column store so badly on selective scans).
     fn filter_batch(&self, kernel: &FilterKernel, positions: &[u32], sel: &mut Vec<u32>) {
         if kernel.never_matches() {
             return;
         }
-        let start = sel.len();
-        sel.extend_from_slice(positions);
         let rows = &self.rows;
-        compact_by(sel, start, |p| keep_fact_row(kernel, &rows[p as usize]));
+        let start = sel.len();
+        sel.resize(start + positions.len(), 0);
+        let mut n = start;
+        for &p in positions {
+            sel[n] = p;
+            n += keep_fact_row(kernel, &rows[p as usize]) as usize;
+        }
+        sel.truncate(n);
     }
 
     fn filter_range(&self, kernel: &FilterKernel, lo: usize, hi: usize, sel: &mut Vec<u32>) {
