@@ -1,0 +1,326 @@
+//! `concurrent_queries` Criterion group: throughput of many in-flight
+//! SC-shape queries on one shared **persistent** worker pool vs. the
+//! per-query **scoped** spawning baseline (the pre-persistent design,
+//! retained as `WorkerPool::scoped`), on both storage engines.
+//!
+//! The serving scenario: `IN_FLIGHT` OS threads each fire SC-shape
+//! queries back to back against one engine. Under the scoped baseline
+//! every parallel phase of every query spawns and joins its own worker
+//! threads, and concurrent queries oversubscribe the machine (N queries x
+//! `THREADS` workers). Under the persistent pool the same phases draw
+//! admission-controlled grants from `THREADS - 1` parked workers, so the
+//! whole storm shares one thread budget.
+//!
+//! Every configuration is parity-checked first (shared-pool and scoped
+//! results must equal the sequential single-query run byte-for-byte).
+//! Measured numbers land in `BENCH_concurrent_queries.json` at the
+//! workspace root. Acceptance bars held here:
+//!
+//! * shared persistent pool >= 1.3x scoped-baseline throughput at
+//!   `IN_FLIGHT` concurrent queries on the column store;
+//! * single-query latency on the persistent pool shows no regression vs.
+//!   the scoped baseline, and stays within a catastrophic-only band of
+//!   the flat join/group times recorded in `BENCH_join_group.json`.
+//!
+//! `--test` runs the CI smoke mode: same parity checks and JSON emission
+//! with minimal timing, and the perf bars widened to reject only outright
+//! regressions (shared CI runners make tight timing bars flaky).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::Criterion;
+
+use blend_bench::synthetic_rows;
+use blend_parallel::{Admission, ParallelCtx, WorkerPool};
+use blend_sql::{ExecPath, SqlEngine};
+use blend_storage::{build_engine, EngineKind};
+
+/// Worker budget per context (the serving pool width).
+const THREADS: usize = 4;
+/// Concurrently serving OS threads (in-flight queries).
+const IN_FLIGHT: usize = 8;
+/// Queries each serving thread fires per storm.
+const QUERIES_PER_THREAD: usize = 4;
+/// Parallel thresholds: small enough that every SC phase rides the pool
+/// at this data size, identical for both contexts (the comparison is
+/// pool backing, not tuning).
+const MIN_PARALLEL: usize = 512;
+const MORSEL_LEN: usize = 2048;
+
+/// The SC seeker shape: broad IN-list scan + GROUP BY (TableId, ColumnId)
+/// with a distinct count, ordered and limited (paper Listing 1).
+fn sc_shape_sql() -> String {
+    let vals: Vec<String> = (0..96u32)
+        .map(|i| format!("'v{}'", (i * 5) % 997))
+        .collect();
+    format!(
+        "SELECT TableId, COUNT(DISTINCT CellValue) AS score FROM AllTables \
+         WHERE CellValue IN ({}) \
+         GROUP BY TableId, ColumnId \
+         ORDER BY COUNT(DISTINCT CellValue) DESC, TableId, ColumnId LIMIT 10",
+        vals.join(",")
+    )
+}
+
+/// Persistent-pool serving context: parked workers + admission budget.
+fn shared_ctx() -> Arc<ParallelCtx> {
+    Arc::new(ParallelCtx::with_admission(
+        THREADS,
+        MIN_PARALLEL,
+        MORSEL_LEN,
+        THREADS - 1,
+    ))
+}
+
+/// Scoped-baseline context: identical tuning, but every `run` spawns and
+/// joins its own threads and there is no machine-wide rationing — the
+/// pre-persistent design this bench measures against, where N in-flight
+/// queries oversubscribe to N x `THREADS` workers. The budget is sized so
+/// no query is ever denied (the old design had no admission control).
+fn scoped_ctx() -> Arc<ParallelCtx> {
+    Arc::new(ParallelCtx::with_pool(
+        WorkerPool::scoped(THREADS),
+        MIN_PARALLEL,
+        MORSEL_LEN,
+        Admission::new(IN_FLIGHT * THREADS),
+    ))
+}
+
+/// One storm: `IN_FLIGHT` threads x `QUERIES_PER_THREAD` queries against
+/// `engine`. Returns queries per second.
+fn storm_qps(engine: &SqlEngine, sql: &str) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..IN_FLIGHT {
+            scope.spawn(|| {
+                for _ in 0..QUERIES_PER_THREAD {
+                    std::hint::black_box(
+                        engine
+                            .execute_with_report_path(sql, ExecPath::Auto)
+                            .expect("SC query runs"),
+                    );
+                }
+            });
+        }
+    });
+    (IN_FLIGHT * QUERIES_PER_THREAD) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Median of `iters` samples of `f`.
+fn median_f64(iters: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(1)).map(|_| f()).collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Median single-query wall time, in nanoseconds.
+fn single_query_ns(iters: usize, engine: &SqlEngine, sql: &str) -> u64 {
+    median_f64(iters, || {
+        let t0 = Instant::now();
+        std::hint::black_box(
+            engine
+                .execute_with_report_path(sql, ExecPath::Auto)
+                .expect("SC query runs"),
+        );
+        t0.elapsed().as_nanos() as f64
+    }) as u64
+}
+
+/// Pull `flat_ns` for (engine, shape) out of `BENCH_join_group.json`
+/// without a JSON dependency (the file is emitted by our own bench, so
+/// the line shape is known).
+fn join_group_flat_ns(engine: &str, shape: &str) -> Option<u64> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_join_group.json");
+    let text = std::fs::read_to_string(path).ok()?;
+    let line = text
+        .lines()
+        .find(|l| l.contains(&format!("\"engine\": \"{engine}\"")) && l.contains(shape))?;
+    let tail = line.split("\"flat_ns\": ").nth(1)?;
+    tail.split(|c: char| !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
+}
+
+struct CaseResult {
+    engine: &'static str,
+    scoped_qps: f64,
+    shared_qps: f64,
+    scoped_single_ns: u64,
+    shared_single_ns: u64,
+}
+
+impl CaseResult {
+    fn speedup(&self) -> f64 {
+        self.shared_qps / self.scoped_qps.max(f64::MIN_POSITIVE)
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let iters = if smoke { 3 } else { 9 };
+    let rows = synthetic_rows(60, 120, 5); // 36_000 fact rows
+    let n_rows = rows.len();
+    let sql = sc_shape_sql();
+    println!(
+        "== bench `concurrent_queries` ({IN_FLIGHT} in-flight SC queries, {THREADS}-thread \
+         budget, {n_rows} rows{})",
+        if smoke { ", --test smoke mode" } else { "" }
+    );
+
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("concurrent_queries");
+    group.sample_size(if smoke { 2 } else { 10 });
+
+    let mut results: Vec<CaseResult> = Vec::new();
+    for kind in [EngineKind::Row, EngineKind::Column] {
+        let fact = build_engine(kind, rows.clone());
+        let label = kind.label().to_lowercase();
+
+        let sequential = SqlEngine::with_alltables(fact.clone())
+            .with_parallel(Arc::new(ParallelCtx::sequential()));
+        let shared = SqlEngine::with_alltables(fact.clone()).with_parallel(shared_ctx());
+        let scoped = SqlEngine::with_alltables(fact.clone()).with_parallel(scoped_ctx());
+
+        // Parity before timing: both pool backings must reproduce the
+        // sequential single-query result byte-for-byte.
+        let (want, want_rep) = sequential
+            .execute_with_report_path(&sql, ExecPath::Auto)
+            .expect("SC query runs");
+        assert_eq!(want_rep.path, "positional");
+        for (mode, engine) in [("shared", &shared), ("scoped", &scoped)] {
+            let (got, rep) = engine
+                .execute_with_report_path(&sql, ExecPath::Auto)
+                .expect("SC query runs");
+            assert_eq!(
+                got, want,
+                "{label}/{mode}: pooled result diverged from sequential"
+            );
+            assert!(
+                !rep.parallel.is_empty(),
+                "{label}/{mode}: phases must actually ride the pool at this size"
+            );
+        }
+
+        // Warm, then measure storms (median over iters).
+        let _ = storm_qps(&shared, &sql);
+        let _ = storm_qps(&scoped, &sql);
+        let shared_qps = median_f64(iters, || storm_qps(&shared, &sql));
+        let scoped_qps = median_f64(iters, || storm_qps(&scoped, &sql));
+
+        if !smoke {
+            group.bench_function(format!("{label}_storm_shared_pool"), |b| {
+                b.iter(|| storm_qps(&shared, &sql))
+            });
+            group.bench_function(format!("{label}_storm_scoped_baseline"), |b| {
+                b.iter(|| storm_qps(&scoped, &sql))
+            });
+        }
+
+        // Single-query latency: the persistent pool must cost nothing
+        // when the machine is otherwise idle.
+        let single_iters = if smoke { 9 } else { 31 };
+        let shared_single_ns = single_query_ns(single_iters, &shared, &sql);
+        let scoped_single_ns = single_query_ns(single_iters, &scoped, &sql);
+
+        let r = CaseResult {
+            engine: kind.label(),
+            scoped_qps,
+            shared_qps,
+            scoped_single_ns,
+            shared_single_ns,
+        };
+        println!(
+            "  -> {label}: storm {:.0} q/s scoped, {:.0} q/s shared ({:.2}x); \
+             single query {:.3}ms scoped, {:.3}ms shared",
+            r.scoped_qps,
+            r.shared_qps,
+            r.speedup(),
+            r.scoped_single_ns as f64 / 1e6,
+            r.shared_single_ns as f64 / 1e6,
+        );
+        results.push(r);
+    }
+    group.finish();
+
+    // Bar 1: the persistent shared pool beats per-query scoped spawning
+    // on concurrent throughput (column store) — >= 1.3x on a full run
+    // (~1.8x measured; recorded in the JSON below). Smoke mode measures
+    // storms with median-of-3 on whatever loaded CI runner it lands on,
+    // where scheduler noise can eat most of the margin — there the bar
+    // only rejects an outright loss (< 1.05x), while the parity checks
+    // above run at full strength either way.
+    let col = results
+        .iter()
+        .find(|r| r.engine == "Column")
+        .expect("column case ran");
+    let bar = if smoke { 1.05 } else { 1.3 };
+    assert!(
+        col.speedup() >= bar,
+        "column-store concurrent throughput speedup {:.2}x < {bar}x \
+         (scoped {:.0} q/s, shared {:.0} q/s)",
+        col.speedup(),
+        col.scoped_qps,
+        col.shared_qps
+    );
+
+    // Bar 2: no single-query latency regression from going persistent —
+    // in-process against the scoped baseline (25% noise allowance, 50%
+    // in smoke mode on shared runners)...
+    let latency_slack = if smoke { 1.5 } else { 1.25 };
+    for r in &results {
+        assert!(
+            (r.shared_single_ns as f64) <= latency_slack * r.scoped_single_ns as f64,
+            "{}: persistent pool regressed single-query latency: \
+             {:.3}ms shared vs {:.3}ms scoped",
+            r.engine,
+            r.shared_single_ns as f64 / 1e6,
+            r.scoped_single_ns as f64 / 1e6
+        );
+        // ...and a catastrophic-only guard against the recorded
+        // `BENCH_join_group.json` trajectory: the whole SC query (scan +
+        // group + sort) at `n_rows` must stay within a generous band of
+        // the recorded 150k-row flat group-phase time, scaled by rows.
+        if let Some(flat_ns) = join_group_flat_ns(r.engine, "sc_join_group") {
+            let scaled = flat_ns as f64 * (n_rows as f64 / 150_000.0);
+            let limit = (25.0 * scaled).max(20e6);
+            assert!(
+                (r.shared_single_ns as f64) <= limit,
+                "{}: single-query latency {:.3}ms blows the BENCH_join_group.json band \
+                 ({:.3}ms limit)",
+                r.engine,
+                r.shared_single_ns as f64 / 1e6,
+                limit / 1e6
+            );
+        }
+    }
+
+    // Machine-readable perf trajectory at the workspace root.
+    let mut json = String::from("{\n  \"bench\": \"concurrent_queries\",\n");
+    let _ = writeln!(json, "  \"rows\": {n_rows},");
+    let _ = writeln!(json, "  \"in_flight\": {IN_FLIGHT},");
+    let _ = writeln!(json, "  \"threads\": {THREADS},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"scoped_qps\": {:.1}, \"shared_qps\": {:.1}, \
+             \"speedup\": {:.3}, \"scoped_single_ns\": {}, \"shared_single_ns\": {}}}{}",
+            r.engine,
+            r.scoped_qps,
+            r.shared_qps,
+            r.speedup(),
+            r.scoped_single_ns,
+            r.shared_single_ns,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../BENCH_concurrent_queries.json");
+    std::fs::write(&out, json).expect("write BENCH_concurrent_queries.json");
+    println!("  wrote {}", out.display());
+}

@@ -11,10 +11,11 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use blend::{Blend, Plan, Seeker};
+use blend_bench::synthetic_rows;
 use blend_lake::{web, workloads, WebLakeConfig};
 use blend_parallel::ParallelCtx;
 use blend_sql::{ExecPath, SqlEngine};
-use blend_storage::{build_engine, EngineKind, FactRow};
+use blend_storage::{build_engine, EngineKind};
 
 fn bench_engines(c: &mut Criterion) {
     let lake = web::generate(&WebLakeConfig::gittables_like(0.05));
@@ -34,30 +35,6 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| col.execute(&plan).unwrap())
     });
     group.finish();
-}
-
-/// Deterministic fact table: `n_tables * rows_per * cols` index rows with a
-/// shared value vocabulary (so SC IN-lists hit many tables) and a numeric
-/// last column (so quadrant filters select real rows).
-fn synthetic_rows(n_tables: u32, rows_per: u32, cols: u32) -> Vec<FactRow> {
-    let mut out = Vec::with_capacity((n_tables * rows_per * cols) as usize);
-    for t in 0..n_tables {
-        for r in 0..rows_per {
-            for c in 0..cols {
-                let v = format!("v{}", (t * 7 + r * 3 + c * 11) % 997);
-                let quadrant = (c == cols - 1).then_some(r % 2 == 0);
-                out.push(FactRow::new(
-                    &v,
-                    t,
-                    c,
-                    r,
-                    ((t as u128) << 64) | r as u128,
-                    quadrant,
-                ));
-            }
-        }
-    }
-    out
 }
 
 /// SC-seeker SQL over a 60-value IN list (the paper's largest query size).
@@ -182,9 +159,10 @@ fn bench_thread_scaling(_c: &mut Criterion) {
                     .map(|n| format!("{:.2}ms", *n as f64 / 1e6))
                     .collect();
                 println!(
-                    "       {}: {} partitions, per-worker busy [{}]",
+                    "       {}: {} partitions, {} workers granted, per-worker busy [{}]",
                     phase.phase,
                     phase.partitions,
+                    phase.granted,
                     busy.join(", ")
                 );
             }

@@ -17,32 +17,9 @@ use std::time::Instant;
 
 use criterion::Criterion;
 
+use blend_bench::synthetic_rows;
 use blend_sql::plan::{fast_filters_pass, FastFilters};
-use blend_storage::{build_engine, EngineKind, FactRow, FactTable};
-
-/// Deterministic fact table: `n_tables * rows_per * cols` index rows with a
-/// shared `v0..v996` vocabulary and a numeric last column (mirrors the
-/// `positional_vs_tuple` bench data).
-fn synthetic_rows(n_tables: u32, rows_per: u32, cols: u32) -> Vec<FactRow> {
-    let mut out = Vec::with_capacity((n_tables * rows_per * cols) as usize);
-    for t in 0..n_tables {
-        for r in 0..rows_per {
-            for c in 0..cols {
-                let v = format!("v{}", (t * 7 + r * 3 + c * 11) % 997);
-                let quadrant = (c == cols - 1).then_some(r % 2 == 0);
-                out.push(FactRow::new(
-                    &v,
-                    t,
-                    c,
-                    r,
-                    ((t as u128) << 64) | r as u128,
-                    quadrant,
-                ));
-            }
-        }
-    }
-    out
-}
+use blend_storage::{build_engine, EngineKind, FactTable};
 
 /// The two filter mixes: a selective SC-style IN-list (~0.5% of rows) and a
 /// non-selective quadrant + table + rowid mix (~40% of rows).

@@ -31,35 +31,12 @@ use std::time::Instant;
 
 use criterion::Criterion;
 
+use blend_bench::synthetic_rows;
 use blend_common::{FxHashMap, FxHashSet};
 use blend_parallel::radix_partition;
 use blend_sql::hashtable::{GroupIndex, JoinTable};
 use blend_sql::SqlEngine;
-use blend_storage::{build_engine, EngineKind, FactRow, FactTable};
-
-/// Deterministic fact table: `n_tables * rows_per * cols` index rows with a
-/// shared `v0..v996` vocabulary and a numeric last column (mirrors the
-/// `filter_kernels` bench data).
-fn synthetic_rows(n_tables: u32, rows_per: u32, cols: u32) -> Vec<FactRow> {
-    let mut out = Vec::with_capacity((n_tables * rows_per * cols) as usize);
-    for t in 0..n_tables {
-        for r in 0..rows_per {
-            for c in 0..cols {
-                let v = format!("v{}", (t * 7 + r * 3 + c * 11) % 997);
-                let quadrant = (c == cols - 1).then_some(r % 2 == 0);
-                out.push(FactRow::new(
-                    &v,
-                    t,
-                    c,
-                    r,
-                    ((t as u128) << 64) | r as u128,
-                    quadrant,
-                ));
-            }
-        }
-    }
-    out
-}
+use blend_storage::{build_engine, EngineKind, FactTable};
 
 /// Median-of-`iters` wall time.
 fn time_ns(iters: usize, mut f: impl FnMut() -> usize) -> u64 {

@@ -1,0 +1,29 @@
+//! Shared synthetic fact-table data for the Criterion-style benches.
+
+use blend_storage::FactRow;
+
+/// Deterministic fact table: `n_tables * rows_per * cols` index rows with a
+/// shared `v0..v996` vocabulary and a numeric last column (quadrant bits on
+/// even rows). One definition serves every bench (`engines`,
+/// `filter_kernels`, `join_group`, `concurrent_queries`) so their data
+/// shapes cannot silently diverge.
+pub fn synthetic_rows(n_tables: u32, rows_per: u32, cols: u32) -> Vec<FactRow> {
+    let mut out = Vec::with_capacity((n_tables * rows_per * cols) as usize);
+    for t in 0..n_tables {
+        for r in 0..rows_per {
+            for c in 0..cols {
+                let v = format!("v{}", (t * 7 + r * 3 + c * 11) % 997);
+                let quadrant = (c == cols - 1).then_some(r % 2 == 0);
+                out.push(FactRow::new(
+                    &v,
+                    t,
+                    c,
+                    r,
+                    ((t as u128) << 64) | r as u128,
+                    quadrant,
+                ));
+            }
+        }
+    }
+    out
+}

@@ -6,6 +6,7 @@
 //! from the `BLEND_SCALE` environment variable so the same harness runs as
 //! a quick smoke test or a longer, more faithful sweep.
 
+pub mod data;
 pub mod federated;
 pub mod harness;
 pub mod loc;
@@ -25,4 +26,5 @@ pub mod experiments {
     pub mod table8;
 }
 
+pub use data::synthetic_rows;
 pub use harness::{scale_from_env, Timer};

@@ -114,9 +114,13 @@ impl Blend {
 
     /// Attach with explicit options.
     pub fn with_options(fact: Arc<dyn FactTable>, options: BlendOptions) -> Self {
-        let parallel = Arc::new(ParallelCtx::from_env());
+        // The engine already carries the process-shared context
+        // (`ParallelCtx::shared_from_env`); reuse its Arc rather than
+        // constructing a second one — exactly one pool exists per process.
+        let engine = SqlEngine::with_alltables(fact);
+        let parallel = engine.parallel_ctx().clone();
         Blend {
-            engine: SqlEngine::with_alltables(fact).with_parallel(parallel.clone()),
+            engine,
             options,
             cost_models: parking_lot::RwLock::new(CostModelSet::default()),
             parallel,

@@ -137,7 +137,10 @@ impl IndexBuilder {
             .filter(|bin| !bin.is_empty())
             .collect();
 
-        let pool = blend_parallel::WorkerPool::new(threads);
+        // Ride the process-global persistent pool (capped at this build's
+        // thread budget) instead of spawning a dedicated pool per build —
+        // index builds and query serving share one worker set.
+        let pool = blend_parallel::WorkerPool::shared(threads);
         let run = pool.run(bins.len(), |b| {
             bins[b]
                 .iter()

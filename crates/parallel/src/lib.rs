@@ -1,12 +1,48 @@
-//! # blend-parallel — morsel-driven parallel execution
+//! # blend-parallel — persistent pool, admission control, morsel execution
 //!
 //! BLEND's pitch is that every discovery task compiles to a handful of SQL
 //! shapes over one fact table, which means one well-parallelized executor
-//! speeds up *every* seeker at once. This crate is that shared substrate:
-//! a reusable scoped worker pool plus the partitioning arithmetic the
-//! executor, the index builder, and future scale work (sharding, batching,
-//! concurrent query serving) all build on. Nothing here knows about SQL or
+//! speeds up *every* seeker at once — and discovery is an interactive,
+//! many-users workload, so many of those queries are in flight at once.
+//! This crate is the shared substrate for both facts: a **persistent
+//! worker pool** serving every query in the process, an **admission
+//! controller** rationing it, and the partitioning arithmetic the
+//! executor, the index builder, and future scale work (sharding, async
+//! serving, caching) all build on. Nothing here knows about SQL or
 //! storage — consumers bring their own work items.
+//!
+//! ## The persistent pool
+//!
+//! Workers are long-lived OS threads parked on a shared injector queue
+//! ([`WorkerPool`]); spawn-per-run is gone. Each [`run`](WorkerPool::run)
+//! submits one batch, idle workers claim helper slots on it, and the
+//! calling thread always serves its own batch too — so a run can never
+//! deadlock on a busy pool, it just degrades toward running inline. Tasks
+//! may still borrow the caller's stack exactly as under the old scoped
+//! design: the batch is bridged to the workers through a scoped handoff
+//! (`run` returns only after every participating worker has left the
+//! batch), so `run`/`run_with`/`map` keep their signatures and callers
+//! compiled unchanged. A panicking task poisons only its own `run` call —
+//! the panic propagates to that caller after the batch drains, and the
+//! workers survive to serve the next batch.
+//!
+//! Handles are cheap views: [`WorkerPool::shared`] points every engine in
+//! the process at one global core, [`WorkerPool::with_width`] narrows a
+//! handle to an admitted width, and [`WorkerPool::scoped`] retains the old
+//! spawn-per-run design as the measured baseline.
+//!
+//! ## Admission control
+//!
+//! With one pool serving N concurrent queries, the scarce resource is
+//! worker time. [`Admission`] holds a machine-wide budget of helper-worker
+//! tokens (`BLEND_MAX_CONCURRENT_GRANTS`, default `threads - 1`); every
+//! parallel phase asks [`ParallelCtx::admit`] for a [`PhaseGrant`] before
+//! fanning out and releases it when the phase ends. Under load a phase
+//! receives fewer workers than it wanted — down to `None`, the sequential
+//! fallback on the query's own thread — so heavy traffic *degrades
+//! gracefully* instead of oversubscribing: total thread pressure is
+//! bounded by callers + budget at every instant. Grants are surfaced per
+//! phase in `QueryReport::parallel` telemetry.
 //!
 //! ## The morsel/merge model
 //!
@@ -20,8 +56,9 @@
 //! sequential pass over the same segments would produce. That
 //! order-preserving merge is the invariant the whole subsystem leans on:
 //! parallel execution is byte-identical to sequential execution, at every
-//! thread count, which keeps results reproducible and lets a single parity
-//! suite guard every phase.
+//! thread count *and under every admission grant*, which keeps results
+//! reproducible under concurrency and lets a single parity suite guard
+//! every phase.
 //!
 //! The same recipe covers the executor's three phases:
 //!
@@ -39,9 +76,16 @@
 //!
 //! ## Components
 //!
-//! * [`WorkerPool`] — scoped threads (built on the vendored
-//!   `crossbeam::thread::scope`) running `n` indexed tasks with dynamic
+//! * [`WorkerPool`] — persistent shared worker pool (dedicated, global, or
+//!   scoped-baseline backing) running `n` indexed tasks with dynamic
 //!   claiming; returns results in task order plus per-worker busy times.
+//! * [`Admission`] / [`AdmissionGrant`] — the machine-wide token budget and
+//!   its RAII grant.
+//! * [`ParallelCtx`] / [`PhaseGrant`] — the shared knob set (thread count,
+//!   morsel length, sequential-fallback threshold, admission) handed down
+//!   from plan execution to every phase. [`ParallelCtx::shared_from_env`]
+//!   is the one context engines share, so exactly one pool exists per
+//!   process.
 //! * [`morsel`] — [`morselize`](morsel::morselize) (segment → morsel
 //!   splitting), [`split_even`](morsel::split_even) (row-count-balanced
 //!   contiguous ranges), and [`balanced_chunks`](morsel::balanced_chunks)
@@ -50,19 +94,17 @@
 //! * [`radix`] — [`radix_partition`](radix::radix_partition) (two-pass
 //!   counting sort grouping items by partition id, ascending within each
 //!   partition) and [`partition_count`](radix::partition_count) (the
-//!   thread-count → radix-fanout policy), used by the flat join/group
+//!   worker-count → radix-fanout policy), used by the flat join/group
 //!   operators.
-//! * [`ParallelCtx`] — the shared knob set (thread count, morsel length,
-//!   sequential-fallback threshold) handed down from plan execution to
-//!   every phase. `threads == 1` or inputs below the threshold take the
-//!   sequential path, so single-threaded deployments pay nothing.
 
+pub mod admission;
 pub mod ctx;
 pub mod morsel;
 pub mod pool;
 pub mod radix;
 
-pub use ctx::ParallelCtx;
+pub use admission::{Admission, AdmissionGrant, GRANTS_ENV};
+pub use ctx::{ParallelCtx, PhaseGrant, THREADS_ENV};
 pub use morsel::{balanced_chunks, morselize, split_even, Morsel};
 pub use pool::{PoolRun, WorkerPool};
 pub use radix::{partition_count, radix_partition, RadixPartitions};

@@ -68,9 +68,12 @@ impl Catalog for Database {
 pub struct SqlEngine {
     db: Database,
     /// Shared worker-pool context the positional executor rides. Defaults
-    /// to [`ParallelCtx::from_env`] (`BLEND_THREADS` override); one `Arc`
-    /// is shared by every query this engine executes — and, through
-    /// [`Blend`](https://docs.rs/blend), by every seeker of a plan.
+    /// to [`ParallelCtx::shared_from_env`] (`BLEND_THREADS` /
+    /// `BLEND_MAX_CONCURRENT_GRANTS` overrides): every engine in the
+    /// process shares **one** persistent pool and admission budget, so
+    /// concurrent queries — across engines and, through
+    /// [`Blend`](https://docs.rs/blend), across every seeker of a plan —
+    /// draw from a single machine-wide thread allotment.
     parallel: Arc<ParallelCtx>,
 }
 
@@ -79,7 +82,7 @@ impl SqlEngine {
     pub fn new(db: Database) -> Self {
         SqlEngine {
             db,
-            parallel: Arc::new(ParallelCtx::from_env()),
+            parallel: ParallelCtx::shared_from_env(),
         }
     }
 

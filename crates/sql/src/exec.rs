@@ -37,14 +37,20 @@ pub struct ScanReport {
 
 /// Parallel-execution telemetry for one positional-executor phase that ran
 /// on the worker pool. Sequential fallbacks record nothing, so a
-/// `BLEND_THREADS=1` run has an empty [`QueryReport::parallel`].
+/// `BLEND_THREADS=1` run — or a phase denied by admission control under
+/// concurrent load — leaves no entry here.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParallelPhase {
     /// Phase label: `scan:<alias>`, `join-build`, `join-probe`, `group`.
     pub phase: String,
     /// Number of work partitions (morsels or contiguous chunks).
     pub partitions: usize,
-    /// Busy wall-clock time per pool worker, in nanoseconds.
+    /// Workers the admission controller granted this phase, **including
+    /// the calling thread**. Equals the context's thread budget when the
+    /// machine is idle; smaller under concurrent load (the machine-wide
+    /// token budget is shared by every in-flight query).
+    pub granted: usize,
+    /// Busy wall-clock time per participating worker, in nanoseconds.
     pub worker_nanos: Vec<u64>,
 }
 

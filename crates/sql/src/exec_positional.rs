@@ -78,10 +78,11 @@
 //!
 //! ## Parallel execution
 //!
-//! All three phases ride the shared [`ParallelCtx`] worker pool
-//! (morsel-partitioned, see the `blend-parallel` crate docs), each with an
-//! order-preserving strategy that makes parallel output **byte-identical**
-//! to the sequential path at every thread count:
+//! All three phases ride the **persistent shared worker pool** through
+//! admission-controlled per-phase grants ([`ParallelCtx::admit`]; see the
+//! `blend-parallel` crate docs), each with an order-preserving strategy
+//! that makes parallel output **byte-identical** to the sequential path at
+//! every thread count and under every grant size:
 //!
 //! * scans split postings/table ranges into morsels and concatenate the
 //!   per-morsel position lists in morsel order;
@@ -99,9 +100,14 @@
 //!   (ungrouped) aggregation still chunk-merges, gated on exactly-merging
 //!   aggregates (see `PosAggSpec::merge_exact`).
 //!
-//! With `threads == 1` (`BLEND_THREADS=1`) or inputs under the morsel
-//! threshold, every phase takes its plain sequential loop. Pool-backed
-//! phases record partition counts and per-worker timings in
+//! With `threads == 1` (`BLEND_THREADS=1`), inputs under the morsel
+//! threshold, or the machine-wide admission budget exhausted by other
+//! in-flight queries (`BLEND_MAX_CONCURRENT_GRANTS`), every phase takes
+//! its plain sequential loop on the query's own thread — concurrent load
+//! degrades worker counts gracefully instead of oversubscribing, and
+//! partitioning follows the *granted* width, which the order-preserving
+//! merges make invisible in the output. Pool-backed phases record
+//! partition counts, granted workers, and per-worker timings in
 //! [`QueryReport::parallel`].
 
 use std::sync::Arc;
@@ -809,19 +815,21 @@ fn exec_scan(
     };
 
     let total: usize = segs.iter().map(Seg::len).sum();
-    // A single morsel would run inline on the calling thread; only a real
-    // multi-morsel run takes the pool (and records a parallel phase).
-    let morsels = if par.should_parallelize(total) {
+    // Admission: a multi-morsel scan asks the controller for workers; an
+    // empty grant (threads == 1, tiny input, or the budget held by other
+    // in-flight queries) means the scan runs inline on the calling thread.
+    // A single morsel would run inline anyway, so its grant is returned
+    // immediately.
+    let admitted = par.admit(total).and_then(|grant| {
         let lens: Vec<usize> = segs.iter().map(Seg::len).collect();
-        Some(morselize(&lens, par.morsel_len()))
-    } else {
-        None
-    };
-    match morsels {
-        Some(morsels) if morsels.len() > 1 => {
+        let morsels = morselize(&lens, par.morsel_len());
+        (morsels.len() > 1).then_some((grant, morsels))
+    });
+    match admitted {
+        Some((grant, morsels)) => {
             // Per-worker scratch: selection-vector capacity is allocated
             // once per worker, not once per morsel.
-            let run = par
+            let run = grant
                 .pool()
                 .run_with(morsels.len(), ScanScratch::default, |scratch, i| {
                     let mut local = Vec::new();
@@ -836,6 +844,7 @@ fn exec_scan(
             report.parallel.push(ParallelPhase {
                 phase: format!("scan:{}", scan.alias),
                 partitions: morsels.len(),
+                granted: grant.granted(),
                 worker_nanos: run.worker_nanos,
             });
         }
@@ -1028,31 +1037,40 @@ fn join_flat<K: JoinKey>(
 ) -> (Vec<u32>, usize) {
     let n_build = build.len();
     let t0 = Instant::now();
-    let n_parts = if par.should_parallelize(n_build) {
-        partition_count(par.pool().threads())
-    } else {
-        1
-    };
+    // Admission for the build phase: the radix fanout is sized from the
+    // *granted* worker count, so a degraded grant builds fewer partitions
+    // (the output is partition-count-invariant either way). The grant is
+    // released when `build_grant` drops, before the probe phase asks for
+    // its own.
+    let build_grant = par.admit(n_build);
+    let n_parts = build_grant
+        .as_ref()
+        .map_or(1, |g| partition_count(g.granted()));
     let pmask = (n_parts - 1) as u64;
 
     let flat_tables: Vec<JoinTable> = if n_parts == 1 {
         vec![JoinTable::build(build_keys, None)]
     } else {
+        let grant = build_grant
+            .as_ref()
+            .expect("n_parts > 1 only under a grant");
         // Radix-partition build rows by the low hash bits; each partition's
         // row list is ascending, so per-key match runs stay ascending.
         let hashes: Vec<u64> = build_keys.iter().map(|k| k.hash64()).collect();
         let parts: Vec<u32> = hashes.iter().map(|&h| (h & pmask) as u32).collect();
         let rp = radix_partition(&parts, n_parts);
-        let run = par.pool().run(n_parts, |p| {
+        let run = grant.pool().run(n_parts, |p| {
             JoinTable::build_prehashed(&hashes, Some(rp.part(p)))
         });
         report.parallel.push(ParallelPhase {
             phase: "join-build".to_string(),
             partitions: n_parts,
+            granted: grant.granted(),
             worker_nanos: run.worker_nanos,
         });
         run.results
     };
+    drop(build_grant);
     report.hash_tables.push(HashTableStats {
         phase: "join".to_string(),
         build_nanos: t0.elapsed().as_nanos() as u64,
@@ -1094,9 +1112,9 @@ fn join_flat<K: JoinKey>(
         (out, n_out)
     };
 
-    if par.should_parallelize(probe.len()) {
-        let chunks = split_even(probe.len(), par.pool().threads());
-        let run = par
+    if let Some(grant) = par.admit(probe.len()) {
+        let chunks = split_even(probe.len(), grant.granted());
+        let run = grant
             .pool()
             .run(chunks.len(), |ci| probe_chunk(chunks[ci].clone()));
         let mut out = Vec::with_capacity(run.results.iter().map(|(o, _)| o.len()).sum());
@@ -1108,6 +1126,7 @@ fn join_flat<K: JoinKey>(
         report.parallel.push(ParallelPhase {
             phase: "join-probe".to_string(),
             partitions: chunks.len(),
+            granted: grant.granted(),
             worker_nanos: run.worker_nanos,
         });
         (out, n_out)
@@ -1223,11 +1242,10 @@ fn group_keyed<'a, K: JoinKey>(
 ) -> Vec<Tuple> {
     let n_rows = packed.len();
     let t0 = Instant::now();
-    let n_parts = if par.should_parallelize(n_rows) {
-        partition_count(par.pool().threads())
-    } else {
-        1
-    };
+    // Admission for the grouping phase: fanout follows the granted worker
+    // count; an empty grant takes the single-partition sequential path.
+    let grant = par.admit(n_rows);
+    let n_parts = grant.as_ref().map_or(1, |g| partition_count(g.granted()));
 
     if n_parts == 1 {
         let (groups, slots, max_probe) = group_partition(
@@ -1248,11 +1266,12 @@ fn group_keyed<'a, K: JoinKey>(
     // groups outright, and within a partition rows keep ascending global
     // order, so every group's aggregates see the exact sequential update
     // sequence.
+    let grant = grant.expect("n_parts > 1 only under a grant");
     let pmask = (n_parts - 1) as u64;
     let hashes: Vec<u64> = packed.iter().map(|k| k.hash64()).collect();
     let parts: Vec<u32> = hashes.iter().map(|&h| (h & pmask) as u32).collect();
     let rp = radix_partition(&parts, n_parts);
-    let run = par.pool().run(n_parts, |p| {
+    let run = grant.pool().run(n_parts, |p| {
         group_partition(
             packed,
             Some(&hashes),
@@ -1268,6 +1287,7 @@ fn group_keyed<'a, K: JoinKey>(
     report.parallel.push(ParallelPhase {
         phase: "group".to_string(),
         partitions: n_parts,
+        granted: grant.granted(),
         worker_nanos: run.worker_nanos,
     });
 
@@ -1583,17 +1603,24 @@ fn group_global<'a>(
         acc
     };
 
-    let parallel =
-        par.should_parallelize(n_rows) && shape.aggs.iter().all(|s| s.merge_exact(agg_plans));
-    let acc: Vec<GlobalAccum<'a>> = if parallel {
-        let chunks = split_even(n_rows, par.pool().threads());
+    // Chunk-merging is only exact for the merge-exact aggregate set, so
+    // admission is consulted only when the result cannot depend on it.
+    let grant = shape
+        .aggs
+        .iter()
+        .all(|s| s.merge_exact(agg_plans))
+        .then(|| par.admit(n_rows))
+        .flatten();
+    let acc: Vec<GlobalAccum<'a>> = if let Some(grant) = grant {
+        let chunks = split_even(n_rows, grant.granted());
         if chunks.len() > 1 {
-            let run = par
+            let run = grant
                 .pool()
                 .run(chunks.len(), |ci| accum_chunk(chunks[ci].clone()));
             report.parallel.push(ParallelPhase {
                 phase: "group".to_string(),
                 partitions: chunks.len(),
+                granted: grant.granted(),
                 worker_nanos: run.worker_nanos,
             });
             let mut results = run.results.into_iter();
