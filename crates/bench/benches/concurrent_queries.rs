@@ -14,7 +14,8 @@
 //! Every configuration is parity-checked first (shared-pool and scoped
 //! results must equal the sequential single-query run byte-for-byte).
 //! Measured numbers land in `BENCH_concurrent_queries.json` at the
-//! workspace root. Acceptance bars held here:
+//! workspace root, and the serving-tier scenario (bounded queue, mixed
+//! deadlines, overload shedding) lands in `BENCH_serving_storm.json`. Acceptance bars held here:
 //!
 //! * shared persistent pool >= 1.3x scoped-baseline throughput at
 //!   `IN_FLIGHT` concurrent queries on the column store;
@@ -33,7 +34,9 @@ use std::time::Instant;
 use criterion::Criterion;
 
 use blend_bench::synthetic_rows;
-use blend_parallel::{Admission, ParallelCtx, WorkerPool};
+use blend_common::BlendError;
+use blend_parallel::{Admission, Deadline, ParallelCtx, WorkerPool};
+use blend_serve::{ServeConfig, ServeQueue};
 use blend_sql::{ExecPath, SqlEngine};
 use blend_storage::{build_engine, EngineKind};
 
@@ -144,6 +147,92 @@ fn join_group_flat_ns(engine: &str, shape: &str) -> Option<u64> {
         .ok()
 }
 
+/// Serving-tier scenario: a bounded [`ServeQueue`] in front of the shared
+/// engine, offered 2x queue-depth waves with a third of the load on tiny
+/// deadlines. Records throughput of completed requests plus typed-outcome
+/// counts (ok / timeout / cancelled / shed) for the perf trajectory.
+struct ServingStormResult {
+    engine: &'static str,
+    offered: usize,
+    ok: usize,
+    timeouts: usize,
+    shed: usize,
+    other_errors: usize,
+    ok_qps: f64,
+    median_ok_wait_ns: u64,
+}
+
+fn serving_storm(
+    engine: Arc<SqlEngine>,
+    label: &'static str,
+    sql: &str,
+    waves: usize,
+) -> ServingStormResult {
+    const DEPTH: usize = 4;
+    let queue = ServeQueue::new(
+        engine,
+        ServeConfig {
+            depth: DEPTH,
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let mut ok = 0usize;
+    let mut timeouts = 0usize;
+    let mut shed = 0usize;
+    let mut other_errors = 0usize;
+    let mut ok_waits_ns: Vec<u64> = Vec::new();
+    let t0 = Instant::now();
+    for wave in 0..waves {
+        // 2x queue depth offered at once; every third request gets a
+        // deliberately hopeless 1 ms budget so deadline handling is on the
+        // measured path, the rest a generous one.
+        let tickets: Vec<_> = (0..2 * DEPTH)
+            .map(|i| {
+                let deadline = if (i + wave) % 3 == 0 {
+                    Deadline::after(std::time::Duration::from_millis(1))
+                } else {
+                    Deadline::after(std::time::Duration::from_secs(30))
+                };
+                queue.submit(sql, deadline)
+            })
+            .collect();
+        for ticket in tickets {
+            match ticket.and_then(|t| t.wait()) {
+                Ok((rs, report)) => {
+                    std::hint::black_box(rs);
+                    ok += 1;
+                    if let Some(serving) = report.serving {
+                        ok_waits_ns.push(serving.queue_wait_nanos);
+                    }
+                }
+                Err(BlendError::Timeout(_)) => timeouts += 1,
+                Err(BlendError::Overloaded(_)) => shed += 1,
+                Err(_) => other_errors += 1,
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let offered = waves * 2 * DEPTH;
+    assert_eq!(
+        ok + timeouts + shed + other_errors,
+        offered,
+        "{label}: serving storm lost a request"
+    );
+    assert!(ok > 0, "{label}: serving storm completed nothing");
+    ok_waits_ns.sort_unstable();
+    ServingStormResult {
+        engine: label,
+        offered,
+        ok,
+        timeouts,
+        shed,
+        other_errors,
+        ok_qps: ok as f64 / elapsed,
+        median_ok_wait_ns: ok_waits_ns.get(ok_waits_ns.len() / 2).copied().unwrap_or(0),
+    }
+}
+
 struct CaseResult {
     engine: &'static str,
     scoped_qps: f64,
@@ -175,6 +264,7 @@ fn main() {
     group.sample_size(if smoke { 2 } else { 10 });
 
     let mut results: Vec<CaseResult> = Vec::new();
+    let mut serving_results: Vec<ServingStormResult> = Vec::new();
     for kind in [EngineKind::Row, EngineKind::Column] {
         let fact = build_engine(kind, rows.clone());
         let label = kind.label().to_lowercase();
@@ -242,6 +332,23 @@ fn main() {
             r.shared_single_ns as f64 / 1e6,
         );
         results.push(r);
+
+        // Serving-tier storm on the shared persistent pool.
+        let serve_engine =
+            Arc::new(SqlEngine::with_alltables(fact.clone()).with_parallel(shared_ctx()));
+        let sr = serving_storm(serve_engine, kind.label(), &sql, if smoke { 2 } else { 6 });
+        println!(
+            "  -> {label} serving storm: {} offered, {} ok ({:.0} q/s), {} timeout, \
+             {} shed, {} failed; median ok queue wait {:.3}ms",
+            sr.offered,
+            sr.ok,
+            sr.ok_qps,
+            sr.timeouts,
+            sr.shed,
+            sr.other_errors,
+            sr.median_ok_wait_ns as f64 / 1e6,
+        );
+        serving_results.push(sr);
     }
     group.finish();
 
@@ -322,5 +429,38 @@ fn main() {
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../../BENCH_concurrent_queries.json");
     std::fs::write(&out, json).expect("write BENCH_concurrent_queries.json");
+    println!("  wrote {}", out.display());
+
+    // Serving-tier trajectory: typed-outcome mix and completed-request
+    // throughput through the bounded queue.
+    let mut json = String::from("{\n  \"bench\": \"serving_storm\",\n");
+    let _ = writeln!(json, "  \"rows\": {n_rows},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in serving_results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"offered\": {}, \"ok\": {}, \"timeouts\": {}, \
+             \"shed\": {}, \"other_errors\": {}, \"ok_qps\": {:.1}, \
+             \"median_ok_wait_ns\": {}}}{}",
+            r.engine,
+            r.offered,
+            r.ok,
+            r.timeouts,
+            r.shed,
+            r.other_errors,
+            r.ok_qps,
+            r.median_ok_wait_ns,
+            if i + 1 < serving_results.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let out =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serving_storm.json");
+    std::fs::write(&out, json).expect("write BENCH_serving_storm.json");
     println!("  wrote {}", out.display());
 }

@@ -27,6 +27,13 @@ pub enum BlendError {
     Index(String),
     /// I/O wrapper (kept as a string so the error stays `Clone + Eq`).
     Io(String),
+    /// A request's deadline expired before it finished (while queued,
+    /// waiting for admission, or mid-execution).
+    Timeout(String),
+    /// A request was cancelled cooperatively via its cancellation token.
+    Cancelled(String),
+    /// The serving tier shed the request: the bounded queue was full.
+    Overloaded(String),
 }
 
 impl fmt::Display for BlendError {
@@ -39,6 +46,9 @@ impl fmt::Display for BlendError {
             BlendError::InvalidInput(m) => write!(f, "invalid input: {m}"),
             BlendError::Index(m) => write!(f, "index error: {m}"),
             BlendError::Io(m) => write!(f, "I/O error: {m}"),
+            BlendError::Timeout(m) => write!(f, "deadline exceeded: {m}"),
+            BlendError::Cancelled(m) => write!(f, "cancelled: {m}"),
+            BlendError::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }
@@ -61,6 +71,22 @@ mod tests {
         assert_eq!(e.to_string(), "SQL parse error: unexpected token `FROM`");
         let e = BlendError::PlanInvalid("cycle detected".into());
         assert!(e.to_string().contains("cycle detected"));
+    }
+
+    #[test]
+    fn serving_variants_display_their_component() {
+        assert_eq!(
+            BlendError::Timeout("queued 5ms past deadline".into()).to_string(),
+            "deadline exceeded: queued 5ms past deadline"
+        );
+        assert_eq!(
+            BlendError::Cancelled("client went away".into()).to_string(),
+            "cancelled: client went away"
+        );
+        assert_eq!(
+            BlendError::Overloaded("queue full (depth 4)".into()).to_string(),
+            "overloaded: queue full (depth 4)"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use std::time::{Duration, Instant};
 
 use blend_common::{FxHashMap, FxHashSet, Result};
+use blend_parallel::Interrupt;
 
 use crate::combiners::{self, TableHit};
 use crate::optimizer;
@@ -91,10 +92,25 @@ struct Ctx<'a> {
     consumers: FxHashMap<String, usize>,
     memo: FxHashMap<String, Vec<TableHit>>,
     report: ExecutionReport,
+    interrupt: Interrupt,
 }
 
 /// Execute a validated plan.
 pub fn execute(blend: &Blend, plan: &Plan) -> Result<(Vec<TableHit>, ExecutionReport)> {
+    execute_interruptible(blend, plan, Interrupt::never())
+}
+
+/// Execute a validated plan under a cancellation/deadline [`Interrupt`].
+///
+/// The interrupt is checked at every seeker boundary (before each plan node
+/// evaluates) and is threaded into every seeker's SQL execution, so a
+/// cancelled or expired plan unwinds with a typed
+/// `BlendError::{Cancelled, Timeout}` and no partial hit list.
+pub fn execute_interruptible(
+    blend: &Blend,
+    plan: &Plan,
+    interrupt: Interrupt,
+) -> Result<(Vec<TableHit>, ExecutionReport)> {
     let sink = plan.validate()?.to_string();
     let consumers: FxHashMap<String, usize> = plan
         .consumers()
@@ -110,6 +126,7 @@ pub fn execute(blend: &Blend, plan: &Plan) -> Result<(Vec<TableHit>, ExecutionRe
             optimized: blend.options().optimize,
             ..Default::default()
         },
+        interrupt,
     };
     let start = Instant::now();
     let hits = eval(&mut ctx, &sink, None)?;
@@ -133,6 +150,9 @@ fn intersect_sets(acc: Option<Vec<u32>>, next: &[TableHit]) -> Vec<u32> {
 }
 
 fn eval(ctx: &mut Ctx<'_>, id: &str, injected: Option<Injected>) -> Result<Vec<TableHit>> {
+    // Seeker boundary: a cancelled/expired plan stops before starting the
+    // next operator instead of running the whole DAG to completion.
+    ctx.interrupt.check()?;
     // Injections are only legal for single-consumer nodes; the caller
     // guarantees it, but memoization must stay injection-free.
     if injected.is_none() {
@@ -149,7 +169,7 @@ fn eval(ctx: &mut Ctx<'_>, id: &str, injected: Option<Injected>) -> Result<Vec<T
     let hits = match node {
         Node::Seeker { seeker, k } => {
             let start = Instant::now();
-            let run = seekers::run(ctx.blend, &seeker, k, injected.as_ref())?;
+            let run = seekers::run(ctx.blend, &seeker, k, injected.as_ref(), &ctx.interrupt)?;
             ctx.report.ops.push(OpExecution {
                 id: id.to_string(),
                 op: seeker.label().to_string(),

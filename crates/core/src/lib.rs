@@ -56,7 +56,7 @@ pub use exec::{ExecutionReport, OpExecution};
 pub use optimizer::costmodel::{CostModelSet, SeekerFeatures};
 pub use plan::{Combiner, Plan, Seeker};
 
-pub use blend_parallel::ParallelCtx;
+pub use blend_parallel::{CancellationToken, Deadline, Interrupt, ParallelCtx};
 
 /// How seekers inside an execution group are ordered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,5 +208,16 @@ impl Blend {
     /// Execute a plan with per-operator telemetry.
     pub fn execute_with_report(&self, plan: &Plan) -> Result<(Vec<TableHit>, ExecutionReport)> {
         exec::execute(self, plan)
+    }
+
+    /// Execute a plan under a cancellation/deadline [`Interrupt`]. Checked
+    /// at every seeker boundary and inside every SQL phase; an interrupted
+    /// plan returns `BlendError::{Cancelled, Timeout}` with no partial hits.
+    pub fn execute_interruptible(
+        &self,
+        plan: &Plan,
+        interrupt: Interrupt,
+    ) -> Result<(Vec<TableHit>, ExecutionReport)> {
+        exec::execute_interruptible(self, plan, interrupt)
     }
 }

@@ -228,7 +228,7 @@ fn to_model(w: Vec<f64>) -> LinearModel {
 fn measure(blend: &Blend, seeker: &Seeker) -> Option<(SeekerFeatures, f64)> {
     let f = features(blend, seeker);
     let start = Instant::now();
-    let run = seekers::run(blend, seeker, 10, None).ok()?;
+    let run = seekers::run(blend, seeker, 10, None, &blend_parallel::Interrupt::never()).ok()?;
     let micros = start.elapsed().as_secs_f64() * 1e6;
     let _ = run;
     Some((f, micros))

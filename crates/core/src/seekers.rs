@@ -3,7 +3,8 @@
 
 use blend_common::{stats::mean, text, FxHashMap, FxHashSet, Result, TableId};
 use blend_index::Xash;
-use blend_sql::{ResultSet, SqlValue};
+use blend_parallel::Interrupt;
+use blend_sql::{ExecPath, ResultSet, SqlValue};
 
 use crate::combiners::TableHit;
 use crate::plan::Seeker;
@@ -219,6 +220,7 @@ pub fn run(
     seeker: &Seeker,
     k: usize,
     injected: Option<&Injected>,
+    interrupt: &Interrupt,
 ) -> Result<SeekerRun> {
     // Short-circuit: an empty intersection filter can never match.
     if let Some(Injected::In(ids)) = injected {
@@ -234,7 +236,10 @@ pub fn run(
     let fragment = injected.map(Injected::fragment).unwrap_or_default();
     let sql = template.replace(TID_PLACEHOLDER, &fragment);
 
-    let rs = blend.engine().execute(&sql)?;
+    let rs = blend
+        .engine()
+        .execute_interruptible(&sql, ExecPath::Auto, interrupt.clone())
+        .map(|(rs, _)| rs)?;
     let (hits, mc_stats) = match seeker {
         Seeker::Sc { .. } | Seeker::Kw { .. } => (dedup_table_scores(&rs, k), None),
         Seeker::Mc { rows } => {

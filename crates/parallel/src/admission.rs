@@ -22,7 +22,11 @@
 //!   sequences never exceed the budget and always drain.
 
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
+use blend_common::Result;
+
+use crate::cancel::Interrupt;
 use crate::pool::lock_clean;
 
 /// Environment variable overriding the process-wide admission budget (the
@@ -99,6 +103,51 @@ impl Admission {
             admission: Some(self.clone()),
             tokens,
         }
+    }
+
+    /// [`acquire`](Admission::acquire) bounded by an [`Interrupt`]: blocks
+    /// until at least one token is free, the deadline expires, or the
+    /// token is cancelled — whichever comes first. Returns the typed
+    /// `Err(Timeout)` / `Err(Cancelled)` instead of waiting forever, and
+    /// never holds tokens on the error path (the grant is only assembled
+    /// after a successful wait, so nothing can leak).
+    ///
+    /// Like the other modes, `desired == 0` or a zero budget returns an
+    /// empty grant immediately — a degenerate controller must not turn
+    /// every request into a timeout.
+    pub fn acquire_within(
+        self: &Arc<Self>,
+        desired: usize,
+        interrupt: &Interrupt,
+    ) -> Result<AdmissionGrant> {
+        if desired == 0 || self.budget == 0 {
+            return Ok(AdmissionGrant::empty());
+        }
+        // Poll the interrupt at least this often even while blocked, so a
+        // cancel (which has no wakeup edge on this condvar) is observed
+        // promptly rather than only on the next release.
+        const CANCEL_POLL: Duration = Duration::from_millis(10);
+        let mut available = lock_clean(&self.available);
+        while *available == 0 {
+            interrupt.check()?;
+            let wait = match interrupt.deadline().remaining() {
+                Some(left) => left.min(CANCEL_POLL),
+                None => CANCEL_POLL,
+            };
+            let (guard, _timed_out) = self
+                .released
+                .wait_timeout(available, wait)
+                .unwrap_or_else(|e| e.into_inner());
+            available = guard;
+        }
+        interrupt.check()?;
+        let tokens = (*available).min(desired);
+        *available -= tokens;
+        drop(available);
+        Ok(AdmissionGrant {
+            admission: Some(self.clone()),
+            tokens,
+        })
     }
 
     fn release(&self, tokens: usize) {
@@ -195,5 +244,48 @@ mod tests {
         let adm = Admission::new(2);
         let g = adm.acquire(100);
         assert_eq!(g.tokens(), 2);
+    }
+
+    #[test]
+    fn acquire_within_times_out_on_full_budget() {
+        use crate::cancel::{CancellationToken, Deadline, Interrupt};
+        let adm = Admission::new(1);
+        let held = adm.acquire(1);
+        let i = Interrupt::new(
+            CancellationToken::new(),
+            Deadline::after(std::time::Duration::from_millis(5)),
+        );
+        let err = adm.acquire_within(1, &i).unwrap_err();
+        assert!(matches!(err, blend_common::BlendError::Timeout(_)));
+        drop(held);
+        assert_eq!(adm.available(), 1, "no tokens leaked by the timeout");
+        let g = adm.acquire_within(1, &Interrupt::never()).unwrap();
+        assert_eq!(g.tokens(), 1);
+    }
+
+    #[test]
+    fn acquire_within_observes_cancel_while_blocked() {
+        use crate::cancel::{CancellationToken, Deadline, Interrupt};
+        let adm = Admission::new(1);
+        let held = adm.acquire(1);
+        let token = CancellationToken::new();
+        let i = Interrupt::new(token.clone(), Deadline::none());
+        let adm2 = adm.clone();
+        let waiter = std::thread::spawn(move || adm2.acquire_within(1, &i));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        token.cancel();
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(matches!(err, blend_common::BlendError::Cancelled(_)));
+        drop(held);
+        assert_eq!(adm.available(), 1);
+    }
+
+    #[test]
+    fn acquire_within_zero_budget_returns_empty_not_timeout() {
+        use crate::cancel::{CancellationToken, Deadline, Interrupt};
+        let adm = Admission::new(0);
+        let i = Interrupt::new(CancellationToken::new(), Deadline::after(Duration::ZERO));
+        let g = adm.acquire_within(4, &i).unwrap();
+        assert!(g.is_empty());
     }
 }

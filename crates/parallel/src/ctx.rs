@@ -2,7 +2,10 @@
 
 use std::sync::{Arc, OnceLock};
 
+use blend_common::Result;
+
 use crate::admission::{Admission, AdmissionGrant, GRANTS_ENV};
+use crate::cancel::Interrupt;
 use crate::pool::WorkerPool;
 
 /// Environment variable overriding the worker thread count (`1` forces the
@@ -42,6 +45,7 @@ pub struct ParallelCtx {
     admission: Arc<Admission>,
     min_parallel: usize,
     morsel_len: usize,
+    interrupt: Interrupt,
 }
 
 impl ParallelCtx {
@@ -91,6 +95,7 @@ impl ParallelCtx {
             admission,
             min_parallel: min_parallel.max(1),
             morsel_len: morsel_len.max(1),
+            interrupt: Interrupt::never(),
         }
     }
 
@@ -122,6 +127,7 @@ impl ParallelCtx {
             admission: global_admission(budget),
             min_parallel: DEFAULT_MIN_PARALLEL,
             morsel_len: DEFAULT_MORSEL_LEN,
+            interrupt: Interrupt::never(),
         }
     }
 
@@ -133,6 +139,30 @@ impl ParallelCtx {
         SHARED
             .get_or_init(|| Arc::new(ParallelCtx::from_env()))
             .clone()
+    }
+
+    /// A per-request view of this context carrying the given interrupt: the
+    /// same pool handle, admission bucket, and tuning, but every phase and
+    /// loop run under it polls `interrupt`. This is how the serving tier
+    /// scopes a deadline/cancel to one query without touching the shared
+    /// context other requests execute under.
+    pub fn with_interrupt(&self, interrupt: Interrupt) -> ParallelCtx {
+        ParallelCtx {
+            interrupt,
+            ..self.clone()
+        }
+    }
+
+    /// The interrupt this context executes under (never fires unless the
+    /// context came from [`with_interrupt`](ParallelCtx::with_interrupt)).
+    pub fn interrupt(&self) -> &Interrupt {
+        &self.interrupt
+    }
+
+    /// Phase-boundary checkpoint: `Err(Cancelled)` / `Err(Timeout)` once
+    /// the request should stop, `Ok(())` otherwise.
+    pub fn check_interrupt(&self) -> Result<()> {
+        self.interrupt.check()
     }
 
     /// The worker pool handle (full width — phases should go through
@@ -289,6 +319,22 @@ mod tests {
         assert!(peer.admit(10).is_none(), "clone draws from the same bucket");
         drop(g);
         assert!(peer.admit(10).is_some());
+    }
+
+    #[test]
+    fn with_interrupt_scopes_to_one_view() {
+        use crate::cancel::{CancellationToken, Deadline, Interrupt};
+        let ctx = ParallelCtx::with_tuning(2, 1, 1);
+        let token = CancellationToken::new();
+        let scoped = ctx.with_interrupt(Interrupt::new(token.clone(), Deadline::none()));
+        assert!(scoped.check_interrupt().is_ok());
+        token.cancel();
+        assert!(scoped.check_interrupt().is_err());
+        // The originating context is untouched — other requests keep going.
+        assert!(ctx.check_interrupt().is_ok());
+        // Shared plumbing is the same pool + bucket.
+        assert!(Arc::ptr_eq(ctx.admission(), scoped.admission()));
+        assert_eq!(ctx.threads(), scoped.threads());
     }
 
     #[test]

@@ -44,6 +44,34 @@
 //! bounded by callers + budget at every instant. Grants are surfaced per
 //! phase in `QueryReport::parallel` telemetry.
 //!
+//! ## Cancellation & deadlines
+//!
+//! Serving real users means queries must be *stoppable*. Every request can
+//! carry an [`Interrupt`] — a [`CancellationToken`] plus a [`Deadline`] —
+//! scoped onto the shared context via
+//! [`ParallelCtx::with_interrupt`]. The protocol is cooperative and has
+//! three kinds of check sites:
+//!
+//! 1. **Blocking waits** — [`Admission::acquire_within`] re-polls the
+//!    interrupt while blocked on the token condvar, so a queued request
+//!    returns a typed `Err(Timeout)`/`Err(Cancelled)` instead of sleeping
+//!    past its budget.
+//! 2. **Phase boundaries** — the SQL executors call
+//!    [`ParallelCtx::check_interrupt`] before scan, join build, join
+//!    probe, group, and global-agg phases, and the plan executor checks
+//!    between seekers.
+//! 3. **Inner loops** — sequential scan/probe/group loops check every few
+//!    thousand rows; pool-run closures poll [`Interrupt::is_set`] per
+//!    morsel / partition / chunk and bail early with a truncated partial.
+//!
+//! Pool tasks never unwind: a worker that observes the interrupt returns
+//! whatever partial it has, and the **caller** re-checks right after the
+//! run and discards *all* partials on `Err`. That is the no-partial-results
+//! guarantee: a query either completes (byte-identical to sequential) or
+//! surfaces exactly one typed `BlendError::{Cancelled, Timeout}` with no
+//! output. `Interrupt::default()` never fires and costs one relaxed load
+//! per poll, so non-serving callers are unaffected.
+//!
 //! ## The morsel/merge model
 //!
 //! Work is split into **morsels**: small contiguous sub-ranges of ordered
@@ -98,12 +126,14 @@
 //!   operators.
 
 pub mod admission;
+pub mod cancel;
 pub mod ctx;
 pub mod morsel;
 pub mod pool;
 pub mod radix;
 
 pub use admission::{Admission, AdmissionGrant, GRANTS_ENV};
+pub use cancel::{CancellationToken, Deadline, Interrupt};
 pub use ctx::{ParallelCtx, PhaseGrant, THREADS_ENV};
 pub use morsel::{balanced_chunks, morselize, split_even, Morsel};
 pub use pool::{PoolRun, WorkerPool};

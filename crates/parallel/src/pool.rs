@@ -280,11 +280,36 @@ impl Drop for PoolCore {
         {
             let mut st = lock_clean(&self.inj.state);
             st.shutdown = true;
-            debug_assert!(st.queue.is_empty(), "batch outlived its run call");
+            // A non-empty queue here means a batch outlived its run call.
+            // That is a bug worth failing loudly on under test, but a
+            // panic inside Drop during unwind (e.g. after a poisoned
+            // worker already propagated a panic) escalates to an abort —
+            // so release builds log and carry on with shutdown instead.
+            if !st.queue.is_empty() {
+                if cfg!(debug_assertions) && !std::thread::panicking() {
+                    panic!("batch outlived its run call");
+                }
+                eprintln!(
+                    "blend-parallel: warning: {} batch(es) still queued at pool shutdown",
+                    st.queue.len()
+                );
+            }
         }
         self.inj.work.notify_all();
         for h in lock_clean(&self.handles).drain(..) {
             let _ = h.join();
+        }
+        // Same degrade for the live counter: every joined worker should
+        // have decremented it on exit; a stale count after joining all
+        // handles indicates a worker died without unwinding its epilogue.
+        let live = self.inj.live.load(Ordering::SeqCst);
+        if live != 0 {
+            if cfg!(debug_assertions) && !std::thread::panicking() {
+                panic!("{live} worker(s) still counted live after shutdown join");
+            }
+            eprintln!(
+                "blend-parallel: warning: {live} worker(s) still counted live after shutdown join"
+            );
         }
     }
 }

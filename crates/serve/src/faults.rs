@@ -1,0 +1,193 @@
+//! Fault injection for the serving tier.
+//!
+//! A [`FaultPlan`] attaches deterministic faults to **named sites** inside
+//! the serving pipeline. The storm test uses it to prove liveness: with
+//! delays, cancellations, and poisoned (panicking) requests injected at
+//! every site, every ticket must still resolve to exactly one typed
+//! outcome and the serving threads must survive.
+//!
+//! Sites (see [`SITE_DEQUEUE`], [`SITE_EXEC`]):
+//!
+//! * `dequeue` — fired when a serving thread pops a request, before the
+//!   queued-deadline check. A delay here simulates a slow scheduler and
+//!   widens the window in which queued requests expire.
+//! * `exec` — fired after the admission slot is acquired, immediately
+//!   before execution. `poison` here panics *inside* the serving thread's
+//!   `catch_unwind`, modelling a request that crashes mid-flight.
+//!
+//! Actions are [`FaultAction::Delay`] (sleep), [`FaultAction::Cancel`]
+//! (trip the request's cancellation token), and [`FaultAction::Poison`]
+//! (panic at the site; the serving thread catches it and resolves the
+//! ticket with an `Internal` error).
+//!
+//! Plans come from code ([`FaultPlan::with`]) or from the environment
+//! ([`FaultPlan::from_env`], variable `BLEND_FAULTS`). The spec grammar is
+//! comma-separated rules:
+//!
+//! ```text
+//! site:action[:millis][@every]
+//! ```
+//!
+//! e.g. `BLEND_FAULTS="dequeue:delay:20@2,exec:cancel@5,exec:poison@7"`
+//! delays every 2nd dequeue by 20 ms, cancels every 5th request at the
+//! exec site, and poisons every 7th. `@every` defaults to 1 (always).
+//! Rule counters are per-site-visit and atomic, so concurrent serving
+//! threads see a deterministic *rate* of faults.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use blend_common::{BlendError, Result};
+
+/// Fault site: a serving thread popped a request off the queue.
+pub const SITE_DEQUEUE: &str = "dequeue";
+/// Fault site: admission slot held, about to execute the request.
+pub const SITE_EXEC: &str = "exec";
+
+/// What an injected fault does at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Sleep for the given duration at the site.
+    Delay(Duration),
+    /// Trip the request's cancellation token.
+    Cancel,
+    /// Panic at the site (caught by the serving thread).
+    Poison,
+}
+
+#[derive(Debug)]
+struct FaultRule {
+    site: String,
+    action: FaultAction,
+    /// Fire on every `every`-th visit to the site (1 = always).
+    every: usize,
+    hits: AtomicUsize,
+}
+
+impl FaultRule {
+    fn fire(&self, site: &str) -> Option<FaultAction> {
+        if self.site != site {
+            return None;
+        }
+        let n = self.hits.fetch_add(1, Ordering::Relaxed);
+        n.is_multiple_of(self.every).then_some(self.action)
+    }
+}
+
+/// A set of fault rules keyed by site. Cheap to query when empty.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True if no rule is registered.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Add a rule: inject `action` on every `every`-th visit to `site`
+    /// (`every` is clamped to at least 1).
+    pub fn with(mut self, site: &str, action: FaultAction, every: usize) -> FaultPlan {
+        self.rules.push(FaultRule {
+            site: site.to_string(),
+            action,
+            every: every.max(1),
+            hits: AtomicUsize::new(0),
+        });
+        self
+    }
+
+    /// Build a plan from the `BLEND_FAULTS` environment variable. Unset or
+    /// empty means no faults; a malformed spec is an error so typos in CI
+    /// configs fail loudly instead of silently disabling the storm.
+    pub fn from_env() -> Result<FaultPlan> {
+        match std::env::var("BLEND_FAULTS") {
+            Ok(spec) if !spec.trim().is_empty() => FaultPlan::parse(&spec),
+            _ => Ok(FaultPlan::none()),
+        }
+    }
+
+    /// Parse a comma-separated spec: `site:action[:millis][@every]`.
+    pub fn parse(spec: &str) -> Result<FaultPlan> {
+        let mut plan = FaultPlan::none();
+        for rule in spec.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+            let bad = || BlendError::InvalidInput(format!("bad fault rule `{rule}`"));
+            let (body, every) = match rule.split_once('@') {
+                Some((body, n)) => (body, n.parse::<usize>().map_err(|_| bad())?),
+                None => (rule, 1),
+            };
+            let mut parts = body.split(':');
+            let site = parts.next().filter(|s| !s.is_empty()).ok_or_else(bad)?;
+            let action = match parts.next().ok_or_else(bad)? {
+                "delay" => {
+                    let ms: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                    FaultAction::Delay(Duration::from_millis(ms))
+                }
+                "cancel" => FaultAction::Cancel,
+                "poison" => FaultAction::Poison,
+                _ => return Err(bad()),
+            };
+            if parts.next().is_some() {
+                return Err(bad());
+            }
+            plan = plan.with(site, action, every);
+        }
+        Ok(plan)
+    }
+
+    /// Actions to apply for this visit to `site`, in rule order.
+    pub fn fire(&self, site: &str) -> Vec<FaultAction> {
+        if self.rules.is_empty() {
+            return Vec::new();
+        }
+        self.rules.iter().filter_map(|r| r.fire(site)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let plan = FaultPlan::parse("dequeue:delay:20@2, exec:cancel@5,exec:poison").unwrap();
+        assert_eq!(plan.rules.len(), 3);
+        assert_eq!(
+            plan.rules[0].action,
+            FaultAction::Delay(Duration::from_millis(20))
+        );
+        assert_eq!(plan.rules[0].every, 2);
+        assert_eq!(plan.rules[1].action, FaultAction::Cancel);
+        assert_eq!(plan.rules[2].every, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        for bad in [
+            "dequeue",
+            "dequeue:delay:xx",
+            "x:cancel@y",
+            ":cancel",
+            "a:b",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn every_counts_per_site_visit() {
+        let plan = FaultPlan::none().with(SITE_EXEC, FaultAction::Cancel, 3);
+        let fired: Vec<bool> = (0..9).map(|_| !plan.fire(SITE_EXEC).is_empty()).collect();
+        assert_eq!(
+            fired,
+            vec![true, false, false, true, false, false, true, false, false]
+        );
+        assert!(plan.fire(SITE_DEQUEUE).is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! # blend-serve — the resilient serving tier
+//!
+//! BLEND is an interactive discovery system: many users issue seeker
+//! queries concurrently, and the paper's unified-SQL design funnels all of
+//! them through one executor. The crates below this one make a single
+//! query fast ([`blend_sql`]) and make concurrent queries share one worker
+//! pool fairly ([`blend_parallel`]); this crate makes the *front door*
+//! resilient. A [`ServeQueue`] accepts requests into a bounded queue,
+//! sheds load when the bound is hit, enforces per-request deadlines,
+//! supports cooperative cancellation, and survives injected faults — so an
+//! overloaded or misbehaving workload degrades into typed errors instead
+//! of unbounded queues, stuck clients, or dead serving threads.
+//!
+//! ## Request lifecycle
+//!
+//! 1. **Submit** ([`ServeQueue::submit`]) — non-blocking. If the queue
+//!    holds `depth` requests the submission is *shed*:
+//!    `Err(BlendError::Overloaded)` immediately, telling the caller to back
+//!    off now rather than time out later. Accepted requests get a fresh
+//!    [`CancellationToken`] plus the caller's [`Deadline`] — together an
+//!    [`Interrupt`] — and a [`Ticket`].
+//! 2. **Dequeue** — a serving thread pops the request. If its deadline
+//!    expired or it was cancelled while queued, it resolves
+//!    `Err(Timeout)`/`Err(Cancelled)` without executing.
+//! 3. **Admission** — the thread acquires **one** admission token as the
+//!    request's execution slot via
+//!    [`Admission::acquire_within`](blend_parallel::Admission::acquire_within),
+//!    blocking *under the request's interrupt*: the wait re-polls
+//!    cancellation and gives up at the deadline, so a request never sleeps
+//!    past its budget waiting for capacity.
+//! 4. **Execute** — the engine runs the SQL with the request's interrupt
+//!    scoped onto the shared [`ParallelCtx`](blend_parallel::ParallelCtx)
+//!    (`SqlEngine::execute_interruptible`). Executors check at phase
+//!    boundaries and inside morsel/partition loops; see below.
+//! 5. **Resolve** — [`Ticket::wait`] returns the result. Every accepted
+//!    request resolves exactly once: `Ok(result)` or one typed
+//!    `BlendError::{Timeout, Cancelled, Overloaded, ...}`. Requests still
+//!    queued at shutdown resolve `Err(Cancelled)`.
+//!
+//! Per-request telemetry rides the result: `QueryReport::serving` records
+//! queue wait, execution time, and outcome
+//! ([`ServingStats`](blend_sql::ServingStats)); [`ServeQueue::stats`]
+//! aggregates submitted/shed/ok/timeout/cancelled/failed counters.
+//!
+//! ## The cancellation protocol (who checks, where)
+//!
+//! Cancellation is **cooperative**; nothing is killed. The serving tier
+//! creates one [`Interrupt`] per request; every layer below polls it:
+//!
+//! * **Serving thread** — checks on dequeue (step 2) and blocks
+//!   interruptibly in admission (step 3).
+//! * **Plan executor** (`blend` core) — checks at every seeker boundary.
+//! * **SQL executors** (`blend_sql`) — check before each phase (scan, join
+//!   build/probe, group, global agg) and every few thousand rows inside
+//!   sequential loops; parallel closures poll per morsel/partition/chunk
+//!   and bail with truncated partials.
+//! * **No-partial-results guarantee** — pool tasks never unwind; the
+//!   *caller* re-checks the interrupt right after each parallel run and
+//!   discards all partials on `Err`. A request therefore either completes
+//!   byte-identically to a sequential run or returns exactly one typed
+//!   error and no data.
+//!
+//! ## Fault injection
+//!
+//! [`faults::FaultPlan`] injects delays, cancellations, and poisoned
+//! (panicking) requests at named serving sites, driven programmatically or
+//! by `BLEND_FAULTS`. Serving threads wrap execution in `catch_unwind`, so
+//! a poisoned request resolves its own ticket with `Err(SqlExec)` and the
+//! thread lives on. The storm test drives 2× queue-depth load through an
+//! undersized queue with faults enabled and asserts liveness: no deadlock,
+//! every ticket resolves, deadline overshoot stays bounded, and `Ok`
+//! results are byte-identical to sequential references.
+
+pub mod faults;
+pub mod queue;
+
+pub use faults::{FaultAction, FaultPlan, SITE_DEQUEUE, SITE_EXEC};
+pub use queue::{ServeConfig, ServeQueue, ServeStats, Ticket};
+
+pub use blend_common::{BlendError, Result};
+pub use blend_parallel::{CancellationToken, Deadline, Interrupt};

@@ -1,0 +1,471 @@
+//! The bounded serving queue.
+//!
+//! See the crate docs for the lifecycle and the cancellation protocol.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use blend_common::{BlendError, Result};
+use blend_parallel::{CancellationToken, Deadline, Interrupt};
+use blend_sql::{ExecPath, QueryReport, ResultSet, ServingStats, SqlEngine};
+
+use crate::faults::{FaultAction, FaultPlan, SITE_DEQUEUE, SITE_EXEC};
+
+/// Serving-tier knobs.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Maximum queued (not yet dequeued) requests; submissions beyond this
+    /// are shed immediately with `BlendError::Overloaded`.
+    pub depth: usize,
+    /// Serving threads. `0` means requests queue but never execute (useful
+    /// for deterministic shedding tests); they resolve on shutdown.
+    pub workers: usize,
+    /// Fault-injection plan applied at the serving sites.
+    pub faults: FaultPlan,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            depth: 32,
+            workers: 2,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// Aggregate serving counters (monotonic since queue creation).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests shed at submission because the queue was full.
+    pub shed: u64,
+    /// Requests that completed with a result.
+    pub ok: u64,
+    /// Requests that resolved `Err(Timeout)`.
+    pub timeouts: u64,
+    /// Requests that resolved `Err(Cancelled)`.
+    pub cancellations: u64,
+    /// Requests that resolved with any other error (incl. poisoned).
+    pub failures: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    submitted: AtomicU64,
+    shed: AtomicU64,
+    ok: AtomicU64,
+    timeouts: AtomicU64,
+    cancellations: AtomicU64,
+    failures: AtomicU64,
+}
+
+/// One queued request. The ticket and the serving thread share it.
+struct Request {
+    sql: String,
+    path: ExecPath,
+    interrupt: Interrupt,
+    enqueued: Instant,
+    outcome: Mutex<Option<Result<(ResultSet, QueryReport)>>>,
+    done: Condvar,
+}
+
+impl Request {
+    fn resolve(&self, result: Result<(ResultSet, QueryReport)>) {
+        let mut slot = self.outcome.lock().unwrap_or_else(|e| e.into_inner());
+        // First resolution wins; a request is resolved exactly once, but be
+        // defensive rather than clobbering a delivered result.
+        if slot.is_none() {
+            *slot = Some(result);
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Handle to a submitted request. [`Ticket::wait`] blocks until the request
+/// resolves; [`Ticket::cancel`] trips its cancellation token.
+pub struct Ticket {
+    req: Arc<Request>,
+}
+
+impl Ticket {
+    /// Cooperatively cancel the request. The next check site (queued-state
+    /// check, admission wait, phase boundary, or inner loop) observes the
+    /// token and the ticket resolves `Err(Cancelled)` — unless the request
+    /// already completed.
+    pub fn cancel(&self) {
+        self.req.interrupt.token().cancel();
+    }
+
+    /// This request's cancellation token (shareable across threads).
+    pub fn token(&self) -> CancellationToken {
+        self.req.interrupt.token().clone()
+    }
+
+    /// Block until the request resolves. Every accepted request resolves:
+    /// served requests when execution finishes (or is interrupted), queued
+    /// requests at the latest on queue shutdown.
+    pub fn wait(self) -> Result<(ResultSet, QueryReport)> {
+        let mut slot = self.req.outcome.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.req.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+struct QueueState {
+    queue: VecDeque<Arc<Request>>,
+    shutdown: bool,
+}
+
+struct Core {
+    engine: Arc<SqlEngine>,
+    state: Mutex<QueueState>,
+    nonempty: Condvar,
+    depth: usize,
+    faults: FaultPlan,
+    stats: StatCells,
+}
+
+/// A bounded, deadline-aware request queue in front of a [`SqlEngine`].
+///
+/// `submit` never blocks: it sheds with `Err(Overloaded)` when the bound is
+/// hit. Serving threads pop requests, drop ones whose deadline expired
+/// while queued, acquire one admission token as their execution slot
+/// (blocking *under the request's deadline* via
+/// [`blend_parallel::Admission::acquire_within`]), and execute with the
+/// request's [`Interrupt`] scoped onto the shared
+/// [`blend_parallel::ParallelCtx`]. Dropping the queue shuts it down:
+/// serving threads drain, and never-served requests resolve
+/// `Err(Cancelled)`.
+pub struct ServeQueue {
+    core: Arc<Core>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ServeQueue {
+    /// Spawn the serving threads for `engine` with the given config.
+    pub fn new(engine: Arc<SqlEngine>, config: ServeConfig) -> ServeQueue {
+        let core = Arc::new(Core {
+            engine,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            nonempty: Condvar::new(),
+            depth: config.depth.max(1),
+            faults: config.faults,
+            stats: StatCells::default(),
+        });
+        let handles = (0..config.workers)
+            .map(|i| {
+                let core = core.clone();
+                std::thread::Builder::new()
+                    .name(format!("blend-serve-{i}"))
+                    .spawn(move || serve_loop(&core))
+                    .expect("spawn serving thread")
+            })
+            .collect();
+        ServeQueue { core, handles }
+    }
+
+    /// Submit a SQL request with a deadline. Returns `Err(Overloaded)`
+    /// without blocking when the queue is at capacity.
+    pub fn submit(&self, sql: &str, deadline: Deadline) -> Result<Ticket> {
+        self.submit_path(sql, ExecPath::Auto, deadline)
+    }
+
+    /// [`submit`](Self::submit) with an explicit executor choice.
+    pub fn submit_path(&self, sql: &str, path: ExecPath, deadline: Deadline) -> Result<Ticket> {
+        let req = Arc::new(Request {
+            sql: sql.to_string(),
+            path,
+            interrupt: Interrupt::new(CancellationToken::new(), deadline),
+            enqueued: Instant::now(),
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        {
+            let mut st = self.core.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.shutdown {
+                return Err(BlendError::Cancelled("serve queue shut down".into()));
+            }
+            if st.queue.len() >= self.core.depth {
+                self.core.stats.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(BlendError::Overloaded(format!(
+                    "serve queue full ({} queued, depth {})",
+                    st.queue.len(),
+                    self.core.depth
+                )));
+            }
+            st.queue.push_back(req.clone());
+        }
+        self.core.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.core.nonempty.notify_one();
+        Ok(Ticket { req })
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.core.stats;
+        ServeStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            ok: s.ok.load(Ordering::Relaxed),
+            timeouts: s.timeouts.load(Ordering::Relaxed),
+            cancellations: s.cancellations.load(Ordering::Relaxed),
+            failures: s.failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Currently queued (accepted, not yet dequeued) requests.
+    pub fn queued(&self) -> usize {
+        self.core
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+}
+
+impl Drop for ServeQueue {
+    fn drop(&mut self) {
+        {
+            let mut st = self.core.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+        }
+        self.core.nonempty.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        // With zero workers (or if a thread died), queued requests remain;
+        // resolve them so no ticket waits forever.
+        let leftovers: Vec<Arc<Request>> = {
+            let mut st = self.core.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.queue.drain(..).collect()
+        };
+        for req in leftovers {
+            req.resolve(Err(BlendError::Cancelled("serve queue shut down".into())));
+        }
+    }
+}
+
+fn serve_loop(core: &Core) {
+    loop {
+        let req = {
+            let mut st = core.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(req) = st.queue.pop_front() {
+                    break req;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = core.nonempty.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let queue_wait = req.enqueued.elapsed();
+        let mut poisoned = apply_faults(core, SITE_DEQUEUE, &req);
+
+        let exec_start = Instant::now();
+        let result = serve_one(core, &req, &mut poisoned);
+        let exec = exec_start.elapsed();
+
+        let s = &core.stats;
+        let result = match result {
+            Ok((rs, mut report)) => {
+                s.ok.fetch_add(1, Ordering::Relaxed);
+                report.serving = Some(ServingStats {
+                    queue_wait_nanos: queue_wait.as_nanos() as u64,
+                    exec_nanos: exec.as_nanos() as u64,
+                    outcome: "ok".into(),
+                });
+                Ok((rs, report))
+            }
+            Err(e) => {
+                match &e {
+                    BlendError::Timeout(_) => s.timeouts.fetch_add(1, Ordering::Relaxed),
+                    BlendError::Cancelled(_) => s.cancellations.fetch_add(1, Ordering::Relaxed),
+                    _ => s.failures.fetch_add(1, Ordering::Relaxed),
+                };
+                Err(e)
+            }
+        };
+        req.resolve(result);
+    }
+}
+
+/// Run one request to a typed outcome. Never unwinds: a poisoned (or
+/// otherwise panicking) execution is caught and surfaced as `Err(SqlExec)`.
+fn serve_one(core: &Core, req: &Request, poisoned: &mut bool) -> Result<(ResultSet, QueryReport)> {
+    // A request that expired or was cancelled while queued never executes.
+    req.interrupt.check()?;
+
+    // The execution slot: one admission token held for the whole request,
+    // acquired under the request's own deadline. Under overload this is
+    // where queued requests time out instead of piling onto the pool.
+    let admission = core.engine.parallel_ctx().admission().clone();
+    let _slot = admission.acquire_within(1, &req.interrupt)?;
+
+    *poisoned |= apply_faults(core, SITE_EXEC, req);
+    let poison = *poisoned;
+
+    let engine = core.engine.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if poison {
+            panic!("injected poison fault");
+        }
+        engine.execute_interruptible(&req.sql, req.path, req.interrupt.clone())
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".into());
+            Err(BlendError::SqlExec(format!("request panicked: {msg}")))
+        }
+    }
+}
+
+/// Apply this site's fault actions to `req`. Returns true if a `Poison`
+/// fired (the caller panics at the execution site, inside `catch_unwind`).
+fn apply_faults(core: &Core, site: &str, req: &Request) -> bool {
+    let mut poison = false;
+    for action in core.faults.fire(site) {
+        match action {
+            FaultAction::Delay(d) => std::thread::sleep(d),
+            FaultAction::Cancel => req.interrupt.token().cancel(),
+            FaultAction::Poison => poison = true,
+        }
+    }
+    poison
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultAction, SITE_EXEC};
+    use blend_parallel::ParallelCtx;
+    use blend_storage::{build_engine, EngineKind, FactRow};
+    use std::time::Duration;
+
+    fn test_engine() -> Arc<SqlEngine> {
+        let mut rows = Vec::new();
+        for t in 0..3u32 {
+            for r in 0..4u32 {
+                let sk = 1u128 << (t * 8 + r);
+                rows.push(FactRow::new(
+                    &format!("v{}", (t + r) % 5),
+                    t,
+                    0,
+                    r,
+                    sk,
+                    None,
+                ));
+                rows.push(FactRow::new(&r.to_string(), t, 1, r, sk, Some(r % 2 == 0)));
+            }
+        }
+        let fact = build_engine(EngineKind::Column, rows);
+        Arc::new(SqlEngine::with_alltables(fact).with_parallel(Arc::new(ParallelCtx::sequential())))
+    }
+
+    const SQL: &str = "SELECT TableId, RowId, CellValue FROM AllTables \
+                       ORDER BY TableId, RowId, CellValue LIMIT 5";
+
+    #[test]
+    fn serves_and_records_telemetry() {
+        let queue = ServeQueue::new(test_engine(), ServeConfig::default());
+        let ticket = queue.submit(SQL, Deadline::none()).unwrap();
+        let (rs, report) = ticket.wait().unwrap();
+        assert_eq!(rs.len(), 5);
+        let serving = report.serving.expect("serving telemetry attached");
+        assert_eq!(serving.outcome, "ok");
+        assert!(serving.exec_nanos > 0);
+        let stats = queue.stats();
+        assert_eq!((stats.submitted, stats.ok, stats.shed), (1, 1, 0));
+    }
+
+    #[test]
+    fn sheds_when_full_and_resolves_queued_on_shutdown() {
+        let queue = ServeQueue::new(
+            test_engine(),
+            ServeConfig {
+                depth: 2,
+                workers: 0, // nothing drains: shedding is deterministic
+                faults: FaultPlan::none(),
+            },
+        );
+        let t1 = queue.submit(SQL, Deadline::none()).unwrap();
+        let t2 = queue.submit(SQL, Deadline::none()).unwrap();
+        let shed = queue.submit(SQL, Deadline::none());
+        assert!(
+            matches!(&shed, Err(BlendError::Overloaded(_))),
+            "third submit must shed"
+        );
+        assert_eq!(queue.stats().shed, 1);
+        drop(queue);
+        for t in [t1, t2] {
+            assert!(matches!(t.wait(), Err(BlendError::Cancelled(_))));
+        }
+    }
+
+    #[test]
+    fn expired_deadline_resolves_timeout_without_executing() {
+        let queue = ServeQueue::new(test_engine(), ServeConfig::default());
+        let ticket = queue.submit(SQL, Deadline::after(Duration::ZERO)).unwrap();
+        assert!(matches!(ticket.wait(), Err(BlendError::Timeout(_))));
+        assert_eq!(queue.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn cancelled_ticket_resolves_cancelled() {
+        let queue = ServeQueue::new(
+            test_engine(),
+            ServeConfig {
+                depth: 4,
+                workers: 0,
+                faults: FaultPlan::none(),
+            },
+        );
+        let ticket = queue.submit(SQL, Deadline::none()).unwrap();
+        ticket.cancel();
+        // No workers: resolution happens at shutdown, but the token is
+        // already tripped so a (hypothetical) late worker would refuse it.
+        assert!(ticket.req.interrupt.token().is_cancelled());
+    }
+
+    #[test]
+    fn poisoned_request_fails_but_thread_survives() {
+        let queue = ServeQueue::new(
+            test_engine(),
+            ServeConfig {
+                depth: 8,
+                workers: 1,
+                // Poison the first exec, leave the rest alone.
+                faults: FaultPlan::none().with(SITE_EXEC, FaultAction::Poison, 1_000_000),
+            },
+        );
+        let bad = queue.submit(SQL, Deadline::none()).unwrap();
+        let err = bad.wait().unwrap_err();
+        assert!(
+            matches!(&err, BlendError::SqlExec(m) if m.contains("panicked")),
+            "poisoned request surfaces a typed error: {err}"
+        );
+        // Same serving thread keeps serving (every=1_000_000 only hits once).
+        let ok = queue.submit(SQL, Deadline::none()).unwrap();
+        assert!(ok.wait().is_ok(), "serving thread died after poison");
+        assert_eq!(queue.stats().failures, 1);
+    }
+}

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use blend_common::{FxHashMap, Result};
-use blend_parallel::ParallelCtx;
+use blend_parallel::{Interrupt, ParallelCtx};
 use blend_storage::FactTable;
 
 use crate::exec::{execute_plan_path, QueryReport, ResultSet};
@@ -130,10 +130,25 @@ impl SqlEngine {
         sql: &str,
         path: ExecPath,
     ) -> Result<(ResultSet, QueryReport)> {
+        self.execute_interruptible(sql, path, Interrupt::never())
+    }
+
+    /// Execute under a cancellation/deadline [`Interrupt`]. The serving tier
+    /// builds one `Interrupt` per request and scopes it onto the shared
+    /// [`ParallelCtx`] here; an interrupted query returns a typed
+    /// `BlendError::{Cancelled, Timeout}` with no partial results.
+    pub fn execute_interruptible(
+        &self,
+        sql: &str,
+        path: ExecPath,
+        interrupt: Interrupt,
+    ) -> Result<(ResultSet, QueryReport)> {
+        interrupt.check()?;
         let ast = parse(sql)?;
         let plan = plan_query(&ast, &self.db)?;
+        let par = self.parallel.with_interrupt(interrupt);
         let mut report = QueryReport::default();
-        let rs = execute_plan_path(&plan, &mut report, path == ExecPath::Auto, &self.parallel)?;
+        let rs = execute_plan_path(&plan, &mut report, path == ExecPath::Auto, &par)?;
         Ok((rs, report))
     }
 }

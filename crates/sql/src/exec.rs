@@ -82,6 +82,22 @@ pub struct HashTableStats {
     pub partitions: usize,
 }
 
+/// Per-request serving telemetry recorded by the `blend_serve` queue:
+/// where a request's wall-clock went and how it ended. Attached to
+/// [`QueryReport::serving`] only for queued requests; direct engine calls
+/// leave it `None`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Nanoseconds between enqueue and the start of execution (queue
+    /// residency plus the blocking admission wait).
+    pub queue_wait_nanos: u64,
+    /// Nanoseconds spent executing (0 when the request never started).
+    pub exec_nanos: u64,
+    /// Terminal outcome: `"ok"`, `"timeout"`, `"cancelled"`, or
+    /// `"overloaded"`.
+    pub outcome: String,
+}
+
 /// Whole-query execution telemetry (the `EXPLAIN ANALYZE` stand-in used by
 /// tests and the optimizer experiments).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -98,15 +114,17 @@ pub struct QueryReport {
     pub parallel: Vec<ParallelPhase>,
     /// Flat join/group hash-table builds, in execution order.
     pub hash_tables: Vec<HashTableStats>,
+    /// Serving-tier telemetry (set only by `blend_serve`'s queue).
+    pub serving: Option<ServingStats>,
 }
 
 impl QueryReport {
     /// Logical-telemetry equality: same scans, join cardinalities, result
-    /// rows, and executor path. Ignores [`QueryReport::parallel`] and
-    /// [`QueryReport::hash_tables`], whose partition counts, table sizing,
-    /// and timings legitimately vary with the thread count — everything
-    /// else must be byte-identical at every thread count (the parity
-    /// suite's contract).
+    /// rows, and executor path. Ignores [`QueryReport::parallel`],
+    /// [`QueryReport::hash_tables`], and [`QueryReport::serving`], whose
+    /// partition counts, table sizing, and timings legitimately vary with
+    /// the thread count and serving conditions — everything else must be
+    /// byte-identical at every thread count (the parity suite's contract).
     pub fn logical_eq(&self, other: &QueryReport) -> bool {
         self.scans == other.scans
             && self.joins == other.joins
@@ -219,16 +237,19 @@ fn execute_tuple(
     allow_positional: bool,
     par: &ParallelCtx,
 ) -> Result<ResultSet> {
+    par.check_interrupt()?;
     let mut tuples = exec_tree(&plan.tree, report, allow_positional, par)?;
 
     if let Some(f) = &plan.post_filter {
+        par.check_interrupt()?;
         tuples.retain(|t| f.eval_predicate(t));
     }
 
     if let Some(group) = &plan.group {
-        tuples = exec_group(group, tuples);
+        tuples = exec_group(group, tuples, par)?;
     }
 
+    par.check_interrupt()?;
     Ok(project_sort_limit(plan, &tuples, report))
 }
 
@@ -295,7 +316,7 @@ fn exec_tree(
     par: &ParallelCtx,
 ) -> Result<Vec<Tuple>> {
     match tree {
-        Tree::Leaf(InputPlan::Scan(scan)) => Ok(exec_scan(scan, report)),
+        Tree::Leaf(InputPlan::Scan(scan)) => exec_scan(scan, report, par),
         Tree::Leaf(InputPlan::Query(sub, _)) => {
             let rs = execute_sub(sub, report, allow_positional, par)?;
             Ok(rs.rows)
@@ -309,12 +330,13 @@ fn exec_tree(
         } => {
             let lt = exec_tree(left, report, allow_positional, par)?;
             let rt = exec_tree(right, report, allow_positional, par)?;
-            Ok(hash_join(lt, rt, keys, residual.as_ref(), report))
+            hash_join(lt, rt, keys, residual.as_ref(), report, par)
         }
     }
 }
 
-fn exec_scan(scan: &ScanPlan, report: &mut QueryReport) -> Vec<Tuple> {
+fn exec_scan(scan: &ScanPlan, report: &mut QueryReport, par: &ParallelCtx) -> Result<Vec<Tuple>> {
+    par.check_interrupt()?;
     let table = scan.table.as_ref();
     let mut out = Vec::new();
     let mut scanned = 0usize;
@@ -339,6 +361,7 @@ fn exec_scan(scan: &ScanPlan, report: &mut QueryReport) -> Vec<Tuple> {
     match &scan.access {
         AccessPath::ValueIndex { .. } => {
             for v in &scan.driving_values {
+                par.check_interrupt()?;
                 let postings = table.postings(v);
                 scanned += postings.len();
                 scratch.sel.clear();
@@ -348,6 +371,7 @@ fn exec_scan(scan: &ScanPlan, report: &mut QueryReport) -> Vec<Tuple> {
         }
         AccessPath::TableIndex { .. } => {
             for &t in &scan.driving_tables {
+                par.check_interrupt()?;
                 let range = table.table_postings(t);
                 scanned += range.len();
                 scratch.sel.clear();
@@ -356,10 +380,20 @@ fn exec_scan(scan: &ScanPlan, report: &mut QueryReport) -> Vec<Tuple> {
             }
         }
         AccessPath::SeqScan { .. } => {
-            scanned += table.len();
-            scratch.sel.clear();
-            table.filter_range(&scan.kernel, 0, table.len(), &mut scratch.sel);
-            emit(&scratch.sel, &mut out);
+            // One batched kernel pass per morsel-sized range so a deadline
+            // is observed mid-table (survivors concatenate identically to
+            // a single whole-table call).
+            let n = table.len();
+            let mut lo = 0usize;
+            while lo < n {
+                par.check_interrupt()?;
+                let hi = (lo + par.morsel_len()).min(n);
+                scanned += hi - lo;
+                scratch.sel.clear();
+                table.filter_range(&scan.kernel, lo, hi, &mut scratch.sel);
+                emit(&scratch.sel, &mut out);
+                lo = hi;
+            }
         }
     }
 
@@ -370,7 +404,7 @@ fn exec_scan(scan: &ScanPlan, report: &mut QueryReport) -> Vec<Tuple> {
         scanned,
         emitted: out.len(),
     });
-    out
+    Ok(out)
 }
 
 fn hash_join(
@@ -379,7 +413,9 @@ fn hash_join(
     keys: &[(usize, usize)],
     residual: Option<&CExpr>,
     report: &mut QueryReport,
-) -> Vec<Tuple> {
+    par: &ParallelCtx,
+) -> Result<Vec<Tuple>> {
+    par.check_interrupt()?;
     // Build on the smaller side; output column order is always left++right.
     let build_left = left.len() <= right.len();
     let (build, probe) = if build_left {
@@ -400,6 +436,9 @@ fn hash_join(
 
     let mut table: FxHashMap<Vec<SqlValue>, Vec<usize>> = FxHashMap::default();
     for (i, t) in build.iter().enumerate() {
+        if i & 0xFFF == 0 {
+            par.check_interrupt()?;
+        }
         // SQL join semantics: NULL keys never match.
         let k = build_key(t);
         if k.iter().any(SqlValue::is_null) {
@@ -409,7 +448,10 @@ fn hash_join(
     }
 
     let mut out = Vec::new();
-    for pt in probe {
+    for (pi, pt) in probe.iter().enumerate() {
+        if pi & 0xFFF == 0 {
+            par.check_interrupt()?;
+        }
         let k = probe_key(pt);
         if k.iter().any(SqlValue::is_null) {
             continue;
@@ -431,7 +473,7 @@ fn hash_join(
         }
     }
     report.joins.push((build.len(), probe.len(), out.len()));
-    out
+    Ok(out)
 }
 
 // ---- aggregation -----------------------------------------------------------
@@ -611,7 +653,8 @@ impl AggState {
     }
 }
 
-fn exec_group(group: &GroupPlan, tuples: Vec<Tuple>) -> Vec<Tuple> {
+fn exec_group(group: &GroupPlan, tuples: Vec<Tuple>, par: &ParallelCtx) -> Result<Vec<Tuple>> {
+    par.check_interrupt()?;
     // Key order must be deterministic for stable results; keep first-seen
     // order via an index map built on top of the hash map.
     let mut index: FxHashMap<Vec<SqlValue>, usize> = FxHashMap::default();
@@ -622,7 +665,10 @@ fn exec_group(group: &GroupPlan, tuples: Vec<Tuple>) -> Vec<Tuple> {
         groups.push((Vec::new(), group.aggs.iter().map(AggState::new).collect()));
     }
 
-    for t in &tuples {
+    for (ti, t) in tuples.iter().enumerate() {
+        if ti & 0xFFF == 0 {
+            par.check_interrupt()?;
+        }
         let key: Vec<SqlValue> = group.group_exprs.iter().map(|e| e.eval(t)).collect();
         let gi = if global {
             0
@@ -642,14 +688,14 @@ fn exec_group(group: &GroupPlan, tuples: Vec<Tuple>) -> Vec<Tuple> {
         }
     }
 
-    groups
+    Ok(groups
         .into_iter()
         .map(|(key, states)| {
             let mut row = key;
             row.extend(states.into_iter().map(AggState::finish));
             row
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]

@@ -115,7 +115,8 @@ use std::time::Instant;
 
 use blend_common::{FxHashMap, FxHashSet};
 use blend_parallel::{
-    morselize, partition_count, radix_partition, split_even, Morsel, ParallelCtx, RadixPartitions,
+    morselize, partition_count, radix_partition, split_even, Interrupt, Morsel, ParallelCtx,
+    RadixPartitions,
 };
 use blend_storage::{FactTable, ScanScratch, ValueProbe};
 
@@ -595,19 +596,33 @@ impl PosBatch {
 /// Execute an admitted plan. `par` is the shared worker-pool context;
 /// every phase falls back to its sequential loop when `par` says an input
 /// is too small (or the pool has one thread).
+/// How often (in rows) sequential inner loops poll the interrupt. A
+/// power-of-two mask keeps the poll to one branch + one relaxed load per
+/// `INTERRUPT_STRIDE` rows — unmeasurable against per-row expression work.
+const INTERRUPT_STRIDE: usize = 4096;
+
+#[inline]
+fn poll_every(i: usize) -> bool {
+    i & (INTERRUPT_STRIDE - 1) == 0
+}
+
 pub(crate) fn execute(
     plan: &QueryPlan,
     pos: &PosPlan<'_>,
     report: &mut QueryReport,
     par: &ParallelCtx,
 ) -> Result<ResultSet> {
+    par.check_interrupt()?;
     let tables: Vec<&dyn FactTable> = pos.leaves.iter().map(|s| s.table.as_ref()).collect();
 
-    let mut batch = exec_node(&pos.root, pos, &tables, report, par);
+    let mut batch = exec_node(&pos.root, pos, &tables, report, par)?;
 
     if let Some(f) = &pos.post_filter {
         let mut data = Vec::with_capacity(batch.data.len());
         for i in 0..batch.len() {
+            if poll_every(i) {
+                par.check_interrupt()?;
+            }
             let row = batch.row(i);
             if f.eval_predicate(&tables, 0, row) {
                 data.extend_from_slice(row);
@@ -621,7 +636,7 @@ pub(crate) fn execute(
 
     match (&pos.group, &plan.group) {
         (Some(shape), Some(gplan)) => {
-            let tuples = exec_group(shape, &gplan.aggs, &batch, &tables, report, par);
+            let tuples = exec_group(shape, &gplan.aggs, &batch, &tables, report, par)?;
             Ok(exec::project_sort_limit(plan, &tuples, report))
         }
         _ => {
@@ -632,6 +647,9 @@ pub(crate) fn execute(
             // Late materialization: SqlValue rows exist only here.
             let mut decorated: Vec<(Vec<SqlValue>, Tuple)> = Vec::with_capacity(batch.len());
             for i in 0..batch.len() {
+                if poll_every(i) {
+                    par.check_interrupt()?;
+                }
                 let row = batch.row(i);
                 let out: Tuple = project
                     .exprs
@@ -656,7 +674,7 @@ fn exec_node(
     tables: &[&dyn FactTable],
     report: &mut QueryReport,
     par: &ParallelCtx,
-) -> PosBatch {
+) -> Result<PosBatch> {
     match node {
         PosNode::Scan { leaf, residual } => exec_scan(
             pos.leaves[*leaf],
@@ -674,8 +692,8 @@ fn exec_node(
             keys,
             residual,
         } => {
-            let lb = exec_node(left, pos, tables, report, par);
-            let rb = exec_node(right, pos, tables, report, par);
+            let lb = exec_node(left, pos, tables, report, par)?;
+            let rb = exec_node(right, pos, tables, report, par)?;
             exec_join(
                 lb,
                 rb,
@@ -723,7 +741,8 @@ fn exec_scan(
     tables: &[&dyn FactTable],
     report: &mut QueryReport,
     par: &ParallelCtx,
-) -> PosBatch {
+) -> Result<PosBatch> {
+    par.check_interrupt()?;
     let table = scan.table.as_ref();
     let mut out: Vec<u32> = Vec::new();
     let mut scanned = 0usize;
@@ -754,10 +773,10 @@ fn exec_scan(
             scanned: out.len(),
             emitted: out.len(),
         });
-        return PosBatch {
+        return Ok(PosBatch {
             stride: 1,
             data: out,
-        };
+        });
     }
 
     // Ordered segments of the driving access path; a sequential pass over
@@ -825,17 +844,25 @@ fn exec_scan(
         let morsels = morselize(&lens, par.morsel_len());
         (morsels.len() > 1).then_some((grant, morsels))
     });
+    let intr = par.interrupt();
     match admitted {
         Some((grant, morsels)) => {
             // Per-worker scratch: selection-vector capacity is allocated
-            // once per worker, not once per morsel.
+            // once per worker, not once per morsel. Workers poll the
+            // interrupt per morsel and bail with an empty partial; the
+            // check after the run discards everything on Err (the
+            // no-partial-results guarantee).
             let run = grant
                 .pool()
                 .run_with(morsels.len(), ScanScratch::default, |scratch, i| {
+                    if intr.is_set() {
+                        return (Vec::new(), 0);
+                    }
                     let mut local = Vec::new();
                     let local_scanned = scan_morsel(&morsels[i], scratch, &mut local);
                     (local, local_scanned)
                 });
+            par.check_interrupt()?;
             out.reserve(run.results.iter().map(|(l, _)| l.len()).sum());
             for (local, local_scanned) in run.results {
                 out.extend_from_slice(&local);
@@ -849,17 +876,15 @@ fn exec_scan(
             });
         }
         _ => {
+            // The sequential loop visits morsel-sized sub-ranges (kernel
+            // survivors concatenate identically to whole-segment calls) so
+            // a deadline is observed mid-segment, not only between
+            // segments.
             let mut scratch = ScanScratch::default();
-            for (si, seg) in segs.iter().enumerate() {
-                scanned += scan_morsel(
-                    &Morsel {
-                        segment: si,
-                        start: 0,
-                        end: seg.len(),
-                    },
-                    &mut scratch,
-                    &mut out,
-                );
+            let lens: Vec<usize> = segs.iter().map(Seg::len).collect();
+            for m in morselize(&lens, par.morsel_len()) {
+                par.check_interrupt()?;
+                scanned += scan_morsel(&m, &mut scratch, &mut out);
             }
         }
     }
@@ -871,10 +896,10 @@ fn exec_scan(
         scanned,
         emitted: out.len(),
     });
-    PosBatch {
+    Ok(PosBatch {
         stride: 1,
         data: out,
-    }
+    })
 }
 
 /// Pack 1–2 u32 key columns into one `u64` per row (shift-fold, so a
@@ -953,7 +978,8 @@ fn exec_join(
     tables: &[&dyn FactTable],
     report: &mut QueryReport,
     par: &ParallelCtx,
-) -> PosBatch {
+) -> Result<PosBatch> {
+    par.check_interrupt()?;
     let build_left = left.len() <= right.len();
     let (build, probe) = if build_left {
         (&left, &right)
@@ -1014,10 +1040,10 @@ fn exec_join(
             report,
             par,
         )
-    };
+    }?;
     let stride = left.stride + right.stride;
     report.joins.push((build.len(), probe.len(), n_out));
-    PosBatch { stride, data: out }
+    Ok(PosBatch { stride, data: out })
 }
 
 /// The key-width-generic core of [`exec_join`]: build flat tables over the
@@ -1034,7 +1060,8 @@ fn join_flat<K: JoinKey>(
     tables: &[&dyn FactTable],
     report: &mut QueryReport,
     par: &ParallelCtx,
-) -> (Vec<u32>, usize) {
+) -> Result<(Vec<u32>, usize)> {
+    let intr = par.interrupt();
     let n_build = build.len();
     let t0 = Instant::now();
     // Admission for the build phase: the radix fanout is sized from the
@@ -1059,8 +1086,11 @@ fn join_flat<K: JoinKey>(
         let hashes: Vec<u64> = build_keys.iter().map(|k| k.hash64()).collect();
         let parts: Vec<u32> = hashes.iter().map(|&h| (h & pmask) as u32).collect();
         let rp = radix_partition(&parts, n_parts);
+        // Workers poll the interrupt per partition: an interrupted build
+        // produces empty tables, which the check below throws away.
         let run = grant.pool().run(n_parts, |p| {
-            JoinTable::build_prehashed(&hashes, Some(rp.part(p)))
+            let part = if intr.is_set() { &[][..] } else { rp.part(p) };
+            JoinTable::build_prehashed(&hashes, Some(part))
         });
         report.parallel.push(ParallelPhase {
             phase: "join-build".to_string(),
@@ -1071,6 +1101,7 @@ fn join_flat<K: JoinKey>(
         run.results
     };
     drop(build_grant);
+    par.check_interrupt()?;
     report.hash_tables.push(HashTableStats {
         phase: "join".to_string(),
         build_nanos: t0.elapsed().as_nanos() as u64,
@@ -1089,6 +1120,9 @@ fn join_flat<K: JoinKey>(
         let mut joined: Vec<u32> = vec![0; stride];
         let mut n_out = 0usize;
         for i in range {
+            if poll_every(i) && intr.is_set() {
+                break;
+            }
             let key = probe_keys[i];
             // One hash per probe row selects both the radix partition (low
             // bits) and, inside `matches_hashed`, the bucket (bits 32..).
@@ -1117,21 +1151,24 @@ fn join_flat<K: JoinKey>(
         let run = grant
             .pool()
             .run(chunks.len(), |ci| probe_chunk(chunks[ci].clone()));
-        let mut out = Vec::with_capacity(run.results.iter().map(|(o, _)| o.len()).sum());
-        let mut n_out = 0usize;
-        for (local, local_n) in run.results {
-            out.extend_from_slice(&local);
-            n_out += local_n;
-        }
         report.parallel.push(ParallelPhase {
             phase: "join-probe".to_string(),
             partitions: chunks.len(),
             granted: grant.granted(),
             worker_nanos: run.worker_nanos,
         });
-        (out, n_out)
+        par.check_interrupt()?;
+        let mut out = Vec::with_capacity(run.results.iter().map(|(o, _)| o.len()).sum());
+        let mut n_out = 0usize;
+        for (local, local_n) in run.results {
+            out.extend_from_slice(&local);
+            n_out += local_n;
+        }
+        Ok((out, n_out))
     } else {
-        probe_chunk(0..probe.len())
+        let result = probe_chunk(0..probe.len());
+        par.check_interrupt()?;
+        Ok(result)
     }
 }
 
@@ -1171,7 +1208,8 @@ fn exec_group<'a>(
     tables: &'a [&'a dyn FactTable],
     report: &mut QueryReport,
     par: &ParallelCtx,
-) -> Vec<Tuple> {
+) -> Result<Vec<Tuple>> {
+    par.check_interrupt()?;
     let n_rows = batch.len();
     let mut cache = ColCache::new(batch);
 
@@ -1239,7 +1277,8 @@ fn group_keyed<'a, K: JoinKey>(
     tables: &'a [&'a dyn FactTable],
     report: &mut QueryReport,
     par: &ParallelCtx,
-) -> Vec<Tuple> {
+) -> Result<Vec<Tuple>> {
+    let intr = par.interrupt();
     let n_rows = packed.len();
     let t0 = Instant::now();
     // Admission for the grouping phase: fanout follows the granted worker
@@ -1249,8 +1288,9 @@ fn group_keyed<'a, K: JoinKey>(
 
     if n_parts == 1 {
         let (groups, slots, max_probe) = group_partition(
-            packed, None, None, shape, agg_plans, spec_data, key_cols, batch, tables,
+            packed, None, None, shape, agg_plans, spec_data, key_cols, batch, tables, intr,
         );
+        par.check_interrupt()?;
         report.hash_tables.push(HashTableStats {
             phase: "group".to_string(),
             build_nanos: t0.elapsed().as_nanos() as u64,
@@ -1259,7 +1299,7 @@ fn group_keyed<'a, K: JoinKey>(
             partitions: 1,
         });
         // A single partition's groups are already in first-seen order.
-        return groups.into_iter().map(|(_, t)| t).collect();
+        return Ok(groups.into_iter().map(|(_, t)| t).collect());
     }
 
     // Radix-partition rows by key hash (low bits): each worker owns its
@@ -1282,6 +1322,7 @@ fn group_keyed<'a, K: JoinKey>(
             key_cols,
             batch,
             tables,
+            intr,
         )
     });
     report.parallel.push(ParallelPhase {
@@ -1290,6 +1331,7 @@ fn group_keyed<'a, K: JoinKey>(
         granted: grant.granted(),
         worker_nanos: run.worker_nanos,
     });
+    par.check_interrupt()?;
 
     let mut slots = 0usize;
     let mut max_probe = 0usize;
@@ -1310,7 +1352,7 @@ fn group_keyed<'a, K: JoinKey>(
         max_chain: max_probe,
         partitions: n_parts,
     });
-    all.into_iter().map(|(_, t)| t).collect()
+    Ok(all.into_iter().map(|(_, t)| t).collect())
 }
 
 /// Group one partition's rows (`None` = all rows): assign dense group ids
@@ -1329,6 +1371,7 @@ fn group_partition<'a, K: JoinKey>(
     key_cols: &[Vec<u32>],
     batch: &PosBatch,
     tables: &'a [&'a dyn FactTable],
+    intr: &Interrupt,
 ) -> (Vec<(u32, Tuple)>, usize, usize) {
     let part_n = rows.map_or(packed.len(), <[u32]>::len);
     let row_at = |idx: usize| -> usize {
@@ -1343,6 +1386,11 @@ fn group_partition<'a, K: JoinKey>(
     let mut first_rows: Vec<u32> = Vec::new();
     let mut row_gids: Vec<u32> = Vec::with_capacity(part_n);
     for idx in 0..part_n {
+        // Cooperative bail: an interrupted partition returns no groups;
+        // the caller's post-run check discards every partial.
+        if poll_every(idx) && intr.is_set() {
+            return (Vec::new(), 0, 0);
+        }
         let i = row_at(idx);
         let before = index.len();
         // The radix path already hashed every key to pick partitions;
@@ -1357,6 +1405,9 @@ fn group_partition<'a, K: JoinKey>(
         row_gids.push(gid);
     }
     let n_groups = index.len();
+    if intr.is_set() {
+        return (Vec::new(), 0, 0);
+    }
 
     // Pass 2: accumulate each aggregate column-at-a-time into flat
     // vectors indexed by group id, finishing straight to output values.
@@ -1549,7 +1600,8 @@ fn group_global<'a>(
     tables: &'a [&'a dyn FactTable],
     report: &mut QueryReport,
     par: &ParallelCtx,
-) -> Vec<Tuple> {
+) -> Result<Vec<Tuple>> {
+    let intr = par.interrupt();
     let n_rows = batch.len();
     let accum_chunk = |range: std::ops::Range<usize>| -> Vec<GlobalAccum<'a>> {
         let mut acc: Vec<GlobalAccum<'a>> = shape
@@ -1570,6 +1622,9 @@ fn group_global<'a>(
             })
             .collect();
         for i in range {
+            if poll_every(i) && intr.is_set() {
+                break;
+            }
             for ((a, spec), data) in acc.iter_mut().zip(&shape.aggs).zip(spec_data) {
                 match (a, spec, data) {
                     (GlobalAccum::Count(n), ..) => *n += 1,
@@ -1637,8 +1692,9 @@ fn group_global<'a>(
     } else {
         accum_chunk(0..n_rows)
     };
+    par.check_interrupt()?;
 
-    vec![acc.into_iter().map(GlobalAccum::finish).collect()]
+    Ok(vec![acc.into_iter().map(GlobalAccum::finish).collect()])
 }
 
 #[cfg(test)]

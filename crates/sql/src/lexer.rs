@@ -40,9 +40,12 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
     let mut out = Vec::new();
     let mut i = 0usize;
     while i < bytes.len() {
-        let c = sql[i..].chars().next().expect("in-bounds char");
+        let c = sql[i..]
+            .chars()
+            .next()
+            .ok_or_else(|| BlendError::SqlParse(format!("bad UTF-8 boundary at byte {i}")))?;
         match c {
-            c if c.is_whitespace() => i += 1,
+            c if c.is_whitespace() => i += c.len_utf8(),
             '-' if bytes.get(i + 1) == Some(&b'-') => {
                 while i < bytes.len() && bytes[i] != b'\n' {
                     i += 1;
@@ -138,7 +141,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
                 let start = i;
                 while i < bytes.len() {
-                    let b = sql[i..].chars().next().expect("in-bounds char");
+                    let Some(b) = sql[i..].chars().next() else {
+                        break;
+                    };
                     // Identifiers are ASCII in our dialect; non-ASCII text
                     // only appears inside string literals.
                     if b.is_ascii_alphanumeric() || b == '_' || b == '$' {
@@ -310,5 +315,24 @@ mod tests {
     fn rejects_garbage() {
         assert!(tokenize("SELECT ✗").is_err());
         assert!(tokenize("{").is_err());
+    }
+
+    #[test]
+    fn multibyte_whitespace_is_skipped_not_panicked() {
+        // U+00A0 (no-break space, 2 bytes) and U+2003 (em space, 3 bytes)
+        // between tokens must advance by the full scalar width.
+        let toks = tokenize("SELECT\u{00A0}1\u{2003}+ 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Int(1),
+                Token::Plus,
+                Token::Int(2)
+            ]
+        );
+        // Multi-byte junk after whitespace errors cleanly instead of slicing
+        // mid-character.
+        assert!(tokenize("\u{00A0}✗").is_err());
     }
 }

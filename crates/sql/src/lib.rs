@@ -38,7 +38,7 @@ pub mod plan;
 pub mod value;
 
 pub use engine::{Database, ExecPath, SqlEngine};
-pub use exec::{HashTableStats, ParallelPhase, QueryReport, ResultSet, ScanReport};
+pub use exec::{HashTableStats, ParallelPhase, QueryReport, ResultSet, ScanReport, ServingStats};
 pub use hashtable::{GroupIndex, JoinKey, JoinTable};
 pub use value::SqlValue;
 

@@ -255,8 +255,8 @@ fn concurrent_end_to_end_seeker_runs_match_sequential() {
     let want: Vec<_> = seekers_under_test
         .iter()
         .map(|(label, s)| {
-            let run =
-                seekers::run(&reference, s, 10, None).unwrap_or_else(|e| panic!("{label}: {e}"));
+            let run = seekers::run(&reference, s, 10, None, &blend::Interrupt::never())
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
             (run.sql.clone(), hits(&run))
         })
         .collect();
@@ -275,8 +275,9 @@ fn concurrent_end_to_end_seeker_runs_match_sequential() {
                     for si in 0..seekers_under_test.len() {
                         let si = (si + worker + round) % seekers_under_test.len();
                         let (label, seeker) = &seekers_under_test[si];
-                        let got = seekers::run(shared, seeker, 10, None)
-                            .unwrap_or_else(|e| panic!("{label}: {e}"));
+                        let got =
+                            seekers::run(shared, seeker, 10, None, &blend::Interrupt::never())
+                                .unwrap_or_else(|e| panic!("{label}: {e}"));
                         assert_eq!(got.sql, want[si].0, "{label}: generated SQL diverged");
                         assert_eq!(
                             hits(&got),
@@ -393,5 +394,66 @@ proptest! {
             "held {max_seen} tokens concurrently on a budget of {budget}"
         );
         prop_assert_eq!(available, budget, "tokens leaked after drain");
+    }
+
+    /// Deadline-aware acquire against an exhausted budget: with every token
+    /// held and the deadline already expired, `acquire_within` must return
+    /// `Err(Timeout)` — never block forever (watchdog) and never leak a
+    /// token, even when a release races the expiry.
+    #[test]
+    fn expired_deadline_acquire_always_times_out_and_never_leaks(
+        budget in 1usize..5,
+        desired in 1usize..8,
+        racing_release in any::<bool>(),
+        expiry_micros in 0u64..500,
+    ) {
+        use blend_parallel::{CancellationToken, Deadline, Interrupt};
+
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let admission = Admission::new(budget);
+            let held = admission.try_acquire(budget);
+            assert_eq!(held.tokens(), budget, "failed to exhaust the budget");
+
+            // A release racing the expired-deadline acquire must not let a
+            // grant slip out after the deadline check.
+            let releaser = racing_release.then(|| {
+                let admission = admission.clone();
+                std::thread::spawn(move || {
+                    let refill = admission.try_acquire(0); // no-op grant
+                    drop(refill);
+                    std::thread::yield_now();
+                })
+            });
+
+            let interrupt = Interrupt::new(
+                CancellationToken::new(),
+                Deadline::after(Duration::from_micros(expiry_micros)),
+            );
+            // Let sub-millisecond deadlines actually expire.
+            std::thread::sleep(Duration::from_micros(expiry_micros + 1));
+            let result = admission.acquire_within(desired, &interrupt);
+
+            if let Some(r) = releaser {
+                r.join().expect("racing releaser panicked");
+            }
+            let timed_out = matches!(result, Err(blend_common::BlendError::Timeout(_)));
+            drop(result);
+            drop(held);
+            let _ = tx.send((timed_out, admission.available()));
+        });
+
+        let (timed_out, available) = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("expired-deadline acquire hung (deadline ignored?)");
+        prop_assert!(
+            timed_out,
+            "acquire_within on a full budget with an expired deadline must \
+             return Err(Timeout)"
+        );
+        prop_assert_eq!(
+            available, budget,
+            "expired-deadline acquire leaked a grant"
+        );
     }
 }

@@ -160,7 +160,7 @@ fn seeker_runs_match_direct_sql_results() {
     let lake = lake();
     let blend = Blend::from_lake(&lake, EngineKind::Column);
     for (label, seeker) in seeker_suite(&lake) {
-        let run = seekers::run(&blend, &seeker, 10, None).unwrap();
+        let run = seekers::run(&blend, &seeker, 10, None, &blend::Interrupt::never()).unwrap();
         // The SQL recorded on the run, re-executed on both paths, agrees.
         let (a, _) = blend
             .engine()

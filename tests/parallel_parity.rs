@@ -157,11 +157,11 @@ fn end_to_end_seeker_hits_are_thread_count_invariant() {
     let mut reference = blend::Blend::new(fact.clone());
     reference.set_parallel(Arc::new(ParallelCtx::sequential()));
     for (label, seeker) in seekers_under_test {
-        let want = seekers::run(&reference, &seeker, 10, None).unwrap();
+        let want = seekers::run(&reference, &seeker, 10, None, &blend::Interrupt::never()).unwrap();
         for threads in THREAD_COUNTS {
             let mut blend = blend::Blend::new(fact.clone());
             blend.set_parallel(Arc::new(ParallelCtx::with_tuning(threads, 1, 5)));
-            let got = seekers::run(&blend, &seeker, 10, None).unwrap();
+            let got = seekers::run(&blend, &seeker, 10, None, &blend::Interrupt::never()).unwrap();
             assert_eq!(got.sql, want.sql, "{label}/{threads}t");
             assert_eq!(got.mc_stats, want.mc_stats, "{label}/{threads}t");
             let hits = |run: &seekers::SeekerRun| -> Vec<(u32, f64)> {
