@@ -292,6 +292,16 @@ fn main() {
                 !rep.parallel.is_empty(),
                 "{label}/{mode}: phases must actually ride the pool at this size"
             );
+            // EXPLAIN ANALYZE: the span-tree profile of the SC shape,
+            // printed once per engine (shared pool) as the human-readable
+            // per-phase timing breakdown.
+            if mode == "shared" {
+                let profile = rep.profile.as_ref().expect("profile collected");
+                println!("  {label} SC query profile:");
+                for line in profile.render().lines() {
+                    println!("    {line}");
+                }
+            }
         }
 
         // Warm, then measure storms (median over iters).
@@ -431,11 +441,59 @@ fn main() {
     std::fs::write(&out, json).expect("write BENCH_concurrent_queries.json");
     println!("  wrote {}", out.display());
 
+    // Post-storm metrics snapshot: queue-wait and exec-time percentiles
+    // from the process-global registry, accumulated over every storm this
+    // run drove through the serving tier.
+    let snap = blend_obs::registry().snapshot();
+    let percentiles = |name: &str| -> (u64, u64, u64, u64) {
+        let h = snap
+            .histograms
+            .get(name)
+            .unwrap_or_else(|| panic!("missing histogram family `{name}`"));
+        assert!(h.count > 0, "`{name}` recorded nothing during the storms");
+        (h.count, h.quantile(0.5), h.quantile(0.9), h.quantile(0.99))
+    };
+    let queue_wait = percentiles("blend_serve_queue_wait_nanos");
+    let exec_time = percentiles("blend_serve_exec_nanos");
+    let submitted = snap.counter("blend_serve_submitted_total");
+    let outcome_sum: u64 = ["shed", "ok", "timeout", "cancelled", "failed"]
+        .iter()
+        .map(|o| snap.counter(&format!("blend_serve_outcomes_total{{outcome=\"{o}\"}}")))
+        .sum();
+    assert_eq!(
+        outcome_sum, submitted,
+        "post-storm snapshot: outcome counters must sum to submissions"
+    );
+    println!(
+        "  -> post-storm metrics: {} submitted; queue wait p50 {:.3}ms p90 {:.3}ms \
+         p99 {:.3}ms; exec p50 {:.3}ms p90 {:.3}ms p99 {:.3}ms",
+        submitted,
+        queue_wait.1 as f64 / 1e6,
+        queue_wait.2 as f64 / 1e6,
+        queue_wait.3 as f64 / 1e6,
+        exec_time.1 as f64 / 1e6,
+        exec_time.2 as f64 / 1e6,
+        exec_time.3 as f64 / 1e6,
+    );
+
     // Serving-tier trajectory: typed-outcome mix and completed-request
     // throughput through the bounded queue.
     let mut json = String::from("{\n  \"bench\": \"serving_storm\",\n");
     let _ = writeln!(json, "  \"rows\": {n_rows},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"metrics\": {{");
+    let _ = writeln!(json, "    \"submitted\": {submitted},");
+    let _ = writeln!(
+        json,
+        "    \"queue_wait_nanos\": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}},",
+        queue_wait.0, queue_wait.1, queue_wait.2, queue_wait.3
+    );
+    let _ = writeln!(
+        json,
+        "    \"exec_nanos\": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+        exec_time.0, exec_time.1, exec_time.2, exec_time.3
+    );
+    let _ = writeln!(json, "  }},");
     json.push_str("  \"results\": [\n");
     for (i, r) in serving_results.iter().enumerate() {
         let _ = writeln!(
@@ -463,4 +521,5 @@ fn main() {
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serving_storm.json");
     std::fs::write(&out, json).expect("write BENCH_serving_storm.json");
     println!("  wrote {}", out.display());
+    blend_obs::dump_if_enabled();
 }

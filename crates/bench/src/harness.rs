@@ -32,6 +32,37 @@ pub fn time_best_of<R>(n: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
     (best, out.expect("n > 0"))
 }
 
+/// Interleaved A/B medians of one workload with observability collection
+/// enabled vs disabled ([`blend_obs::set_enabled`]). Samples alternate
+/// (on, off, on, off, ...) so drift — thermal, frequency scaling, page
+/// cache — lands on both sides equally; each side's median is returned as
+/// `(enabled_ns, disabled_ns)`. Collection is left enabled on return.
+///
+/// This is the measurement behind the benches' obs-overhead acceptance
+/// bar (enabled must stay within a few percent of disabled on the hot
+/// query shapes).
+pub fn obs_overhead_ns(iters: usize, mut f: impl FnMut()) -> (u64, u64) {
+    let mut sample = |on: bool| -> u64 {
+        blend_obs::set_enabled(on);
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_nanos() as u64
+    };
+    // One unmeasured pair to warm caches and the registry cells.
+    sample(true);
+    sample(false);
+    let mut on_ns: Vec<u64> = Vec::with_capacity(iters);
+    let mut off_ns: Vec<u64> = Vec::with_capacity(iters);
+    for _ in 0..iters.max(1) {
+        on_ns.push(sample(true));
+        off_ns.push(sample(false));
+    }
+    blend_obs::set_enabled(true);
+    on_ns.sort_unstable();
+    off_ns.sort_unstable();
+    (on_ns[on_ns.len() / 2], off_ns[off_ns.len() / 2])
+}
+
 /// Accumulates durations and reports mean/total.
 #[derive(Debug, Default, Clone)]
 pub struct Timer {

@@ -60,6 +60,11 @@ pub struct ExecutionReport {
     pub ops: Vec<OpExecution>,
     pub total: Duration,
     pub optimized: bool,
+    /// Span-tree profile of the whole plan: one child per executed
+    /// operator (`seeker:SC`, `combine:Intersect`, ...), with each
+    /// seeker's SQL execution tree (scan → join → group) nested inside.
+    /// `None` when observability is disabled ([`blend_obs::enabled`]).
+    pub profile: Option<blend_obs::Profile>,
 }
 
 impl ExecutionReport {
@@ -128,9 +133,11 @@ pub fn execute_interruptible(
         },
         interrupt,
     };
+    let trace = blend_obs::trace_begin("plan");
     let start = Instant::now();
     let hits = eval(&mut ctx, &sink, None)?;
     ctx.report.total = start.elapsed();
+    ctx.report.profile = trace.finish();
     Ok((hits, ctx.report))
 }
 
@@ -168,8 +175,15 @@ fn eval(ctx: &mut Ctx<'_>, id: &str, injected: Option<Injected>) -> Result<Vec<T
 
     let hits = match node {
         Node::Seeker { seeker, k } => {
+            let span = blend_obs::span_owned(format!("seeker:{}", seeker.label()));
+            span.attr_str("node", id);
+            if injected.is_some() {
+                span.attr_str("injected", "true");
+            }
             let start = Instant::now();
             let run = seekers::run(ctx.blend, &seeker, k, injected.as_ref(), &ctx.interrupt)?;
+            span.attr_u64("results", run.hits.len() as u64);
+            drop(span);
             ctx.report.ops.push(OpExecution {
                 id: id.to_string(),
                 op: seeker.label().to_string(),
@@ -196,8 +210,12 @@ fn eval(ctx: &mut Ctx<'_>, id: &str, injected: Option<Injected>) -> Result<Vec<T
                 }
                 rs
             };
+            let span = blend_obs::span_owned(format!("combine:{}", combiner.label()));
+            span.attr_str("node", id);
             let start = Instant::now();
             let combined = combiners::apply(combiner, &results, k);
+            span.attr_u64("results", combined.len() as u64);
+            drop(span);
             ctx.report.ops.push(OpExecution {
                 id: id.to_string(),
                 op: combiner.label().to_string(),

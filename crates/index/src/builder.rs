@@ -2,13 +2,36 @@
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use blend_common::{Table, Value};
 use blend_storage::{build_engine, EngineKind, FactRow, FactTable};
 
 use crate::quadrant::column_quadrants;
 use crate::xash::Xash;
+
+/// Index-build metric cells (`blend_index_*`), resolved once per process.
+struct IndexMetrics {
+    /// Lake tables indexed (cumulative across builds).
+    tables: Arc<blend_obs::Counter>,
+    /// Fact rows emitted (cumulative across builds).
+    rows: Arc<blend_obs::Counter>,
+    /// Wall time of whole-lake builds ([`IndexBuilder::index_lake`]).
+    build_nanos: Arc<blend_obs::Histogram>,
+}
+
+fn index_metrics() -> &'static IndexMetrics {
+    static METRICS: OnceLock<IndexMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = blend_obs::registry();
+        IndexMetrics {
+            tables: r.counter("blend_index_tables_total"),
+            rows: r.counter("blend_index_fact_rows_total"),
+            build_nanos: r.histogram("blend_index_build_nanos"),
+        }
+    })
+}
 
 /// Indexing configuration.
 #[derive(Debug, Clone)]
@@ -122,6 +145,19 @@ impl IndexBuilder {
     /// reassembled in input-table order, making the result identical at
     /// every thread count.
     pub fn index_lake(&self, tables: &[Table]) -> Vec<FactRow> {
+        let span = blend_obs::span("index.build");
+        span.attr_u64("tables", tables.len() as u64);
+        let t0 = Instant::now();
+        let all = self.index_lake_inner(tables);
+        let m = index_metrics();
+        m.tables.add(tables.len() as u64);
+        m.rows.add(all.len() as u64);
+        m.build_nanos.record(t0.elapsed().as_nanos() as u64);
+        span.attr_u64("rows", all.len() as u64);
+        all
+    }
+
+    fn index_lake_inner(&self, tables: &[Table]) -> Vec<FactRow> {
         let threads = self.options.threads.max(1);
         if threads == 1 || tables.len() < 2 {
             let mut all = Vec::new();

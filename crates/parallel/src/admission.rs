@@ -21,13 +21,37 @@
 //!   concurrency suite's proptest pins its liveness: random grant/release
 //!   sequences never exceed the budget and always drain.
 
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use blend_common::Result;
 
 use crate::cancel::Interrupt;
 use crate::pool::lock_clean;
+
+/// Admission metric cells (`blend_admission_*`), resolved once and shared
+/// by every controller in the process.
+struct AdmissionMetrics {
+    /// Tokens currently held by live grants.
+    tokens_in_use: Arc<blend_obs::Gauge>,
+    /// Non-empty grants handed out.
+    grants: Arc<blend_obs::Counter>,
+    /// Time spent blocked in `acquire`/`acquire_within` (the non-blocking
+    /// `try_acquire` never waits and is not recorded).
+    acquire_wait: Arc<blend_obs::Histogram>,
+}
+
+fn admission_metrics() -> &'static AdmissionMetrics {
+    static METRICS: OnceLock<AdmissionMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = blend_obs::registry();
+        AdmissionMetrics {
+            tokens_in_use: r.gauge("blend_admission_tokens_in_use"),
+            grants: r.counter("blend_admission_grants_total"),
+            acquire_wait: r.histogram("blend_admission_acquire_wait_nanos"),
+        }
+    })
+}
 
 /// Environment variable overriding the process-wide admission budget (the
 /// maximum number of concurrently granted helper-worker tokens). Defaults
@@ -75,6 +99,11 @@ impl Admission {
         let tokens = (*available).min(desired);
         *available -= tokens;
         drop(available);
+        if tokens > 0 {
+            let m = admission_metrics();
+            m.tokens_in_use.add(tokens as i64);
+            m.grants.inc();
+        }
         AdmissionGrant {
             admission: (tokens > 0).then(|| self.clone()),
             tokens,
@@ -89,6 +118,7 @@ impl Admission {
         if desired == 0 || self.budget == 0 {
             return AdmissionGrant::empty();
         }
+        let start = Instant::now();
         let mut available = lock_clean(&self.available);
         while *available == 0 {
             available = self
@@ -99,6 +129,10 @@ impl Admission {
         let tokens = (*available).min(desired);
         *available -= tokens;
         drop(available);
+        let m = admission_metrics();
+        m.acquire_wait.record(start.elapsed().as_nanos() as u64);
+        m.tokens_in_use.add(tokens as i64);
+        m.grants.inc();
         AdmissionGrant {
             admission: Some(self.clone()),
             tokens,
@@ -127,9 +161,16 @@ impl Admission {
         // cancel (which has no wakeup edge on this condvar) is observed
         // promptly rather than only on the next release.
         const CANCEL_POLL: Duration = Duration::from_millis(10);
+        let start = Instant::now();
         let mut available = lock_clean(&self.available);
         while *available == 0 {
-            interrupt.check()?;
+            if let Err(e) = interrupt.check() {
+                drop(available);
+                admission_metrics()
+                    .acquire_wait
+                    .record(start.elapsed().as_nanos() as u64);
+                return Err(e);
+            }
             let wait = match interrupt.deadline().remaining() {
                 Some(left) => left.min(CANCEL_POLL),
                 None => CANCEL_POLL,
@@ -144,6 +185,10 @@ impl Admission {
         let tokens = (*available).min(desired);
         *available -= tokens;
         drop(available);
+        let m = admission_metrics();
+        m.acquire_wait.record(start.elapsed().as_nanos() as u64);
+        m.tokens_in_use.add(tokens as i64);
+        m.grants.inc();
         Ok(AdmissionGrant {
             admission: Some(self.clone()),
             tokens,
@@ -151,6 +196,7 @@ impl Admission {
     }
 
     fn release(&self, tokens: usize) {
+        admission_metrics().tokens_in_use.add(-(tokens as i64));
         let mut available = lock_clean(&self.available);
         *available += tokens;
         debug_assert!(*available <= self.budget, "token over-release");

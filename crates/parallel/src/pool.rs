@@ -37,6 +37,33 @@ pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Pool-wide metric cells (`blend_pool_*`), resolved once. Process-global
+/// on purpose: every core aggregates into one fleet-level family.
+struct PoolMetrics {
+    /// Total busy wall nanos across all participating workers (callers
+    /// included), summed per batch.
+    busy_nanos: std::sync::Arc<blend_obs::Counter>,
+    /// Tasks executed across all batches.
+    tasks: std::sync::Arc<blend_obs::Counter>,
+    /// Batches submitted through `run`/`run_with`.
+    batches: std::sync::Arc<blend_obs::Counter>,
+    /// Time a queued batch waited before a pool worker first entered it.
+    queue_residency: std::sync::Arc<blend_obs::Histogram>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = blend_obs::registry();
+        PoolMetrics {
+            busy_nanos: r.counter("blend_pool_busy_nanos_total"),
+            tasks: r.counter("blend_pool_tasks_total"),
+            batches: r.counter("blend_pool_batches_total"),
+            queue_residency: r.histogram("blend_pool_queue_residency_nanos"),
+        }
+    })
+}
+
 /// Result of one [`WorkerPool::run`] call.
 #[derive(Debug)]
 pub struct PoolRun<T> {
@@ -112,6 +139,10 @@ impl JobRef {
 struct QueuedJob {
     job: JobRef,
     slots: usize,
+    /// When the batch was enqueued; feeds the queue-residency histogram
+    /// the first time a pool worker enters it.
+    submitted: Instant,
+    entered_once: bool,
 }
 
 // ---- the shared injector and its workers -----------------------------------
@@ -167,6 +198,12 @@ fn worker_loop(inj: Arc<Injector>) {
                         continue;
                     }
                     q.slots -= 1;
+                    if !q.entered_once {
+                        q.entered_once = true;
+                        pool_metrics()
+                            .queue_residency
+                            .record(q.submitted.elapsed().as_nanos() as u64);
+                    }
                     unsafe { (*job.0).enter() };
                     if q.slots == 0 {
                         st.queue.pop_front();
@@ -258,7 +295,12 @@ impl PoolCore {
                 let mut handles = lock_clean(&self.handles);
                 self.spawn_locked(&mut st, &mut handles, slots);
             }
-            st.queue.push_back(QueuedJob { job, slots });
+            st.queue.push_back(QueuedJob {
+                job,
+                slots,
+                submitted: Instant::now(),
+                entered_once: false,
+            });
         }
         self.inj.work.notify_all();
     }
@@ -289,10 +331,7 @@ impl Drop for PoolCore {
                 if cfg!(debug_assertions) && !std::thread::panicking() {
                     panic!("batch outlived its run call");
                 }
-                eprintln!(
-                    "blend-parallel: warning: {} batch(es) still queued at pool shutdown",
-                    st.queue.len()
-                );
+                blend_obs::warn!("{} batch(es) still queued at pool shutdown", st.queue.len());
             }
         }
         self.inj.work.notify_all();
@@ -307,9 +346,7 @@ impl Drop for PoolCore {
             if cfg!(debug_assertions) && !std::thread::panicking() {
                 panic!("{live} worker(s) still counted live after shutdown join");
             }
-            eprintln!(
-                "blend-parallel: warning: {live} worker(s) still counted live after shutdown join"
-            );
+            blend_obs::warn!("{live} worker(s) still counted live after shutdown join");
         }
     }
 }
@@ -593,19 +630,25 @@ impl WorkerPool {
         F: Fn(&mut S, usize) -> T + Sync,
         T: Send,
     {
-        if self.width == 1 || n_tasks <= 1 {
+        let run = if self.width == 1 || n_tasks <= 1 {
             let start = Instant::now();
             let mut scratch = init();
             let results: Vec<T> = (0..n_tasks).map(|i| f(&mut scratch, i)).collect();
-            return PoolRun {
+            PoolRun {
                 results,
                 worker_nanos: vec![start.elapsed().as_nanos() as u64],
-            };
-        }
-        match &self.backing {
-            Backing::Persistent(core) => self.run_persistent(core, n_tasks, &init, &f),
-            Backing::Scoped => self.run_scoped(n_tasks, &init, &f),
-        }
+            }
+        } else {
+            match &self.backing {
+                Backing::Persistent(core) => self.run_persistent(core, n_tasks, &init, &f),
+                Backing::Scoped => self.run_scoped(n_tasks, &init, &f),
+            }
+        };
+        let m = pool_metrics();
+        m.batches.inc();
+        m.tasks.add(n_tasks as u64);
+        m.busy_nanos.add(run.worker_nanos.iter().sum());
+        run
     }
 
     /// Persistent path: enqueue the batch, serve it from the calling

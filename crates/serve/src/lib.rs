@@ -39,8 +39,17 @@
 //!
 //! Per-request telemetry rides the result: `QueryReport::serving` records
 //! queue wait, execution time, and outcome
-//! ([`ServingStats`](blend_sql::ServingStats)); [`ServeQueue::stats`]
-//! aggregates submitted/shed/ok/timeout/cancelled/failed counters.
+//! ([`ServingStats`](blend_sql::ServingStats)), and `QueryReport::profile`
+//! carries the query's `EXPLAIN ANALYZE` span tree with queue-side
+//! attributes (`queue_wait_nanos`, `outcome`) stamped onto its root.
+//! [`ServeQueue::stats`] aggregates submitted/shed/ok/timeout/cancelled/
+//! failed counters per queue, and the same events feed the process-global
+//! [`blend_obs`] registry (`blend_serve_*`: submission/outcome counters, a
+//! queue-depth gauge, queue-wait and exec-time histograms) for the
+//! fleet-level view — note the metrics-level `blend_serve_submitted_total`
+//! counts *every* submission attempt including shed ones, so
+//! `shed + ok + timeout + cancelled + failed == submitted` holds there,
+//! while `ServeStats::submitted` counts accepted requests only.
 //!
 //! ## The cancellation protocol (who checks, where)
 //!

@@ -5,15 +5,54 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use blend_common::{BlendError, Result};
+use blend_obs::AttrValue;
 use blend_parallel::{CancellationToken, Deadline, Interrupt};
 use blend_sql::{ExecPath, QueryReport, ResultSet, ServingStats, SqlEngine};
 
 use crate::faults::{FaultAction, FaultPlan, SITE_DEQUEUE, SITE_EXEC};
+
+/// Serving-tier metric cells (`blend_serve_*`), process-global across
+/// every queue. Unlike [`ServeStats::submitted`] (accepted requests
+/// only), `blend_serve_submitted_total` counts every submission attempt,
+/// so the counter identity `shed + ok + timeouts + cancellations +
+/// failures == submitted` holds at any quiesce point.
+struct ServeMetrics {
+    submitted: Arc<blend_obs::Counter>,
+    shed: Arc<blend_obs::Counter>,
+    ok: Arc<blend_obs::Counter>,
+    timeouts: Arc<blend_obs::Counter>,
+    cancellations: Arc<blend_obs::Counter>,
+    failures: Arc<blend_obs::Counter>,
+    /// Requests accepted and not yet dequeued.
+    queue_depth: Arc<blend_obs::Gauge>,
+    /// Time from accept to dequeue, for requests that reached a server.
+    queue_wait: Arc<blend_obs::Histogram>,
+    /// Execution time (admission wait included) of dequeued requests.
+    exec_time: Arc<blend_obs::Histogram>,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = blend_obs::registry();
+        ServeMetrics {
+            submitted: r.counter("blend_serve_submitted_total"),
+            shed: r.counter("blend_serve_outcomes_total{outcome=\"shed\"}"),
+            ok: r.counter("blend_serve_outcomes_total{outcome=\"ok\"}"),
+            timeouts: r.counter("blend_serve_outcomes_total{outcome=\"timeout\"}"),
+            cancellations: r.counter("blend_serve_outcomes_total{outcome=\"cancelled\"}"),
+            failures: r.counter("blend_serve_outcomes_total{outcome=\"failed\"}"),
+            queue_depth: r.gauge("blend_serve_queue_depth"),
+            queue_wait: r.histogram("blend_serve_queue_wait_nanos"),
+            exec_time: r.histogram("blend_serve_exec_nanos"),
+        }
+    })
+}
 
 /// Serving-tier knobs.
 #[derive(Debug)]
@@ -193,13 +232,17 @@ impl ServeQueue {
             outcome: Mutex::new(None),
             done: Condvar::new(),
         });
+        let m = serve_metrics();
+        m.submitted.inc();
         {
             let mut st = self.core.state.lock().unwrap_or_else(|e| e.into_inner());
             if st.shutdown {
+                m.cancellations.inc();
                 return Err(BlendError::Cancelled("serve queue shut down".into()));
             }
             if st.queue.len() >= self.core.depth {
                 self.core.stats.shed.fetch_add(1, Ordering::Relaxed);
+                m.shed.inc();
                 return Err(BlendError::Overloaded(format!(
                     "serve queue full ({} queued, depth {})",
                     st.queue.len(),
@@ -209,6 +252,7 @@ impl ServeQueue {
             st.queue.push_back(req.clone());
         }
         self.core.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        m.queue_depth.inc();
         self.core.nonempty.notify_one();
         Ok(Ticket { req })
     }
@@ -253,7 +297,16 @@ impl Drop for ServeQueue {
             let mut st = self.core.state.lock().unwrap_or_else(|e| e.into_inner());
             st.queue.drain(..).collect()
         };
+        let m = serve_metrics();
         for req in leftovers {
+            // Count the shutdown resolution like any other cancellation so
+            // the outcome counters keep summing to submissions.
+            self.core
+                .stats
+                .cancellations
+                .fetch_add(1, Ordering::Relaxed);
+            m.cancellations.inc();
+            m.queue_depth.dec();
             req.resolve(Err(BlendError::Cancelled("serve queue shut down".into())));
         }
     }
@@ -273,29 +326,55 @@ fn serve_loop(core: &Core) {
                 st = core.nonempty.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
+        let m = serve_metrics();
+        m.queue_depth.dec();
         let queue_wait = req.enqueued.elapsed();
+        m.queue_wait.record(queue_wait.as_nanos() as u64);
         let mut poisoned = apply_faults(core, SITE_DEQUEUE, &req);
 
         let exec_start = Instant::now();
         let result = serve_one(core, &req, &mut poisoned);
         let exec = exec_start.elapsed();
+        m.exec_time.record(exec.as_nanos() as u64);
 
         let s = &core.stats;
         let result = match result {
             Ok((rs, mut report)) => {
                 s.ok.fetch_add(1, Ordering::Relaxed);
+                m.ok.inc();
                 report.serving = Some(ServingStats {
                     queue_wait_nanos: queue_wait.as_nanos() as u64,
                     exec_nanos: exec.as_nanos() as u64,
                     outcome: "ok".into(),
                 });
+                // Fold the serving view into the unified profile: the root
+                // span is the engine's execution; queue wait precedes it.
+                if let Some(profile) = report.profile.as_mut() {
+                    profile.root.attrs.push((
+                        "queue_wait_nanos".to_string(),
+                        AttrValue::U64(queue_wait.as_nanos() as u64),
+                    ));
+                    profile
+                        .root
+                        .attrs
+                        .push(("outcome".to_string(), AttrValue::Str("ok".into())));
+                }
                 Ok((rs, report))
             }
             Err(e) => {
                 match &e {
-                    BlendError::Timeout(_) => s.timeouts.fetch_add(1, Ordering::Relaxed),
-                    BlendError::Cancelled(_) => s.cancellations.fetch_add(1, Ordering::Relaxed),
-                    _ => s.failures.fetch_add(1, Ordering::Relaxed),
+                    BlendError::Timeout(_) => {
+                        s.timeouts.fetch_add(1, Ordering::Relaxed);
+                        m.timeouts.inc();
+                    }
+                    BlendError::Cancelled(_) => {
+                        s.cancellations.fetch_add(1, Ordering::Relaxed);
+                        m.cancellations.inc();
+                    }
+                    _ => {
+                        s.failures.fetch_add(1, Ordering::Relaxed);
+                        m.failures.inc();
+                    }
                 };
                 Err(e)
             }

@@ -1,14 +1,36 @@
 //! The database facade: catalog + parse/plan/execute entry points.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use blend_common::{FxHashMap, Result};
 use blend_parallel::{Interrupt, ParallelCtx};
 use blend_storage::FactTable;
 
-use crate::exec::{execute_plan_path, QueryReport, ResultSet};
+use crate::exec::{execute_plan_path, QueryReport, ResultSet, ServingStats};
 use crate::parser::parse;
 use crate::plan::{plan_query, Catalog};
+
+/// Engine-level metric cells (`blend_sql_*`), labeled by the executor
+/// path that actually ran — a two-value closed set.
+struct SqlMetrics {
+    queries_positional: Arc<blend_obs::Counter>,
+    queries_tuple: Arc<blend_obs::Counter>,
+    errors: Arc<blend_obs::Counter>,
+    exec_time: Arc<blend_obs::Histogram>,
+}
+
+fn sql_metrics() -> &'static SqlMetrics {
+    static METRICS: OnceLock<SqlMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = blend_obs::registry();
+        SqlMetrics {
+            queries_positional: r.counter("blend_sql_queries_total{path=\"positional\"}"),
+            queries_tuple: r.counter("blend_sql_queries_total{path=\"tuple\"}"),
+            errors: r.counter("blend_sql_query_errors_total"),
+            exec_time: r.histogram("blend_sql_exec_nanos"),
+        }
+    })
+}
 
 /// Executor selection for [`SqlEngine::execute_with_report_path`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -144,12 +166,48 @@ impl SqlEngine {
         interrupt: Interrupt,
     ) -> Result<(ResultSet, QueryReport)> {
         interrupt.check()?;
-        let ast = parse(sql)?;
-        let plan = plan_query(&ast, &self.db)?;
-        let par = self.parallel.with_interrupt(interrupt);
-        let mut report = QueryReport::default();
-        let rs = execute_plan_path(&plan, &mut report, path == ExecPath::Auto, &par)?;
-        Ok((rs, report))
+        // The root span of this query's profile tree: every phase span the
+        // executors record below nests under it.
+        let trace = blend_obs::trace_begin("query");
+        let outcome = (|| {
+            let ast = parse(sql)?;
+            let plan = plan_query(&ast, &self.db)?;
+            let par = self.parallel.with_interrupt(interrupt);
+            let mut report = QueryReport::default();
+            let rs = execute_plan_path(&plan, &mut report, path == ExecPath::Auto, &par)?;
+            Ok((rs, report))
+        })();
+        let m = sql_metrics();
+        match outcome {
+            Ok((rs, mut report)) => {
+                trace.attr_str("path", report.path.clone());
+                report.profile = trace.finish();
+                if report.path == "positional" {
+                    m.queries_positional.inc();
+                } else {
+                    m.queries_tuple.inc();
+                }
+                let exec_nanos = report.profile.as_ref().map_or(0, |p| p.root.nanos);
+                m.exec_time.record(exec_nanos);
+                // End-to-end timing for *direct* calls too, sourced from
+                // the root span; the serving tier overwrites this with the
+                // queue-side view (which adds the real queue wait) when
+                // the query arrived through `blend_serve`.
+                if report.serving.is_none() && exec_nanos > 0 {
+                    report.serving = Some(ServingStats {
+                        queue_wait_nanos: 0,
+                        exec_nanos,
+                        outcome: "ok".into(),
+                    });
+                }
+                Ok((rs, report))
+            }
+            Err(e) => {
+                drop(trace);
+                m.errors.inc();
+                Err(e)
+            }
+        }
     }
 }
 

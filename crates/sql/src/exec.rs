@@ -82,10 +82,11 @@ pub struct HashTableStats {
     pub partitions: usize,
 }
 
-/// Per-request serving telemetry recorded by the `blend_serve` queue:
-/// where a request's wall-clock went and how it ended. Attached to
-/// [`QueryReport::serving`] only for queued requests; direct engine calls
-/// leave it `None`.
+/// Per-request serving telemetry: where a request's wall-clock went and
+/// how it ended. The `blend_serve` queue attaches the full view (queue
+/// wait + execution); direct engine calls record execution time from the
+/// root span with a zero queue wait, so every successful query has
+/// end-to-end timing.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServingStats {
     /// Nanoseconds between enqueue and the start of execution (queue
@@ -114,17 +115,23 @@ pub struct QueryReport {
     pub parallel: Vec<ParallelPhase>,
     /// Flat join/group hash-table builds, in execution order.
     pub hash_tables: Vec<HashTableStats>,
-    /// Serving-tier telemetry (set only by `blend_serve`'s queue).
+    /// End-to-end serving telemetry (queue wait is 0 for direct calls).
     pub serving: Option<ServingStats>,
+    /// The unified `EXPLAIN ANALYZE` span tree for this query: scan, join
+    /// build/probe, group, and global-agg phases with wall nanos and
+    /// attributes, rooted at the engine's `query` span. `None` when
+    /// instrumentation is disabled ([`blend_obs::set_enabled`]).
+    pub profile: Option<blend_obs::Profile>,
 }
 
 impl QueryReport {
     /// Logical-telemetry equality: same scans, join cardinalities, result
     /// rows, and executor path. Ignores [`QueryReport::parallel`],
-    /// [`QueryReport::hash_tables`], and [`QueryReport::serving`], whose
-    /// partition counts, table sizing, and timings legitimately vary with
-    /// the thread count and serving conditions — everything else must be
-    /// byte-identical at every thread count (the parity suite's contract).
+    /// [`QueryReport::hash_tables`], [`QueryReport::serving`], and
+    /// [`QueryReport::profile`], whose partition counts, table sizing, and
+    /// timings legitimately vary with the thread count and serving
+    /// conditions — everything else must be byte-identical at every thread
+    /// count (the parity suite's contract).
     pub fn logical_eq(&self, other: &QueryReport) -> bool {
         self.scans == other.scans
             && self.joins == other.joins
@@ -337,6 +344,7 @@ fn exec_tree(
 
 fn exec_scan(scan: &ScanPlan, report: &mut QueryReport, par: &ParallelCtx) -> Result<Vec<Tuple>> {
     par.check_interrupt()?;
+    let span = blend_obs::span_owned(format!("scan:{}", scan.alias));
     let table = scan.table.as_ref();
     let mut out = Vec::new();
     let mut scanned = 0usize;
@@ -397,6 +405,9 @@ fn exec_scan(scan: &ScanPlan, report: &mut QueryReport, par: &ParallelCtx) -> Re
         }
     }
 
+    span.attr_str("access", scan.access.label());
+    span.attr_u64("scanned", scanned as u64);
+    span.attr_u64("rows", out.len() as u64);
     report.scans.push(ScanReport {
         alias: scan.alias.clone(),
         access: scan.access.label().to_string(),
@@ -434,6 +445,7 @@ fn hash_join(
             .collect()
     };
 
+    let build_span = blend_obs::span("join.build");
     let mut table: FxHashMap<Vec<SqlValue>, Vec<usize>> = FxHashMap::default();
     for (i, t) in build.iter().enumerate() {
         if i & 0xFFF == 0 {
@@ -446,7 +458,10 @@ fn hash_join(
         }
         table.entry(k).or_default().push(i);
     }
+    build_span.attr_u64("rows", build.len() as u64);
+    drop(build_span);
 
+    let probe_span = blend_obs::span("join.probe");
     let mut out = Vec::new();
     for (pi, pt) in probe.iter().enumerate() {
         if pi & 0xFFF == 0 {
@@ -472,6 +487,9 @@ fn hash_join(
             }
         }
     }
+    probe_span.attr_u64("rows", probe.len() as u64);
+    probe_span.attr_u64("matched", out.len() as u64);
+    drop(probe_span);
     report.joins.push((build.len(), probe.len(), out.len()));
     Ok(out)
 }
@@ -655,6 +673,12 @@ impl AggState {
 
 fn exec_group(group: &GroupPlan, tuples: Vec<Tuple>, par: &ParallelCtx) -> Result<Vec<Tuple>> {
     par.check_interrupt()?;
+    let span = blend_obs::span(if group.group_exprs.is_empty() {
+        "group.global"
+    } else {
+        "group"
+    });
+    span.attr_u64("rows", tuples.len() as u64);
     // Key order must be deterministic for stable results; keep first-seen
     // order via an index map built on top of the hash map.
     let mut index: FxHashMap<Vec<SqlValue>, usize> = FxHashMap::default();

@@ -743,6 +743,8 @@ fn exec_scan(
     par: &ParallelCtx,
 ) -> Result<PosBatch> {
     par.check_interrupt()?;
+    let span = blend_obs::span_owned(format!("scan:{}", scan.alias));
+    span.attr_str("access", scan.access.label());
     let table = scan.table.as_ref();
     let mut out: Vec<u32> = Vec::new();
     let mut scanned = 0usize;
@@ -766,6 +768,8 @@ fn exec_scan(
                 out.extend(0..table.len() as u32);
             }
         }
+        span.attr_u64("scanned", out.len() as u64);
+        span.attr_u64("rows", out.len() as u64);
         report.scans.push(ScanReport {
             alias: scan.alias.clone(),
             access: scan.access.label().to_string(),
@@ -889,6 +893,8 @@ fn exec_scan(
         }
     }
 
+    span.attr_u64("scanned", scanned as u64);
+    span.attr_u64("rows", out.len() as u64);
     report.scans.push(ScanReport {
         alias: scan.alias.clone(),
         access: scan.access.label().to_string(),
@@ -1063,6 +1069,8 @@ fn join_flat<K: JoinKey>(
 ) -> Result<(Vec<u32>, usize)> {
     let intr = par.interrupt();
     let n_build = build.len();
+    let build_span = blend_obs::span("join.build");
+    build_span.attr_u64("rows", n_build as u64);
     let t0 = Instant::now();
     // Admission for the build phase: the radix fanout is sized from the
     // *granted* worker count, so a degraded grant builds fewer partitions
@@ -1102,15 +1110,21 @@ fn join_flat<K: JoinKey>(
     };
     drop(build_grant);
     par.check_interrupt()?;
+    let buckets: usize = flat_tables.iter().map(JoinTable::buckets).sum();
+    let max_chain = flat_tables
+        .iter()
+        .map(JoinTable::max_chain)
+        .max()
+        .unwrap_or(0);
+    build_span.attr_u64("buckets", buckets as u64);
+    build_span.attr_u64("max_chain", max_chain as u64);
+    build_span.attr_u64("partitions", n_parts as u64);
+    drop(build_span);
     report.hash_tables.push(HashTableStats {
         phase: "join".to_string(),
         build_nanos: t0.elapsed().as_nanos() as u64,
-        buckets: flat_tables.iter().map(JoinTable::buckets).sum(),
-        max_chain: flat_tables
-            .iter()
-            .map(JoinTable::max_chain)
-            .max()
-            .unwrap_or(0),
+        buckets,
+        max_chain,
         partitions: n_parts,
     });
 
@@ -1146,7 +1160,9 @@ fn join_flat<K: JoinKey>(
         (out, n_out)
     };
 
-    if let Some(grant) = par.admit(probe.len()) {
+    let probe_span = blend_obs::span("join.probe");
+    probe_span.attr_u64("rows", probe.len() as u64);
+    let (out, n_out) = if let Some(grant) = par.admit(probe.len()) {
         let chunks = split_even(probe.len(), grant.granted());
         let run = grant
             .pool()
@@ -1164,12 +1180,14 @@ fn join_flat<K: JoinKey>(
             out.extend_from_slice(&local);
             n_out += local_n;
         }
-        Ok((out, n_out))
+        (out, n_out)
     } else {
         let result = probe_chunk(0..probe.len());
         par.check_interrupt()?;
-        Ok(result)
-    }
+        result
+    };
+    probe_span.attr_u64("matched", n_out as u64);
+    Ok((out, n_out))
 }
 
 // ---- aggregation -----------------------------------------------------------
@@ -1280,6 +1298,8 @@ fn group_keyed<'a, K: JoinKey>(
 ) -> Result<Vec<Tuple>> {
     let intr = par.interrupt();
     let n_rows = packed.len();
+    let span = blend_obs::span("group");
+    span.attr_u64("rows", n_rows as u64);
     let t0 = Instant::now();
     // Admission for the grouping phase: fanout follows the granted worker
     // count; an empty grant takes the single-partition sequential path.
@@ -1291,6 +1311,8 @@ fn group_keyed<'a, K: JoinKey>(
             packed, None, None, shape, agg_plans, spec_data, key_cols, batch, tables, intr,
         );
         par.check_interrupt()?;
+        span.attr_u64("groups", groups.len() as u64);
+        span.attr_u64("partitions", 1);
         report.hash_tables.push(HashTableStats {
             phase: "group".to_string(),
             build_nanos: t0.elapsed().as_nanos() as u64,
@@ -1345,6 +1367,8 @@ fn group_keyed<'a, K: JoinKey>(
     // unique per group; sorting by them reproduces the sequential
     // first-seen output order exactly.
     all.sort_unstable_by_key(|&(first_row, _)| first_row);
+    span.attr_u64("groups", all.len() as u64);
+    span.attr_u64("partitions", n_parts as u64);
     report.hash_tables.push(HashTableStats {
         phase: "group".to_string(),
         build_nanos: t0.elapsed().as_nanos() as u64,
@@ -1603,6 +1627,8 @@ fn group_global<'a>(
 ) -> Result<Vec<Tuple>> {
     let intr = par.interrupt();
     let n_rows = batch.len();
+    let span = blend_obs::span("group.global");
+    span.attr_u64("rows", n_rows as u64);
     let accum_chunk = |range: std::ops::Range<usize>| -> Vec<GlobalAccum<'a>> {
         let mut acc: Vec<GlobalAccum<'a>> = shape
             .aggs

@@ -37,6 +37,7 @@ pub mod parser;
 pub mod plan;
 pub mod value;
 
+pub use blend_obs::Profile as QueryProfile;
 pub use engine::{Database, ExecPath, SqlEngine};
 pub use exec::{HashTableStats, ParallelPhase, QueryReport, ResultSet, ScanReport, ServingStats};
 pub use hashtable::{GroupIndex, JoinKey, JoinTable};

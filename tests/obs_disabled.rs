@@ -1,0 +1,59 @@
+//! Observability kill switch: with collection disabled, queries produce
+//! identical results and no profile, and metric cells stay frozen.
+//!
+//! Lives in its own integration binary (one process, one test) because
+//! [`blend_obs::set_enabled`] is process-global — flipping it mid-run
+//! would race any concurrently hammering metrics test.
+
+use std::sync::Arc;
+
+use blend_parallel::ParallelCtx;
+use blend_sql::SqlEngine;
+use blend_storage::{build_engine, EngineKind, FactRow};
+
+#[test]
+fn disabled_observability_yields_no_profile_and_frozen_metrics() {
+    let mut rows = Vec::new();
+    for t in 0..4u32 {
+        for r in 0..20u32 {
+            rows.push(FactRow::new(
+                &format!("w{}", (t + r) % 5),
+                t,
+                0,
+                r,
+                r as u128,
+                None,
+            ));
+        }
+    }
+    let fact = build_engine(EngineKind::Column, rows);
+    let engine = SqlEngine::with_alltables(fact).with_parallel(Arc::new(ParallelCtx::sequential()));
+    let sql = "SELECT TableId, COUNT(*) AS n FROM AllTables \
+               GROUP BY TableId ORDER BY n DESC, TableId LIMIT 5";
+
+    let (rs_on, report_on) = engine.execute_with_report(sql).expect("enabled run");
+    assert!(
+        report_on.profile.is_some(),
+        "enabled runs collect a profile"
+    );
+
+    blend_obs::set_enabled(false);
+    let queries_before = blend_obs::registry()
+        .snapshot()
+        .counter("blend_sql_queries_total{path=\"positional\"}");
+    let (rs_off, report_off) = engine.execute_with_report(sql).expect("disabled run");
+    let queries_after = blend_obs::registry()
+        .snapshot()
+        .counter("blend_sql_queries_total{path=\"positional\"}");
+    blend_obs::set_enabled(true);
+
+    assert_eq!(rs_on, rs_off, "observability must not change results");
+    assert!(
+        report_off.profile.is_none(),
+        "disabled runs must not collect spans"
+    );
+    assert_eq!(
+        queries_before, queries_after,
+        "disabled runs must not move metric cells"
+    );
+}

@@ -1,0 +1,183 @@
+//! Observability layer invariants: metric conservation under concurrency
+//! and the EXPLAIN ANALYZE profile tree on real queries.
+//!
+//! 1. **Conservation** — counters and histograms hammered from many
+//!    threads lose no updates: the counter total, the histogram count,
+//!    the bucket mass, and the value sum all equal what the writers
+//!    recorded. Runs behind a watchdog so a lost wakeup or deadlock in
+//!    the sharded cells shows up as a timeout, not a hung suite.
+//! 2. **Parse-back** — the Prometheus text rendering round-trips: the
+//!    `_total`, `_count`, and `+Inf` bucket lines parse back to exactly
+//!    the in-process values.
+//! 3. **Profile tree** — an SC-shaped query (scan → join build/probe →
+//!    group) executed directly through [`SqlEngine`] carries a
+//!    [`QueryProfile`] with the full span tree and non-zero timings, and
+//!    direct calls get exec-time telemetry with zero queue wait.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use blend_parallel::ParallelCtx;
+use blend_sql::SqlEngine;
+use blend_storage::{build_engine, EngineKind, FactRow};
+
+/// Watchdog budget for one hammer round.
+const WATCHDOG: Duration = Duration::from_secs(20);
+
+/// Unique metric names per proptest case so cases never share cells and
+/// every assertion can be absolute instead of delta-based.
+fn unique_name(prefix: &str) -> String {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    format!("{prefix}_{}", NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Extract the value of the first rendered line whose name part equals
+/// `name` (exact match on everything before the final space).
+fn parse_line(rendered: &str, name: &str) -> Option<u64> {
+    rendered.lines().find_map(|l| {
+        let (n, v) = l.rsplit_once(' ')?;
+        (n == name).then(|| v.parse().ok())?
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn concurrent_hammer_conserves_counts(
+        values in proptest::collection::vec(0u64..1_000_000, 1..200),
+        threads in 2usize..6,
+    ) {
+        let counter_name = unique_name("obs_test_hammer_total");
+        let hist_name = unique_name("obs_test_hammer_nanos");
+        let counter = blend_obs::registry().counter(&counter_name);
+        let hist = blend_obs::registry().histogram(&hist_name);
+
+        // Hammer behind a watchdog: all threads record every value.
+        let (tx, rx) = mpsc::channel();
+        {
+            let values = values.clone();
+            let (counter, hist) = (counter.clone(), hist.clone());
+            std::thread::spawn(move || {
+                let workers: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let values = values.clone();
+                        let (counter, hist) = (counter.clone(), hist.clone());
+                        std::thread::spawn(move || {
+                            for &v in &values {
+                                counter.inc();
+                                hist.record(v);
+                            }
+                        })
+                    })
+                    .collect();
+                for w in workers {
+                    w.join().expect("hammer thread panicked");
+                }
+                let _ = tx.send(());
+            });
+        }
+        rx.recv_timeout(WATCHDOG).expect("metric hammer deadlocked");
+
+        // Conservation: nothing lost, nothing invented.
+        let expected_count = (threads * values.len()) as u64;
+        let expected_sum = values
+            .iter()
+            .fold(0u64, |acc, &v| acc.wrapping_add(v))
+            .wrapping_mul(threads as u64);
+        prop_assert_eq!(counter.get(), expected_count);
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, expected_count);
+        prop_assert_eq!(snap.sum, expected_sum);
+        prop_assert_eq!(
+            snap.buckets.iter().sum::<u64>(),
+            expected_count,
+            "bucket mass must equal the record count"
+        );
+
+        // Prometheus parse-back on the live registry rendering.
+        let rendered = blend_obs::registry().render_prometheus();
+        prop_assert_eq!(parse_line(&rendered, &counter_name), Some(expected_count));
+        prop_assert_eq!(
+            parse_line(&rendered, &format!("{hist_name}_count")),
+            Some(expected_count)
+        );
+        prop_assert_eq!(
+            parse_line(&rendered, &format!("{hist_name}_bucket{{le=\"+Inf\"}}")),
+            Some(expected_count),
+            "+Inf bucket must be cumulative over everything"
+        );
+    }
+}
+
+fn sc_engine() -> SqlEngine {
+    let mut rows = Vec::new();
+    for t in 0..6u32 {
+        for r in 0..40u32 {
+            let sk = ((t as u128) << 64) | r as u128;
+            rows.push(FactRow::new(
+                &format!("w{}", (t + r) % 7),
+                t,
+                0,
+                r,
+                sk,
+                None,
+            ));
+            rows.push(FactRow::new(&(r % 10).to_string(), t, 1, r, sk, None));
+        }
+    }
+    let fact = build_engine(EngineKind::Column, rows);
+    SqlEngine::with_alltables(fact).with_parallel(Arc::new(ParallelCtx::sequential()))
+}
+
+/// The SC shape (Listing 1): index scan → self-join build/probe → grouped
+/// aggregation. Its profile must contain the whole span tree with real
+/// timings.
+#[test]
+fn sc_query_profile_has_full_span_tree() {
+    let engine = sc_engine();
+    let sql = "SELECT a.TableId, COUNT(DISTINCT a.CellValue) AS n FROM AllTables a \
+               INNER JOIN AllTables b ON a.CellValue = b.CellValue \
+               WHERE b.ColumnId = 0 GROUP BY a.TableId ORDER BY n DESC, a.TableId LIMIT 10";
+    let (_, report) = engine.execute_with_report(sql).expect("SC query");
+
+    let profile = report.profile.as_ref().expect("profile collected");
+    assert_eq!(profile.root.name, "query");
+    assert!(profile.root.nanos > 0, "root span must have wall time");
+    assert_eq!(
+        profile.root.attr("path").map(|a| a.to_string()).as_deref(),
+        Some(report.path.as_str()),
+        "root records which executor ran"
+    );
+
+    let scan = profile
+        .find_prefix("scan:")
+        .expect("scan span under the query root");
+    assert!(scan.nanos > 0, "scan span must have wall time");
+    assert!(scan.attr("rows").is_some(), "scan records emitted rows");
+    for phase in ["join.build", "join.probe", "group"] {
+        assert!(
+            profile.find(phase).is_some(),
+            "missing span `{phase}` in profile:\n{}",
+            profile.render()
+        );
+    }
+
+    // The tree printer shows every phase with a duration.
+    let rendered = profile.render();
+    for needle in ["query", "join.build", "join.probe", "group"] {
+        assert!(rendered.contains(needle), "renderer lost `{needle}`");
+    }
+
+    // Direct (unqueued) execution still carries exec-time telemetry.
+    let serving = report.serving.as_ref().expect("direct-call serving stats");
+    assert_eq!(serving.outcome, "ok");
+    assert_eq!(serving.queue_wait_nanos, 0, "no queue on the direct path");
+    assert!(
+        serving.exec_nanos > 0,
+        "exec time measured from the root span"
+    );
+}

@@ -1,0 +1,177 @@
+//! Post-storm metrics snapshot validation: after an overload storm through
+//! the serving tier, the process-global registry must expose the serving,
+//! admission, pool, and SQL metric families, and the serving counters must
+//! satisfy the conservation identity
+//!
+//! ```text
+//! shed + ok + timeout + cancelled + failed == submitted
+//! ```
+//!
+//! Lives in its own integration binary with a single test: the identity is
+//! only exact at a quiescent point, and the registry is process-global, so
+//! no other serving test may run in this process.
+
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use blend_parallel::{Deadline, ParallelCtx};
+use blend_serve::{FaultPlan, ServeConfig, ServeQueue};
+use blend_sql::SqlEngine;
+use blend_storage::{build_engine, EngineKind, FactRow};
+
+const WATCHDOG: Duration = Duration::from_secs(30);
+
+fn fact_rows() -> Vec<FactRow> {
+    let mut rows = Vec::new();
+    for t in 0..5u32 {
+        for r in 0..60u32 {
+            let sk = ((t as u128) << 64) | r as u128;
+            rows.push(FactRow::new(
+                &format!("w{}", (t + r) % 6),
+                t,
+                0,
+                r,
+                sk,
+                None,
+            ));
+            rows.push(FactRow::new(&(r % 10).to_string(), t, 1, r, sk, None));
+        }
+    }
+    rows
+}
+
+#[test]
+fn post_storm_snapshot_exposes_families_and_counter_identity() {
+    const DEPTH: usize = 4;
+    const WAVES: usize = 4;
+
+    let fact = build_engine(EngineKind::Column, fact_rows());
+    // morsel_len 32 on a few-hundred-row table: scan/join/group phases
+    // fan out, so admission grants and pool tasks actually happen.
+    let engine = Arc::new(
+        SqlEngine::with_alltables(fact)
+            .with_parallel(Arc::new(ParallelCtx::with_admission(4, 1, 32, 2))),
+    );
+    let queue = Arc::new(ServeQueue::new(
+        engine,
+        ServeConfig {
+            depth: DEPTH,
+            workers: 2,
+            faults: FaultPlan::none(),
+        },
+    ));
+
+    let queries = [
+        "SELECT TableId, COUNT(DISTINCT CellValue) AS n FROM AllTables \
+         WHERE CellValue IN ('w0','w1','w2') GROUP BY TableId ORDER BY n DESC, TableId LIMIT 10",
+        "SELECT a.TableId, COUNT(*) AS n FROM AllTables a \
+         INNER JOIN AllTables b ON a.CellValue = b.CellValue \
+         WHERE b.ColumnId = 0 GROUP BY a.TableId ORDER BY n DESC, a.TableId LIMIT 10",
+        "SELECT TableId, RowId, CellValue FROM AllTables \
+         WHERE ColumnId = 0 ORDER BY TableId, RowId, CellValue LIMIT 40",
+    ];
+
+    // 2× queue depth per wave, a third on 1 ms budgets: produces ok, shed,
+    // and timeout outcomes. Behind a watchdog like the main storm suite.
+    let (tx, rx) = mpsc::channel();
+    let storm_queue = queue.clone();
+    std::thread::spawn(move || {
+        let mut resolved = 0usize;
+        for wave in 0..WAVES {
+            let tickets: Vec<_> = (0..2 * DEPTH)
+                .map(|i| {
+                    let budget = if i % 3 == 0 {
+                        Duration::from_millis(1)
+                    } else {
+                        Duration::from_secs(20)
+                    };
+                    let sql = queries[(i + wave) % queries.len()];
+                    storm_queue.submit(sql, Deadline::after(budget))
+                })
+                .collect();
+            for ticket in tickets {
+                let _ = ticket.and_then(|t| t.wait());
+                resolved += 1;
+            }
+        }
+        let _ = tx.send(resolved);
+    });
+    let resolved = rx.recv_timeout(WATCHDOG).expect("metrics storm deadlocked");
+    assert_eq!(resolved, WAVES * 2 * DEPTH);
+
+    // Quiesce: joining the serving threads guarantees every accepted
+    // request's outcome counter was bumped before the snapshot.
+    drop(queue);
+
+    let snap = blend_obs::registry().snapshot();
+    let submitted = snap.counter("blend_serve_submitted_total");
+    assert_eq!(
+        submitted,
+        (WAVES * 2 * DEPTH) as u64,
+        "metrics-level submitted counts every submission attempt"
+    );
+    let outcomes: u64 = ["shed", "ok", "timeout", "cancelled", "failed"]
+        .iter()
+        .map(|o| snap.counter(&format!("blend_serve_outcomes_total{{outcome=\"{o}\"}}")))
+        .sum();
+    assert_eq!(
+        outcomes, submitted,
+        "shed + ok + timeout + cancelled + failed must equal submitted"
+    );
+    assert!(
+        snap.counter("blend_serve_outcomes_total{outcome=\"ok\"}") > 0,
+        "storm produced no successes"
+    );
+    assert_eq!(
+        snap.gauges.get("blend_serve_queue_depth").copied(),
+        Some(0),
+        "queue depth gauge must drain to zero"
+    );
+
+    // Family presence: serving histograms, admission, pool, and SQL cells
+    // all moved during the storm.
+    for hist in ["blend_serve_queue_wait_nanos", "blend_serve_exec_nanos"] {
+        let h = snap
+            .histograms
+            .get(hist)
+            .unwrap_or_else(|| panic!("missing histogram family `{hist}`"));
+        assert!(h.count > 0, "`{hist}` recorded nothing");
+    }
+    assert!(
+        snap.counter("blend_admission_grants_total") > 0,
+        "no admission grants recorded"
+    );
+    assert_eq!(
+        snap.gauges.get("blend_admission_tokens_in_use").copied(),
+        Some(0),
+        "admission tokens must drain back"
+    );
+    assert!(
+        snap.counter("blend_pool_tasks_total") > 0,
+        "no pool tasks recorded"
+    );
+    assert!(
+        snap.counter("blend_sql_queries_total{path=\"positional\"}")
+            + snap.counter("blend_sql_queries_total{path=\"tuple\"}")
+            > 0,
+        "no SQL executions recorded"
+    );
+
+    // The Prometheus rendering carries every family with type headers.
+    let rendered = blend_obs::registry().render_prometheus();
+    for family in [
+        "# TYPE blend_serve_submitted_total counter",
+        "# TYPE blend_serve_outcomes_total counter",
+        "# TYPE blend_serve_queue_depth gauge",
+        "# TYPE blend_serve_queue_wait_nanos histogram",
+        "# TYPE blend_serve_exec_nanos histogram",
+        "# TYPE blend_admission_grants_total counter",
+        "# TYPE blend_pool_tasks_total counter",
+    ] {
+        assert!(rendered.contains(family), "rendering lost `{family}`");
+    }
+
+    // With `BLEND_METRICS` set (as in CI) this prints the snapshot to
+    // stderr, exercising the env-gated dump path end to end.
+    blend_obs::dump_if_enabled();
+}
