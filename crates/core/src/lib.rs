@@ -145,6 +145,17 @@ impl Blend {
         Blend::new(fact)
     }
 
+    /// Re-index a (possibly changed) lake and swap the rebuilt `AllTables`
+    /// into the live catalog. In-flight queries finish against the
+    /// snapshot they planned with; every query planned after the swap sees
+    /// the new table. The swap advances the engine's catalog generation,
+    /// so serving-tier result caches keyed on `SqlEngine::generation` can
+    /// never serve a pre-rebuild result to a post-rebuild query.
+    pub fn rebuild_from_lake(&self, lake: &DataLake, kind: EngineKind) {
+        let fact = blend_index::IndexBuilder::new().build(&lake.tables, kind);
+        self.engine.replace_table("alltables", fact);
+    }
+
     /// Index a lake with pre-shuffled rows — the "BLEND (rand)" variant.
     pub fn from_lake_shuffled(lake: &DataLake, kind: EngineKind, seed: u64) -> Self {
         let builder = blend_index::IndexBuilder::with_options(blend_index::IndexOptions {

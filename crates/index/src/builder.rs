@@ -199,8 +199,15 @@ impl IndexBuilder {
     }
 
     /// Index a lake directly into a storage engine.
+    ///
+    /// Every build advances the process-wide store generation
+    /// ([`blend_storage::bump_store_generation`]): a rebuild produces a new
+    /// `AllTables`, so any result memoized against the previous generation
+    /// must stop matching the moment the new table can be installed.
     pub fn build(&self, tables: &[Table], kind: EngineKind) -> Arc<dyn FactTable> {
-        build_engine(kind, self.index_lake(tables))
+        let fact = build_engine(kind, self.index_lake(tables));
+        blend_storage::bump_store_generation();
+        fact
     }
 }
 

@@ -1,0 +1,400 @@
+//! The fingerprint-keyed, byte-bounded result cache behind
+//! [`ServeQueue`](crate::ServeQueue).
+//!
+//! Seeker workloads repeat a handful of query templates, so once the
+//! serving tier can name a query canonically
+//! ([`blend_sql::fingerprint`]), recomputing a repeated query is pure
+//! waste. This cache memoizes whole [`ResultSet`]s under a
+//! [`CacheKey`] — canonical fingerprint + store generation + executor
+//! path — with a **byte budget** (`BLEND_RESULT_CACHE_BYTES`, default
+//! 32 MiB, `0` disables) enforced per shard by CLOCK (second-chance)
+//! eviction.
+//!
+//! ## Keying and invalidation contract
+//!
+//! * Keys compare the **full canonical text**, not just the 64-bit hash:
+//!   a hash collision can put two queries in the same shard but can never
+//!   serve one query's bytes for another.
+//! * The key's `generation` is the store generation observed **before**
+//!   the cached execution began. Index/lake rebuilds and catalog swaps
+//!   bump the process-wide generation, so post-rebuild lookups (which use
+//!   the new generation) can never match pre-rebuild entries — even when
+//!   the rebuild lands while the entry's execution is still in flight.
+//!   Each shard also purges entries from superseded generations the first
+//!   time it observes a new one, so stale bytes are reclaimed promptly
+//!   rather than aging out.
+//! * Entry cost comes from [`ResultSet::approx_bytes`] (the
+//!   `memory_breakdown`-style accounting); an entry larger than a whole
+//!   shard's budget is simply not admitted.
+//!
+//! Observability: `blend_cache_hits_total`, `blend_cache_misses_total`,
+//! `blend_cache_coalesced_total` (incremented by the queue when a request
+//! attaches to an in-flight execution), `blend_cache_evictions_total`,
+//! and the `blend_cache_bytes` gauge.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use blend_common::FxHashMap;
+use blend_sql::{ExecPath, QueryFingerprint, QueryReport, ResultSet};
+
+/// Shards: enough to keep lock contention off the serving threads, few
+/// enough that per-shard budgets stay meaningful for small caches.
+const NUM_SHARDS: usize = 8;
+
+/// Default byte budget when `BLEND_RESULT_CACHE_BYTES` is unset.
+pub const DEFAULT_CACHE_BYTES: usize = 32 << 20;
+
+/// Resolve the cache budget from `BLEND_RESULT_CACHE_BYTES` (`0`
+/// disables caching entirely).
+pub fn cache_bytes_from_env() -> usize {
+    match std::env::var("BLEND_RESULT_CACHE_BYTES") {
+        Ok(v) => v.trim().parse().unwrap_or(DEFAULT_CACHE_BYTES),
+        Err(_) => DEFAULT_CACHE_BYTES,
+    }
+}
+
+/// Cache metric cells (`blend_cache_*`), process-global across queues.
+pub(crate) struct CacheMetrics {
+    pub hits: Arc<blend_obs::Counter>,
+    pub misses: Arc<blend_obs::Counter>,
+    pub coalesced: Arc<blend_obs::Counter>,
+    pub evictions: Arc<blend_obs::Counter>,
+    pub bytes: Arc<blend_obs::Gauge>,
+}
+
+pub(crate) fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = blend_obs::registry();
+        CacheMetrics {
+            hits: r.counter("blend_cache_hits_total"),
+            misses: r.counter("blend_cache_misses_total"),
+            coalesced: r.counter("blend_cache_coalesced_total"),
+            evictions: r.counter("blend_cache_evictions_total"),
+            bytes: r.gauge("blend_cache_bytes"),
+        }
+    })
+}
+
+/// The identity a memoized (or in-flight) execution is filed under.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical query fingerprint (authoritative: full canonical text).
+    pub fp: QueryFingerprint,
+    /// Store generation observed before execution began.
+    pub generation: u64,
+    /// Executor selection — `Auto` and `TupleOnly` may legitimately order
+    /// rows differently, so they never share bytes.
+    pub path: ExecPath,
+}
+
+impl CacheKey {
+    fn shard(&self) -> usize {
+        // High bits: the map inside each shard consumes the low bits.
+        (self.fp.hash() >> 32) as usize % NUM_SHARDS
+    }
+}
+
+/// A memoized execution: the result plus the executing request's logical
+/// report (serving/profile stripped — each delivery stamps its own).
+#[derive(Debug)]
+pub struct CachedResult {
+    pub rs: ResultSet,
+    pub report: QueryReport,
+    /// Admission cost charged against the byte budget.
+    pub bytes: usize,
+}
+
+impl CachedResult {
+    /// Package a finished execution for the cache: telemetry that is
+    /// per-delivery (serving stats, profile tree) is stripped here and
+    /// re-stamped on every hit.
+    pub fn new(rs: ResultSet, mut report: QueryReport) -> Self {
+        report.serving = None;
+        report.profile = None;
+        let bytes = rs.approx_bytes();
+        CachedResult { rs, report, bytes }
+    }
+}
+
+struct Slot {
+    key: CacheKey,
+    value: Arc<CachedResult>,
+    referenced: bool,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<CacheKey, usize>,
+    slots: Vec<Option<Slot>>,
+    hand: usize,
+    bytes: usize,
+    /// Latest store generation this shard has observed; entries from older
+    /// generations are purged when it advances.
+    seen_gen: u64,
+}
+
+impl Shard {
+    fn purge_stale(&mut self, generation: u64) -> usize {
+        if generation <= self.seen_gen {
+            return 0;
+        }
+        self.seen_gen = generation;
+        let mut freed = 0;
+        for i in 0..self.slots.len() {
+            let stale = matches!(&self.slots[i], Some(s) if s.key.generation != generation);
+            if stale {
+                let slot = self.slots[i].take().expect("checked above");
+                self.map.remove(&slot.key);
+                self.bytes -= slot.value.bytes;
+                freed += slot.value.bytes;
+            }
+        }
+        freed
+    }
+
+    /// CLOCK sweep until at least `needed` bytes fit under `budget`.
+    /// Returns (bytes freed, entries evicted).
+    fn evict_for(&mut self, needed: usize, budget: usize) -> (usize, u64) {
+        let mut freed = 0;
+        let mut evicted = 0;
+        while self.bytes + needed > budget && !self.map.is_empty() {
+            if self.slots.is_empty() {
+                break;
+            }
+            self.hand %= self.slots.len();
+            let i = self.hand;
+            self.hand += 1;
+            match &mut self.slots[i] {
+                Some(s) if s.referenced => s.referenced = false,
+                Some(_) => {
+                    let slot = self.slots[i].take().expect("matched Some");
+                    self.map.remove(&slot.key);
+                    self.bytes -= slot.value.bytes;
+                    freed += slot.value.bytes;
+                    evicted += 1;
+                }
+                None => {}
+            }
+        }
+        (freed, evicted)
+    }
+}
+
+/// Sharded CLOCK cache of memoized seeker results.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+}
+
+impl ResultCache {
+    /// Cache with a total byte budget split evenly across shards.
+    /// `total_bytes == 0` builds a disabled cache (every lookup misses,
+    /// every insert is dropped, no metrics recorded).
+    pub fn new(total_bytes: usize) -> ResultCache {
+        ResultCache {
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            shard_budget: total_bytes / NUM_SHARDS,
+        }
+    }
+
+    /// True when a zero budget disabled the cache.
+    pub fn is_disabled(&self) -> bool {
+        self.shard_budget == 0
+    }
+
+    /// Look up a memoized result. Counts a hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedResult>> {
+        if self.is_disabled() {
+            return None;
+        }
+        let m = cache_metrics();
+        let mut shard = self.shards[key.shard()]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let freed = shard.purge_stale(key.generation);
+        if freed > 0 {
+            m.bytes.add(-(freed as i64));
+        }
+        match shard.map.get(key) {
+            Some(&i) => {
+                let slot = shard.slots[i].as_mut().expect("mapped slot is live");
+                slot.referenced = true;
+                let value = Arc::clone(&slot.value);
+                m.hits.inc();
+                Some(value)
+            }
+            None => {
+                m.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Admit a finished execution. Oversized entries (larger than a whole
+    /// shard's budget) are dropped; an existing entry for the same key is
+    /// kept (fingerprint-equal executions are byte-identical by contract).
+    pub fn insert(&self, key: CacheKey, value: Arc<CachedResult>) {
+        if self.is_disabled() || value.bytes > self.shard_budget {
+            return;
+        }
+        let m = cache_metrics();
+        let mut shard = self.shards[key.shard()]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut delta: i64 = -(shard.purge_stale(key.generation) as i64);
+        if !shard.map.contains_key(&key) {
+            let (freed, evicted) = shard.evict_for(value.bytes, self.shard_budget);
+            delta -= freed as i64;
+            m.evictions.add(evicted);
+            shard.bytes += value.bytes;
+            delta += value.bytes as i64;
+            let slot = Slot {
+                key: key.clone(),
+                value,
+                referenced: true,
+            };
+            let i = match shard.slots.iter().position(Option::is_none) {
+                Some(i) => {
+                    shard.slots[i] = Some(slot);
+                    i
+                }
+                None => {
+                    shard.slots.push(Some(slot));
+                    shard.slots.len() - 1
+                }
+            };
+            shard.map.insert(key, i);
+        }
+        if delta != 0 {
+            m.bytes.add(delta);
+        }
+    }
+
+    /// Live entries (tests).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resident bytes (tests).
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blend_sql::fingerprint_sql;
+
+    fn result_of(n: usize, tag: &str) -> ResultSet {
+        ResultSet {
+            columns: vec!["v".into()],
+            rows: (0..n)
+                .map(|i| vec![blend_sql::SqlValue::from(format!("{tag}-{i}").as_str())])
+                .collect(),
+        }
+    }
+
+    fn key(sql: &str, generation: u64) -> CacheKey {
+        CacheKey {
+            fp: fingerprint_sql(sql).unwrap(),
+            generation,
+            path: ExecPath::Auto,
+        }
+    }
+
+    fn entry(n: usize, tag: &str) -> Arc<CachedResult> {
+        Arc::new(CachedResult::new(result_of(n, tag), QueryReport::default()))
+    }
+
+    #[test]
+    fn hit_after_insert_and_generation_invalidation() {
+        let cache = ResultCache::new(1 << 20);
+        let k1 = key("SELECT TableId FROM AllTables", 1);
+        cache.insert(k1.clone(), entry(4, "a"));
+        assert_eq!(cache.get(&k1).unwrap().rs, result_of(4, "a"));
+
+        // Same query at a newer generation: the old entry must not match,
+        // and observing the new generation purges it.
+        let k2 = key("SELECT TableId FROM AllTables", 2);
+        assert!(cache.get(&k2).is_none());
+        assert!(cache.is_empty(), "stale generation purged on observation");
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn spelling_variants_share_an_entry() {
+        let cache = ResultCache::new(1 << 20);
+        cache.insert(
+            key(
+                "SELECT TableId FROM AllTables WHERE CellValue IN ('a','b')",
+                1,
+            ),
+            entry(2, "x"),
+        );
+        let variant = key(
+            "select tableid from alltables where cellvalue in ('b','a')",
+            1,
+        );
+        assert!(cache.get(&variant).is_some());
+    }
+
+    #[test]
+    fn byte_budget_forces_eviction() {
+        // Budget fits roughly one entry per shard.
+        let one = entry(64, "fill");
+        let cache = ResultCache::new(one.bytes * NUM_SHARDS + NUM_SHARDS);
+        for i in 0..64 {
+            cache.insert(
+                key(&format!("SELECT TableId FROM AllTables LIMIT {i}"), 1),
+                entry(64, "fill"),
+            );
+        }
+        assert!(cache.bytes() <= one.bytes * NUM_SHARDS + NUM_SHARDS);
+        assert!(cache.len() < 64, "evictions must have occurred");
+    }
+
+    #[test]
+    fn zero_budget_disables() {
+        let cache = ResultCache::new(0);
+        let k = key("SELECT TableId FROM AllTables", 1);
+        cache.insert(k.clone(), entry(4, "a"));
+        assert!(cache.get(&k).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn oversized_entry_not_admitted() {
+        let cache = ResultCache::new(NUM_SHARDS * 64);
+        let k = key("SELECT CellValue FROM AllTables", 1);
+        cache.insert(k.clone(), entry(1000, "big"));
+        assert!(cache.get(&k).is_none());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn exec_paths_do_not_share_entries() {
+        let cache = ResultCache::new(1 << 20);
+        let auto = key("SELECT TableId FROM AllTables", 1);
+        let tuple = CacheKey {
+            path: ExecPath::TupleOnly,
+            ..auto.clone()
+        };
+        cache.insert(auto, entry(4, "a"));
+        assert!(cache.get(&tuple).is_none());
+    }
+}

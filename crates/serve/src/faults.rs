@@ -6,11 +6,19 @@
 //! every site, every ticket must still resolve to exactly one typed
 //! outcome and the serving threads must survive.
 //!
-//! Sites (see [`SITE_DEQUEUE`], [`SITE_EXEC`]):
+//! Sites (see [`SITE_DEQUEUE`], [`SITE_CACHE`], [`SITE_COALESCE`],
+//! [`SITE_EXEC`]):
 //!
 //! * `dequeue` — fired when a serving thread pops a request, before the
 //!   queued-deadline check. A delay here simulates a slow scheduler and
 //!   widens the window in which queued requests expire.
+//! * `cache` — fired before the result-cache probe. `poison` here makes
+//!   the request *skip* the cache and crash at the exec site instead
+//!   (a hit would otherwise mask the poison), `cancel` trips its token
+//!   before it can be served from cache.
+//! * `coalesce` — fired before the in-flight group attach/lead decision.
+//!   Poisoning here targets group *leaders*: the leader crashes
+//!   mid-execution and its waiters must be promoted or resolve typed.
 //! * `exec` — fired after the admission slot is acquired, immediately
 //!   before execution. `poison` here panics *inside* the serving thread's
 //!   `catch_unwind`, modelling a request that crashes mid-flight.
@@ -41,6 +49,10 @@ use blend_common::{BlendError, Result};
 
 /// Fault site: a serving thread popped a request off the queue.
 pub const SITE_DEQUEUE: &str = "dequeue";
+/// Fault site: about to probe the result cache for this request.
+pub const SITE_CACHE: &str = "cache";
+/// Fault site: about to attach to (or lead) an in-flight group.
+pub const SITE_COALESCE: &str = "coalesce";
 /// Fault site: admission slot held, about to execute the request.
 pub const SITE_EXEC: &str = "exec";
 

@@ -21,7 +21,10 @@
 //!    [`Interrupt`] — and a [`Ticket`].
 //! 2. **Dequeue** — a serving thread pops the request. If its deadline
 //!    expired or it was cancelled while queued, it resolves
-//!    `Err(Timeout)`/`Err(Cancelled)` without executing.
+//!    `Err(Timeout)`/`Err(Cancelled)` without executing. Otherwise the
+//!    thread probes the **result cache** and the **in-flight group map**
+//!    (see *Coalescing and the result cache* below); a request resolved
+//!    there never reaches admission.
 //! 3. **Admission** — the thread acquires **one** admission token as the
 //!    request's execution slot via
 //!    [`Admission::acquire_within`](blend_parallel::Admission::acquire_within),
@@ -42,14 +45,69 @@
 //! ([`ServingStats`](blend_sql::ServingStats)), and `QueryReport::profile`
 //! carries the query's `EXPLAIN ANALYZE` span tree with queue-side
 //! attributes (`queue_wait_nanos`, `outcome`) stamped onto its root.
-//! [`ServeQueue::stats`] aggregates submitted/shed/ok/timeout/cancelled/
-//! failed counters per queue, and the same events feed the process-global
-//! [`blend_obs`] registry (`blend_serve_*`: submission/outcome counters, a
-//! queue-depth gauge, queue-wait and exec-time histograms) for the
-//! fleet-level view — note the metrics-level `blend_serve_submitted_total`
-//! counts *every* submission attempt including shed ones, so
-//! `shed + ok + timeout + cancelled + failed == submitted` holds there,
+//! [`ServeQueue::stats`] aggregates submitted/shed/ok/cache-hit/
+//! coalesced-hit/timeout/cancelled/failed counters per queue, and the same
+//! events feed the process-global [`blend_obs`] registry (`blend_serve_*`:
+//! submission/outcome counters, a queue-depth gauge, queue-wait and
+//! exec-time histograms; `blend_cache_*`: hit/miss/coalesced/eviction
+//! counters and a resident-bytes gauge) for the fleet-level view — note
+//! the metrics-level `blend_serve_submitted_total` counts *every*
+//! submission attempt including shed ones, so `shed + ok + cache_hit +
+//! coalesced_hit + timeout + cancelled + failed == submitted` holds there,
 //! while `ServeStats::submitted` counts accepted requests only.
+//!
+//! ## Coalescing and the result cache
+//!
+//! Seeker workloads are template-heavy: many users re-issue the same few
+//! discovery queries, differing only in spelling (literal order inside
+//! `IN` lists, identifier case, whitespace). Both optimizations below key
+//! on the **canonical fingerprint**
+//! ([`blend_sql::fingerprint_sql`]): fingerprint-equal queries are
+//! guaranteed byte-identical results by the engine, which is what makes
+//! sharing results across them sound. Fingerprints are computed once at
+//! submission; unparseable SQL simply opts out (the engine surfaces the
+//! parse error as before).
+//!
+//! **Result cache** ([`ResultCache`]): a sharded, CLOCK-evicted map from
+//! [`CacheKey`] — fingerprint + engine catalog generation + executor path
+//! — to a memoized [`blend_sql::ResultSet`], bounded by a byte budget
+//! (`BLEND_RESULT_CACHE_BYTES`, default 32 MiB, `0` disables; entry cost
+//! is `ResultSet::approx_bytes`). *Invalidation contract*: rebuilding the
+//! index or swapping the catalog
+//! ([`SqlEngine::replace_table`](blend_sql::SqlEngine::replace_table),
+//! `Blend::rebuild_from_lake`) advances the engine generation **after**
+//! the swap; lookups key on the generation observed at dequeue, so a
+//! post-rebuild request can never match — or be served — a pre-rebuild
+//! entry, and each shard purges superseded generations the first time it
+//! observes a newer one.
+//!
+//! **In-flight coalescing**: when a request's fingerprint matches an
+//! execution that is *currently running* on another serving thread, it
+//! attaches to that group as a waiter instead of executing — N
+//! fingerprint-equal requests cost **one** admission grant and one
+//! execution. The protocol:
+//!
+//! 1. The first request to find no group entry becomes the **leader**,
+//!    registers the group, and executes normally under its own interrupt.
+//! 2. Later fingerprint-equal requests append themselves to the group's
+//!    waiter list under the same lock the leader's finalize takes, so
+//!    attach/finalize can never race; their serving threads move straight
+//!    on to other work.
+//! 3. On success the leader memoizes the result, resolves its own ticket
+//!    (`outcome: "ok"`), and resolves every waiter from the shared result
+//!    (`outcome: "coalesced_hit"`) — re-checking each waiter's interrupt
+//!    first, so deadlines and cancellations stay **per-waiter**.
+//! 4. If the leader fails — cancelled, timed out, poisoned, or any
+//!    execution error — its ticket resolves with its own typed error, and
+//!    the earliest still-live waiter is **promoted** to re-execute under
+//!    *its* interrupt. A dying leader never strands its group, and one
+//!    request's cancellation never leaks into another's outcome.
+//!
+//! Cache hits and coalesced deliveries stamp `ServingStats::outcome`
+//! (`"cache_hit"` / `"coalesced_hit"`) and carry a synthesized profile
+//! root with `cache`/`queue_wait_nanos` attributes in place of the
+//! engine's span tree; fresh executions gain a `cache: "miss"` root
+//! attribute.
 //!
 //! ## The cancellation protocol (who checks, where)
 //!
@@ -80,10 +138,12 @@
 //! every ticket resolves, deadline overshoot stays bounded, and `Ok`
 //! results are byte-identical to sequential references.
 
+pub mod cache;
 pub mod faults;
 pub mod queue;
 
-pub use faults::{FaultAction, FaultPlan, SITE_DEQUEUE, SITE_EXEC};
+pub use cache::{cache_bytes_from_env, CacheKey, CachedResult, ResultCache, DEFAULT_CACHE_BYTES};
+pub use faults::{FaultAction, FaultPlan, SITE_CACHE, SITE_COALESCE, SITE_DEQUEUE, SITE_EXEC};
 pub use queue::{ServeConfig, ServeQueue, ServeStats, Ticket};
 
 pub use blend_common::{BlendError, Result};

@@ -1,30 +1,36 @@
 //! The bounded serving queue.
 //!
-//! See the crate docs for the lifecycle and the cancellation protocol.
+//! See the crate docs for the lifecycle, the cancellation protocol, and
+//! the coalescing/caching contract.
 
+use std::collections::hash_map::Entry;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use blend_common::{BlendError, Result};
+use blend_common::{BlendError, FxHashMap, Result};
 use blend_obs::AttrValue;
 use blend_parallel::{CancellationToken, Deadline, Interrupt};
-use blend_sql::{ExecPath, QueryReport, ResultSet, ServingStats, SqlEngine};
+use blend_sql::{ExecPath, QueryFingerprint, QueryReport, ResultSet, ServingStats, SqlEngine};
 
-use crate::faults::{FaultAction, FaultPlan, SITE_DEQUEUE, SITE_EXEC};
+use crate::cache::{cache_bytes_from_env, cache_metrics, CacheKey, CachedResult, ResultCache};
+use crate::faults::{FaultAction, FaultPlan, SITE_CACHE, SITE_COALESCE, SITE_DEQUEUE, SITE_EXEC};
 
 /// Serving-tier metric cells (`blend_serve_*`), process-global across
 /// every queue. Unlike [`ServeStats::submitted`] (accepted requests
 /// only), `blend_serve_submitted_total` counts every submission attempt,
-/// so the counter identity `shed + ok + timeouts + cancellations +
-/// failures == submitted` holds at any quiesce point.
+/// so the counter identity `shed + ok + cache_hit + coalesced_hit +
+/// timeouts + cancellations + failures == submitted` holds at any
+/// quiesce point.
 struct ServeMetrics {
     submitted: Arc<blend_obs::Counter>,
     shed: Arc<blend_obs::Counter>,
     ok: Arc<blend_obs::Counter>,
+    cache_hits: Arc<blend_obs::Counter>,
+    coalesced_hits: Arc<blend_obs::Counter>,
     timeouts: Arc<blend_obs::Counter>,
     cancellations: Arc<blend_obs::Counter>,
     failures: Arc<blend_obs::Counter>,
@@ -44,6 +50,8 @@ fn serve_metrics() -> &'static ServeMetrics {
             submitted: r.counter("blend_serve_submitted_total"),
             shed: r.counter("blend_serve_outcomes_total{outcome=\"shed\"}"),
             ok: r.counter("blend_serve_outcomes_total{outcome=\"ok\"}"),
+            cache_hits: r.counter("blend_serve_outcomes_total{outcome=\"cache_hit\"}"),
+            coalesced_hits: r.counter("blend_serve_outcomes_total{outcome=\"coalesced_hit\"}"),
             timeouts: r.counter("blend_serve_outcomes_total{outcome=\"timeout\"}"),
             cancellations: r.counter("blend_serve_outcomes_total{outcome=\"cancelled\"}"),
             failures: r.counter("blend_serve_outcomes_total{outcome=\"failed\"}"),
@@ -63,6 +71,12 @@ pub struct ServeConfig {
     /// Serving threads. `0` means requests queue but never execute (useful
     /// for deterministic shedding tests); they resolve on shutdown.
     pub workers: usize,
+    /// Total byte budget of the memoized result cache. `0` disables
+    /// caching. The default reads `BLEND_RESULT_CACHE_BYTES` (32 MiB when
+    /// unset).
+    pub result_cache_bytes: usize,
+    /// Coalesce fingerprint-equal requests onto one in-flight execution.
+    pub coalesce: bool,
     /// Fault-injection plan applied at the serving sites.
     pub faults: FaultPlan,
 }
@@ -72,6 +86,8 @@ impl Default for ServeConfig {
         ServeConfig {
             depth: 32,
             workers: 2,
+            result_cache_bytes: cache_bytes_from_env(),
+            coalesce: true,
             faults: FaultPlan::none(),
         }
     }
@@ -84,8 +100,13 @@ pub struct ServeStats {
     pub submitted: u64,
     /// Requests shed at submission because the queue was full.
     pub shed: u64,
-    /// Requests that completed with a result.
+    /// Requests that completed with a freshly executed result.
     pub ok: u64,
+    /// Requests served from the memoized result cache.
+    pub cache_hits: u64,
+    /// Requests that attached to an in-flight execution and were resolved
+    /// from its result.
+    pub coalesced_hits: u64,
     /// Requests that resolved `Err(Timeout)`.
     pub timeouts: u64,
     /// Requests that resolved `Err(Cancelled)`.
@@ -99,17 +120,51 @@ struct StatCells {
     submitted: AtomicU64,
     shed: AtomicU64,
     ok: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced_hits: AtomicU64,
     timeouts: AtomicU64,
     cancellations: AtomicU64,
     failures: AtomicU64,
 }
 
-/// One queued request. The ticket and the serving thread share it.
+/// How a request obtained its `Ok` result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OkKind {
+    /// Fresh execution on the engine.
+    Fresh,
+    /// Served from the memoized result cache.
+    CacheHit,
+    /// Resolved from a coalesced in-flight execution.
+    Coalesced,
+}
+
+impl OkKind {
+    fn label(self) -> &'static str {
+        match self {
+            OkKind::Fresh => "ok",
+            OkKind::CacheHit => "cache_hit",
+            OkKind::Coalesced => "coalesced_hit",
+        }
+    }
+}
+
+/// One queued request. The ticket and the serving threads share it.
 struct Request {
     sql: String,
     path: ExecPath,
+    /// Parsed query, kept from the submission-time fingerprint parse so
+    /// execution never parses the SQL a second time. `None` exactly when
+    /// `fp` is `None`.
+    ast: Option<blend_sql::ast::Query>,
+    /// Canonical fingerprint, computed at submission when memoization or
+    /// coalescing is on. `None` for unparseable SQL (the engine will
+    /// produce the parse error) or when both features are off.
+    fp: Option<QueryFingerprint>,
     interrupt: Interrupt,
     enqueued: Instant,
+    /// Accept→dequeue wait, stamped by the popping thread so a coalesced
+    /// waiter's delivery (on the leader's thread) can report it.
+    wait_nanos: AtomicU64,
     outcome: Mutex<Option<Result<(ResultSet, QueryReport)>>>,
     done: Condvar,
 }
@@ -136,7 +191,8 @@ impl Ticket {
     /// Cooperatively cancel the request. The next check site (queued-state
     /// check, admission wait, phase boundary, or inner loop) observes the
     /// token and the ticket resolves `Err(Cancelled)` — unless the request
-    /// already completed.
+    /// already completed. Cancelling a coalesced-group *leader* does not
+    /// strand its waiters: a live waiter is promoted to re-execute.
     pub fn cancel(&self) {
         self.req.interrupt.token().cancel();
     }
@@ -172,16 +228,32 @@ struct Core {
     depth: usize,
     faults: FaultPlan,
     stats: StatCells,
+    /// Memoized results keyed on fingerprint + generation + exec path.
+    cache: ResultCache,
+    /// In-flight executions open for coalescing: key → waiters attached so
+    /// far (the leader is not in the list). An entry exists only while the
+    /// leader's execution is running; it is removed — under this lock, so
+    /// attach can never race with finalize — before waiters are resolved.
+    inflight: Mutex<FxHashMap<CacheKey, Vec<Arc<Request>>>>,
+    coalesce: bool,
+}
+
+impl Core {
+    /// True when submissions should pay for fingerprinting at all.
+    fn fingerprinting(&self) -> bool {
+        self.coalesce || !self.cache.is_disabled()
+    }
 }
 
 /// A bounded, deadline-aware request queue in front of a [`SqlEngine`].
 ///
 /// `submit` never blocks: it sheds with `Err(Overloaded)` when the bound is
 /// hit. Serving threads pop requests, drop ones whose deadline expired
-/// while queued, acquire one admission token as their execution slot
-/// (blocking *under the request's deadline* via
-/// [`blend_parallel::Admission::acquire_within`]), and execute with the
-/// request's [`Interrupt`] scoped onto the shared
+/// while queued, probe the memoized result cache, attach fingerprint-equal
+/// requests to an already-running execution, and otherwise acquire one
+/// admission token as their execution slot (blocking *under the request's
+/// deadline* via [`blend_parallel::Admission::acquire_within`]) and execute
+/// with the request's [`Interrupt`] scoped onto the shared
 /// [`blend_parallel::ParallelCtx`]. Dropping the queue shuts it down:
 /// serving threads drain, and never-served requests resolve
 /// `Err(Cancelled)`.
@@ -203,6 +275,9 @@ impl ServeQueue {
             depth: config.depth.max(1),
             faults: config.faults,
             stats: StatCells::default(),
+            cache: ResultCache::new(config.result_cache_bytes),
+            inflight: Mutex::new(FxHashMap::default()),
+            coalesce: config.coalesce,
         });
         let handles = (0..config.workers)
             .map(|i| {
@@ -224,11 +299,30 @@ impl ServeQueue {
 
     /// [`submit`](Self::submit) with an explicit executor choice.
     pub fn submit_path(&self, sql: &str, path: ExecPath, deadline: Deadline) -> Result<Ticket> {
+        // Fingerprinting parses the SQL here on the submitting thread; the
+        // AST is kept so the serving thread plans it directly instead of
+        // parsing a second time. Skipped entirely when neither memoization
+        // nor coalescing can use it. Parse errors leave both empty — the
+        // engine will surface the real error at execution.
+        let (ast, fp) = if self.core.fingerprinting() {
+            match blend_sql::parser::parse(sql) {
+                Ok(ast) => {
+                    let fp = blend_sql::fingerprint_query(&ast);
+                    (Some(ast), Some(fp))
+                }
+                Err(_) => (None, None),
+            }
+        } else {
+            (None, None)
+        };
         let req = Arc::new(Request {
             sql: sql.to_string(),
             path,
+            ast,
+            fp,
             interrupt: Interrupt::new(CancellationToken::new(), deadline),
             enqueued: Instant::now(),
+            wait_nanos: AtomicU64::new(0),
             outcome: Mutex::new(None),
             done: Condvar::new(),
         });
@@ -264,6 +358,8 @@ impl ServeQueue {
             submitted: s.submitted.load(Ordering::Relaxed),
             shed: s.shed.load(Ordering::Relaxed),
             ok: s.ok.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            coalesced_hits: s.coalesced_hits.load(Ordering::Relaxed),
             timeouts: s.timeouts.load(Ordering::Relaxed),
             cancellations: s.cancellations.load(Ordering::Relaxed),
             failures: s.failures.load(Ordering::Relaxed),
@@ -279,6 +375,11 @@ impl ServeQueue {
             .queue
             .len()
     }
+
+    /// Entries resident in the memoized result cache (tests, diagnostics).
+    pub fn cached_results(&self) -> usize {
+        self.core.cache.len()
+    }
 }
 
 impl Drop for ServeQueue {
@@ -292,7 +393,10 @@ impl Drop for ServeQueue {
             let _ = h.join();
         }
         // With zero workers (or if a thread died), queued requests remain;
-        // resolve them so no ticket waits forever.
+        // resolve them so no ticket waits forever. (Coalesced waiters never
+        // linger here: they live in `inflight` only while their leader's
+        // serving thread is mid-execution, and that thread drains them
+        // before it re-checks shutdown.)
         let leftovers: Vec<Arc<Request>> = {
             let mut st = self.core.state.lock().unwrap_or_else(|e| e.into_inner());
             st.queue.drain(..).collect()
@@ -329,58 +433,282 @@ fn serve_loop(core: &Core) {
         let m = serve_metrics();
         m.queue_depth.dec();
         let queue_wait = req.enqueued.elapsed();
+        req.wait_nanos
+            .store(queue_wait.as_nanos() as u64, Ordering::Relaxed);
         m.queue_wait.record(queue_wait.as_nanos() as u64);
         let mut poisoned = apply_faults(core, SITE_DEQUEUE, &req);
 
-        let exec_start = Instant::now();
-        let result = serve_one(core, &req, &mut poisoned);
-        let exec = exec_start.elapsed();
-        m.exec_time.record(exec.as_nanos() as u64);
+        // A request that expired or was cancelled while queued neither
+        // probes the cache nor attaches to a group nor executes.
+        if let Err(e) = req.interrupt.check() {
+            finish_err(core, &req, e, Duration::ZERO);
+            continue;
+        }
 
-        let s = &core.stats;
-        let result = match result {
-            Ok((rs, mut report)) => {
-                s.ok.fetch_add(1, Ordering::Relaxed);
-                m.ok.inc();
-                report.serving = Some(ServingStats {
-                    queue_wait_nanos: queue_wait.as_nanos() as u64,
-                    exec_nanos: exec.as_nanos() as u64,
-                    outcome: "ok".into(),
-                });
-                // Fold the serving view into the unified profile: the root
-                // span is the engine's execution; queue wait precedes it.
-                if let Some(profile) = report.profile.as_mut() {
-                    profile.root.attrs.push((
-                        "queue_wait_nanos".to_string(),
-                        AttrValue::U64(queue_wait.as_nanos() as u64),
-                    ));
+        // The memoization identity: canonical fingerprint + the store
+        // generation observed *now*, before any execution. A rebuild that
+        // lands later bumps the generation, so nothing this request caches
+        // or reads can leak across it.
+        let key = req.fp.clone().map(|fp| CacheKey {
+            fp,
+            generation: core.engine.generation(),
+            path: req.path,
+        });
+
+        // Cache probe.
+        if let Some(key) = &key {
+            if !core.cache.is_disabled() {
+                // A poison fault at this site skips the probe (a hit would
+                // mask the poison) and crashes at the exec site instead.
+                poisoned |= apply_faults(core, SITE_CACHE, &req);
+                if let Err(e) = req.interrupt.check() {
+                    finish_err(core, &req, e, Duration::ZERO);
+                    continue;
+                }
+                if !poisoned {
+                    if let Some(hit) = core.cache.get(key) {
+                        deliver_memoized(core, &req, &hit, OkKind::CacheHit);
+                        continue;
+                    }
+                }
+            }
+        }
+
+        // Coalesce: attach to a fingerprint-equal in-flight execution, or
+        // become the leader of a new group.
+        if core.coalesce {
+            if let Some(key) = &key {
+                poisoned |= apply_faults(core, SITE_COALESCE, &req);
+                if let Err(e) = req.interrupt.check() {
+                    finish_err(core, &req, e, Duration::ZERO);
+                    continue;
+                }
+                let is_leader = {
+                    let mut inflight = core.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                    match inflight.entry(key.clone()) {
+                        Entry::Occupied(mut group) => {
+                            group.get_mut().push(req.clone());
+                            false
+                        }
+                        Entry::Vacant(slot) => {
+                            slot.insert(Vec::new());
+                            true
+                        }
+                    }
+                };
+                if is_leader {
+                    lead_group(core, &req, key, poisoned);
+                }
+                // Attached waiters are resolved by their leader's thread;
+                // this thread is free for the next request either way.
+                continue;
+            }
+        }
+
+        execute_one(core, &req, key.as_ref(), poisoned);
+    }
+}
+
+/// Execute a request on the engine and resolve it, memoizing an `Ok`
+/// result under `key`.
+fn execute_one(core: &Core, req: &Request, key: Option<&CacheKey>, mut poisoned: bool) {
+    let exec_start = Instant::now();
+    let result = serve_one(core, req, &mut poisoned);
+    let exec = exec_start.elapsed();
+    serve_metrics().exec_time.record(exec.as_nanos() as u64);
+    match result {
+        Ok((rs, report)) => {
+            if let Some(key) = key {
+                core.cache.insert(
+                    key.clone(),
+                    Arc::new(CachedResult::new(rs.clone(), report.clone())),
+                );
+            }
+            finish_ok(core, req, rs, report, exec, OkKind::Fresh);
+        }
+        Err(e) => finish_err(core, req, e, exec),
+    }
+}
+
+/// Run a coalesced group: execute as the leader, then resolve every waiter
+/// from the shared result. If the leader fails (cancel, timeout, poison, or
+/// a deterministic error), its own ticket resolves typed and the earliest
+/// still-live waiter is promoted to re-execute under *its* interrupt, so a
+/// dying leader never strands the group.
+fn lead_group(core: &Core, leader: &Arc<Request>, key: &CacheKey, poisoned: bool) {
+    let mut current = leader.clone();
+    let mut current_poisoned = poisoned;
+    // Waiters carried over from failed leaders; the group's map entry is
+    // removed after the first execution, so later arrivals form new groups.
+    let mut waiters: VecDeque<Arc<Request>> = VecDeque::new();
+    let mut first_attempt = true;
+
+    loop {
+        let mut p = current_poisoned;
+        let exec_start = Instant::now();
+        let result = serve_one(core, &current, &mut p);
+        let exec = exec_start.elapsed();
+        serve_metrics().exec_time.record(exec.as_nanos() as u64);
+
+        if first_attempt {
+            // Close the group: removal happens under the inflight lock, the
+            // same lock attaches take, so no waiter can slip in afterwards.
+            let attached = {
+                let mut inflight = core.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                inflight.remove(key).unwrap_or_default()
+            };
+            waiters.extend(attached);
+            first_attempt = false;
+        }
+
+        match result {
+            Ok((rs, report)) => {
+                let memo = Arc::new(CachedResult::new(rs.clone(), report.clone()));
+                core.cache.insert(key.clone(), Arc::clone(&memo));
+                finish_ok(core, &current, rs, report, exec, OkKind::Fresh);
+                for w in waiters {
+                    deliver_memoized(core, &w, &memo, OkKind::Coalesced);
+                }
+                return;
+            }
+            Err(e) => {
+                finish_err(core, &current, e, exec);
+                // Promote the earliest waiter that can still run.
+                loop {
+                    match waiters.pop_front() {
+                        Some(next) => {
+                            if let Err(e) = next.interrupt.check() {
+                                finish_err(core, &next, e, Duration::ZERO);
+                                continue;
+                            }
+                            current = next;
+                            current_poisoned = false;
+                            break;
+                        }
+                        None => return, // group fully resolved
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Resolve a request from a memoized result. A *coalesced* waiter re-checks
+/// its interrupt first — real time passed while its leader ran, so a waiter
+/// whose deadline expired still resolves `Err(Timeout)`. A *cache* hit does
+/// not: its interrupt was checked immediately before the probe, and the
+/// probe already counted `blend_cache_hits_total`, which must agree exactly
+/// with the `cache_hit` outcome counter.
+fn deliver_memoized(core: &Core, req: &Request, memo: &Arc<CachedResult>, kind: OkKind) {
+    if kind == OkKind::Coalesced {
+        if let Err(e) = req.interrupt.check() {
+            finish_err(core, req, e, Duration::ZERO);
+            return;
+        }
+    }
+    finish_ok(
+        core,
+        req,
+        memo.rs.clone(),
+        memo.report.clone(),
+        Duration::ZERO,
+        kind,
+    );
+}
+
+/// Count, stamp telemetry, and resolve a successful request.
+fn finish_ok(
+    core: &Core,
+    req: &Request,
+    rs: ResultSet,
+    mut report: QueryReport,
+    exec: Duration,
+    kind: OkKind,
+) {
+    let s = &core.stats;
+    let m = serve_metrics();
+    match kind {
+        OkKind::Fresh => {
+            s.ok.fetch_add(1, Ordering::Relaxed);
+            m.ok.inc();
+        }
+        OkKind::CacheHit => {
+            s.cache_hits.fetch_add(1, Ordering::Relaxed);
+            m.cache_hits.inc();
+        }
+        OkKind::Coalesced => {
+            s.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+            m.coalesced_hits.inc();
+            cache_metrics().coalesced.inc();
+        }
+    }
+    let queue_wait_nanos = req.wait_nanos.load(Ordering::Relaxed);
+    report.serving = Some(ServingStats {
+        queue_wait_nanos,
+        exec_nanos: exec.as_nanos() as u64,
+        outcome: kind.label().into(),
+    });
+    match kind {
+        OkKind::Fresh => {
+            // Fold the serving view into the unified profile: the root
+            // span is the engine's execution; queue wait precedes it.
+            if let Some(profile) = report.profile.as_mut() {
+                profile.root.attrs.push((
+                    "queue_wait_nanos".to_string(),
+                    AttrValue::U64(queue_wait_nanos),
+                ));
+                profile
+                    .root
+                    .attrs
+                    .push(("outcome".to_string(), AttrValue::Str("ok".into())));
+                if req.fp.is_some() {
                     profile
                         .root
                         .attrs
-                        .push(("outcome".to_string(), AttrValue::Str("ok".into())));
+                        .push(("cache".to_string(), AttrValue::Str("miss".into())));
                 }
-                Ok((rs, report))
             }
-            Err(e) => {
-                match &e {
-                    BlendError::Timeout(_) => {
-                        s.timeouts.fetch_add(1, Ordering::Relaxed);
-                        m.timeouts.inc();
-                    }
-                    BlendError::Cancelled(_) => {
-                        s.cancellations.fetch_add(1, Ordering::Relaxed);
-                        m.cancellations.inc();
-                    }
-                    _ => {
-                        s.failures.fetch_add(1, Ordering::Relaxed);
-                        m.failures.inc();
-                    }
-                };
-                Err(e)
-            }
-        };
-        req.resolve(result);
+        }
+        OkKind::CacheHit | OkKind::Coalesced => {
+            // Memoized deliveries carry no engine profile (it was stripped
+            // at insert); synthesize a root span so `EXPLAIN ANALYZE`
+            // consumers still see where the bytes came from.
+            let trace = blend_obs::trace_begin("query");
+            trace.attr_str("outcome", kind.label());
+            trace.attr_str(
+                "cache",
+                if kind == OkKind::CacheHit {
+                    "hit"
+                } else {
+                    "coalesced"
+                },
+            );
+            trace.attr_u64("queue_wait_nanos", queue_wait_nanos);
+            report.profile = trace.finish();
+        }
     }
+    req.resolve(Ok((rs, report)));
+}
+
+/// Count and resolve a failed request with its typed error.
+fn finish_err(core: &Core, req: &Request, e: BlendError, _exec: Duration) {
+    let s = &core.stats;
+    let m = serve_metrics();
+    match &e {
+        BlendError::Timeout(_) => {
+            s.timeouts.fetch_add(1, Ordering::Relaxed);
+            m.timeouts.inc();
+        }
+        BlendError::Cancelled(_) => {
+            s.cancellations.fetch_add(1, Ordering::Relaxed);
+            m.cancellations.inc();
+        }
+        _ => {
+            s.failures.fetch_add(1, Ordering::Relaxed);
+            m.failures.inc();
+        }
+    }
+    req.resolve(Err(e));
 }
 
 /// Run one request to a typed outcome. Never unwinds: a poisoned (or
@@ -392,6 +720,8 @@ fn serve_one(core: &Core, req: &Request, poisoned: &mut bool) -> Result<(ResultS
     // The execution slot: one admission token held for the whole request,
     // acquired under the request's own deadline. Under overload this is
     // where queued requests time out instead of piling onto the pool.
+    // Cache hits and coalesced waiters never reach this point — a group of
+    // N fingerprint-equal requests costs one admission grant.
     let admission = core.engine.parallel_ctx().admission().clone();
     let _slot = admission.acquire_within(1, &req.interrupt)?;
 
@@ -403,7 +733,10 @@ fn serve_one(core: &Core, req: &Request, poisoned: &mut bool) -> Result<(ResultS
         if poison {
             panic!("injected poison fault");
         }
-        engine.execute_interruptible(&req.sql, req.path, req.interrupt.clone())
+        match &req.ast {
+            Some(ast) => engine.execute_parsed_interruptible(ast, req.path, req.interrupt.clone()),
+            None => engine.execute_interruptible(&req.sql, req.path, req.interrupt.clone()),
+        }
     }));
     match outcome {
         Ok(result) => result,
@@ -477,13 +810,94 @@ mod tests {
     }
 
     #[test]
+    fn repeat_query_is_served_from_cache_byte_identically() {
+        let queue = ServeQueue::new(
+            test_engine(),
+            ServeConfig {
+                result_cache_bytes: 1 << 20,
+                ..ServeConfig::default()
+            },
+        );
+        let fresh = queue.submit(SQL, Deadline::none()).unwrap().wait().unwrap();
+        // Different spelling, same fingerprint: must hit.
+        let variant = "select tableid, rowid, cellvalue from alltables \
+                       order by tableid, rowid, cellvalue limit 5";
+        let hit = queue
+            .submit(variant, Deadline::none())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(hit.0, fresh.0, "cache hit must be byte-identical");
+        let serving = hit.1.serving.expect("serving telemetry attached");
+        assert_eq!(serving.outcome, "cache_hit");
+        let stats = queue.stats();
+        assert_eq!((stats.ok, stats.cache_hits), (1, 1));
+        assert_eq!(queue.cached_results(), 1);
+    }
+
+    #[test]
+    fn cache_disabled_executes_every_time() {
+        let queue = ServeQueue::new(
+            test_engine(),
+            ServeConfig {
+                result_cache_bytes: 0,
+                coalesce: false,
+                ..ServeConfig::default()
+            },
+        );
+        for _ in 0..3 {
+            queue.submit(SQL, Deadline::none()).unwrap().wait().unwrap();
+        }
+        let stats = queue.stats();
+        assert_eq!(
+            (stats.ok, stats.cache_hits, stats.coalesced_hits),
+            (3, 0, 0)
+        );
+        assert_eq!(queue.cached_results(), 0);
+    }
+
+    #[test]
+    fn rebuild_invalidates_cached_results() {
+        let engine = test_engine();
+        let queue = ServeQueue::new(
+            engine.clone(),
+            ServeConfig {
+                result_cache_bytes: 1 << 20,
+                ..ServeConfig::default()
+            },
+        );
+        queue.submit(SQL, Deadline::none()).unwrap().wait().unwrap();
+        assert_eq!(queue.cached_results(), 1);
+        // Swap the catalog (bumps the store generation): the cached entry
+        // must not serve the next fingerprint-equal request.
+        let mut rows = Vec::new();
+        for r in 0..4u32 {
+            rows.push(FactRow::new("swapped", 9, 0, r, 1 << r, None));
+        }
+        engine.replace_table("alltables", build_engine(EngineKind::Column, rows));
+        let (rs, report) = queue.submit(SQL, Deadline::none()).unwrap().wait().unwrap();
+        assert_eq!(
+            report.serving.unwrap().outcome,
+            "ok",
+            "post-rebuild must re-execute"
+        );
+        assert!(
+            rs.rows
+                .iter()
+                .all(|row| row[0] == blend_sql::SqlValue::from(9i64)),
+            "post-rebuild result reflects the new catalog"
+        );
+        assert_eq!(queue.stats().cache_hits, 0);
+    }
+
+    #[test]
     fn sheds_when_full_and_resolves_queued_on_shutdown() {
         let queue = ServeQueue::new(
             test_engine(),
             ServeConfig {
                 depth: 2,
                 workers: 0, // nothing drains: shedding is deterministic
-                faults: FaultPlan::none(),
+                ..ServeConfig::default()
             },
         );
         let t1 = queue.submit(SQL, Deadline::none()).unwrap();
@@ -515,7 +929,7 @@ mod tests {
             ServeConfig {
                 depth: 4,
                 workers: 0,
-                faults: FaultPlan::none(),
+                ..ServeConfig::default()
             },
         );
         let ticket = queue.submit(SQL, Deadline::none()).unwrap();
@@ -534,6 +948,7 @@ mod tests {
                 workers: 1,
                 // Poison the first exec, leave the rest alone.
                 faults: FaultPlan::none().with(SITE_EXEC, FaultAction::Poison, 1_000_000),
+                ..ServeConfig::default()
             },
         );
         let bad = queue.submit(SQL, Deadline::none()).unwrap();

@@ -1,6 +1,6 @@
 //! The database facade: catalog + parse/plan/execute entry points.
 
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use blend_common::{FxHashMap, Result};
 use blend_parallel::{Interrupt, ParallelCtx};
@@ -33,7 +33,7 @@ fn sql_metrics() -> &'static SqlMetrics {
 }
 
 /// Executor selection for [`SqlEngine::execute_with_report_path`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExecPath {
     /// Route recognized BLEND shapes to the positional executor, fall back
     /// to the tuple executor otherwise (the production default).
@@ -46,9 +46,14 @@ pub enum ExecPath {
 
 /// A named collection of fact tables (the catalog). BLEND registers a
 /// single table, `AllTables`, but tests register small auxiliary tables.
+///
+/// The catalog is interiorly mutable: a running deployment swaps in a
+/// rebuilt `AllTables` via [`SqlEngine::replace_table`] while queries are
+/// in flight. A query planned against the old table keeps its `Arc` and
+/// finishes against the snapshot it started with.
 #[derive(Default)]
 pub struct Database {
-    tables: FxHashMap<String, Arc<dyn FactTable>>,
+    tables: RwLock<FxHashMap<String, Arc<dyn FactTable>>>,
 }
 
 impl Database {
@@ -59,19 +64,27 @@ impl Database {
 
     /// Catalog with `AllTables` registered — the standard BLEND deployment.
     pub fn with_alltables(table: Arc<dyn FactTable>) -> Self {
-        let mut db = Database::new();
+        let db = Database::new();
         db.register("alltables", table);
         db
     }
 
-    /// Register a table under a (case-insensitive) name.
-    pub fn register(&mut self, name: &str, table: Arc<dyn FactTable>) {
-        self.tables.insert(name.to_lowercase(), table);
+    /// Register a table under a (case-insensitive) name, replacing any
+    /// previous table of that name.
+    pub fn register(&self, name: &str, table: Arc<dyn FactTable>) {
+        self.tables
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_lowercase(), table);
     }
 
     /// Fetch a registered table.
     pub fn get(&self, name: &str) -> Option<Arc<dyn FactTable>> {
-        self.tables.get(&name.to_lowercase()).cloned()
+        self.tables
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&name.to_lowercase())
+            .cloned()
     }
 
     /// The `AllTables` handle, if registered.
@@ -89,6 +102,12 @@ impl Catalog for Database {
 /// Parse → plan → execute pipeline over a [`Database`].
 pub struct SqlEngine {
     db: Database,
+    /// This engine's catalog generation. Seeded from the process-wide
+    /// store generation at construction and advanced by
+    /// [`replace_table`](Self::replace_table); engine-local so one
+    /// deployment's rebuilds don't invalidate another engine's memoized
+    /// results (and so tests sharing a process stay independent).
+    generation: std::sync::atomic::AtomicU64,
     /// Shared worker-pool context the positional executor rides. Defaults
     /// to [`ParallelCtx::shared_from_env`] (`BLEND_THREADS` /
     /// `BLEND_MAX_CONCURRENT_GRANTS` overrides): every engine in the
@@ -104,6 +123,7 @@ impl SqlEngine {
     pub fn new(db: Database) -> Self {
         SqlEngine {
             db,
+            generation: std::sync::atomic::AtomicU64::new(blend_storage::store_generation()),
             parallel: ParallelCtx::shared_from_env(),
         }
     }
@@ -132,6 +152,29 @@ impl SqlEngine {
     /// Access the catalog.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// The generation of this engine's catalog. Result caches key entries
+    /// on the generation observed when the result was produced;
+    /// [`replace_table`](Self::replace_table) advances it, so stale
+    /// entries can never match a post-rebuild lookup.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Swap a catalog table for a rebuilt one and advance this engine's
+    /// generation (and the process-wide store generation, for observers of
+    /// [`blend_storage::store_generation`]). In-flight queries finish
+    /// against the snapshot they planned with; queries planned after this
+    /// call see the new table, and memoized results from before it stop
+    /// matching — the generation bump is ordered *after* the catalog swap,
+    /// so a reader observing the new generation always resolves the new
+    /// table.
+    pub fn replace_table(&self, name: &str, table: Arc<dyn FactTable>) {
+        self.db.register(name, table);
+        blend_storage::bump_store_generation();
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
     }
 
     /// Execute a SQL string.
@@ -165,13 +208,31 @@ impl SqlEngine {
         path: ExecPath,
         interrupt: Interrupt,
     ) -> Result<(ResultSet, QueryReport)> {
+        let ast = match parse(sql) {
+            Ok(ast) => ast,
+            Err(e) => {
+                sql_metrics().errors.inc();
+                return Err(e);
+            }
+        };
+        self.execute_parsed_interruptible(&ast, path, interrupt)
+    }
+
+    /// Execute an already-parsed query. The serving tier parses once at
+    /// submission (it needs the AST for fingerprinting anyway) and reuses
+    /// it here, so the cached/coalesced path never parses twice.
+    pub fn execute_parsed_interruptible(
+        &self,
+        ast: &crate::ast::Query,
+        path: ExecPath,
+        interrupt: Interrupt,
+    ) -> Result<(ResultSet, QueryReport)> {
         interrupt.check()?;
         // The root span of this query's profile tree: every phase span the
         // executors record below nests under it.
         let trace = blend_obs::trace_begin("query");
         let outcome = (|| {
-            let ast = parse(sql)?;
-            let plan = plan_query(&ast, &self.db)?;
+            let plan = plan_query(ast, &self.db)?;
             let par = self.parallel.with_interrupt(interrupt);
             let mut report = QueryReport::default();
             let rs = execute_plan_path(&plan, &mut report, path == ExecPath::Auto, &par)?;

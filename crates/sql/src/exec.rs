@@ -94,8 +94,11 @@ pub struct ServingStats {
     pub queue_wait_nanos: u64,
     /// Nanoseconds spent executing (0 when the request never started).
     pub exec_nanos: u64,
-    /// Terminal outcome: `"ok"`, `"timeout"`, `"cancelled"`, or
-    /// `"overloaded"`.
+    /// Terminal outcome: `"ok"`, `"timeout"`, `"cancelled"`,
+    /// `"overloaded"`, or — through the serving tier's workload-shape
+    /// layer — `"cache_hit"` (served from the fingerprint-keyed result
+    /// cache) or `"coalesced_hit"` (resolved from a fingerprint-identical
+    /// in-flight execution).
     pub outcome: String,
 }
 
@@ -178,6 +181,29 @@ impl ResultSet {
     /// Typed accessor: str at (row, column label).
     pub fn str(&self, row: usize, col: &str) -> Option<&str> {
         self.rows.get(row)?.get(self.col(col)?)?.as_str()
+    }
+
+    /// Approximate heap footprint in bytes, the admission cost a memoized
+    /// copy of this result charges against a cache's byte budget. Counts
+    /// column labels, per-row vector overhead, and value payloads
+    /// (`Text`/`U128` payloads dominate real seeker results) — the same
+    /// per-value accounting style as the storage engines'
+    /// `memory_breakdown`.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Self>();
+        for c in &self.columns {
+            bytes += size_of::<String>() + c.len();
+        }
+        for row in &self.rows {
+            bytes += size_of::<Tuple>() + row.capacity() * size_of::<SqlValue>();
+            for v in row {
+                if let SqlValue::Text(s) = v {
+                    bytes += s.len();
+                }
+            }
+        }
+        bytes
     }
 
     /// Entire column as u32s (lossy on purpose: ids are u32 everywhere).

@@ -31,6 +31,7 @@ pub mod engine;
 pub mod exec;
 pub mod exec_positional;
 pub mod expr;
+pub mod fingerprint;
 pub mod hashtable;
 pub mod lexer;
 pub mod parser;
@@ -40,6 +41,7 @@ pub mod value;
 pub use blend_obs::Profile as QueryProfile;
 pub use engine::{Database, ExecPath, SqlEngine};
 pub use exec::{HashTableStats, ParallelPhase, QueryReport, ResultSet, ScanReport, ServingStats};
+pub use fingerprint::{fingerprint_query, fingerprint_sql, QueryFingerprint};
 pub use hashtable::{GroupIndex, JoinKey, JoinTable};
 pub use value::SqlValue;
 

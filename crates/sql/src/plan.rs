@@ -675,10 +675,32 @@ fn plan_scan(table: Arc<dyn FactTable>, alias: &str, predicate: Option<Expr>) ->
                     let bound = fast.rowid_lt.get_or_insert(n);
                     *bound = (*bound).min(n);
                 }
-                Classified::QuadrantNull(want_null) => fast.quadrant_null = Some(want_null),
+                Classified::QuadrantNull(want_null) => match fast.quadrant_null {
+                    // `Quadrant IS NULL AND Quadrant IS NOT NULL` is
+                    // unsatisfiable; an impossible row-id bound makes the
+                    // scan match nothing (last-conjunct-wins would silently
+                    // drop one side and depend on predicate order).
+                    Some(prev) if prev != want_null => fast.rowid_lt = Some(0),
+                    _ => fast.quadrant_null = Some(want_null),
+                },
                 Classified::Other => generic.push(c.clone()),
             }
         }
+    }
+
+    // Canonical driving order: postings are visited in sorted, deduplicated
+    // literal order, so the chosen plan and the emitted row order do not
+    // depend on how the predicate happened to spell its IN lists. (A
+    // duplicated literal would otherwise also emit its postings twice.)
+    // Query fingerprinting (`fingerprint`) relies on this to treat
+    // list-order-permuted queries as one cacheable query.
+    if let Some(vs) = value_list.as_mut() {
+        vs.sort_unstable();
+        vs.dedup();
+    }
+    if let Some(ts) = table_list.as_mut() {
+        ts.sort_unstable();
+        ts.dedup();
     }
 
     // Exact cardinalities from the engine's catalog.
@@ -790,9 +812,9 @@ fn classify_conjunct(e: &Expr) -> Classified {
             Some("tableid") => {
                 let mut ts = Vec::with_capacity(list.len());
                 for item in list {
-                    match item {
-                        Expr::Int(i) if *i >= 0 => ts.push(*i as u32),
-                        _ => return Classified::Other,
+                    match u32_literal(item) {
+                        Some(t) => ts.push(t),
+                        None => return Classified::Other,
                     }
                 }
                 if *negated {
@@ -807,27 +829,28 @@ fn classify_conjunct(e: &Expr) -> Classified {
             left,
             op: BinOp::Eq,
             right,
-        } => match (unqualified_fact_col(left), right.as_ref()) {
-            (Some("cellvalue"), Expr::Str(s)) => Classified::ValueIn(vec![s.clone()]),
-            (Some("tableid"), Expr::Int(i)) if *i >= 0 => Classified::TableIn(vec![*i as u32]),
+        } => match (unqualified_fact_col(left), u32_literal(right)) {
+            (Some("cellvalue"), _) => match right.as_ref() {
+                Expr::Str(s) => Classified::ValueIn(vec![s.clone()]),
+                _ => Classified::Other,
+            },
+            (Some("tableid"), Some(t)) => Classified::TableIn(vec![t]),
             _ => Classified::Other,
         },
         Expr::Binary {
             left,
             op: BinOp::Lt,
             right,
-        } => match (unqualified_fact_col(left), right.as_ref()) {
-            (Some("rowid"), Expr::Int(n)) if *n >= 0 => Classified::RowIdLt(*n as u32),
+        } => match (unqualified_fact_col(left), u32_literal(right)) {
+            (Some("rowid"), Some(n)) => Classified::RowIdLt(n),
             _ => Classified::Other,
         },
         Expr::Binary {
             left,
             op: BinOp::Le,
             right,
-        } => match (unqualified_fact_col(left), right.as_ref()) {
-            (Some("rowid"), Expr::Int(n)) if *n >= 0 => {
-                Classified::RowIdLt((*n as u32).saturating_add(1))
-            }
+        } => match (unqualified_fact_col(left), u32_literal(right)) {
+            (Some("rowid"), Some(n)) => Classified::RowIdLt(n.saturating_add(1)),
             _ => Classified::Other,
         },
         Expr::IsNull { expr, negated } => match unqualified_fact_col(expr) {
@@ -835,6 +858,19 @@ fn classify_conjunct(e: &Expr) -> Classified {
             _ => Classified::Other,
         },
         _ => Classified::Other,
+    }
+}
+
+/// A literal usable as a `u32` id/bound: a non-negative `Int`, or an
+/// integral `Float` spelling of one (`TableId = 2.0` must classify — and
+/// therefore plan and order rows — exactly like `TableId = 2`, which it
+/// compares equal to). Out-of-range literals fall back to the generic
+/// residual path instead of wrapping.
+fn u32_literal(e: &Expr) -> Option<u32> {
+    match e {
+        Expr::Int(i) => u32::try_from(*i).ok(),
+        Expr::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u32::MAX as f64 => Some(*f as u32),
+        _ => None,
     }
 }
 

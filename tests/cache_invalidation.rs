@@ -1,0 +1,190 @@
+//! Cache invalidation under rebuild: swap the catalog mid-storm and prove
+//! **no stale result is ever served**. The serving tier's result cache
+//! keys on the engine's catalog generation, observed at dequeue; the swap
+//! advances the generation *after* registering the new table, so every
+//! request submitted after the swap returns must see post-rebuild data —
+//! whether it executes fresh, coalesces, or hits the cache.
+//!
+//! The oracle: pre-rebuild rows carry the marker value `old`, post-rebuild
+//! rows carry `new`. A storm of fingerprint-equal queries hammers the
+//! queue while the main thread swaps the table; each storm result must be
+//! homogeneous (one generation's rows, never a mix), and anything
+//! submitted after the swap must be pure `new`. The whole run sits behind
+//! the suite's 30 s watchdog so a stranded ticket fails loudly.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use blend_parallel::{Deadline, ParallelCtx};
+use blend_serve::{FaultPlan, ServeConfig, ServeQueue};
+use blend_sql::{SqlEngine, SqlValue};
+use blend_storage::{build_engine, EngineKind, FactRow, FactTable};
+
+const WATCHDOG: Duration = Duration::from_secs(30);
+
+/// One generation of the fact table: every cell carries `marker` so a
+/// result's provenance is visible in its bytes.
+fn generation_fact(marker: &str) -> Arc<dyn FactTable> {
+    let mut rows = Vec::new();
+    for t in 0..4u32 {
+        for r in 0..50u32 {
+            let sk = ((t as u128) << 64) | r as u128;
+            rows.push(FactRow::new(
+                &format!("{marker}-{}", (t + r) % 5),
+                t,
+                0,
+                r,
+                sk,
+                None,
+            ));
+        }
+    }
+    build_engine(EngineKind::Column, rows)
+}
+
+/// Which generation produced this result — `Err` if rows are mixed or
+/// unrecognizable (both are correctness violations).
+fn provenance(rows: &[Vec<SqlValue>]) -> Result<&'static str, String> {
+    let mut saw_old = false;
+    let mut saw_new = false;
+    for row in rows {
+        match &row[0] {
+            SqlValue::Text(s) if s.starts_with("old-") => saw_old = true,
+            SqlValue::Text(s) if s.starts_with("new-") => saw_new = true,
+            other => return Err(format!("unrecognizable cell {other:?}")),
+        }
+    }
+    match (saw_old, saw_new) {
+        (true, true) => Err("mixed-generation result".into()),
+        (false, true) => Ok("new"),
+        _ => Ok("old"),
+    }
+}
+
+#[test]
+fn rebuild_mid_storm_never_serves_stale_results() {
+    // Fingerprint-equal spellings: the storm exercises cache hits and
+    // coalescing across the swap, not just fresh executions.
+    let spellings = [
+        "SELECT CellValue, TableId, RowId FROM AllTables \
+         WHERE RowId < 40 ORDER BY CellValue, TableId, RowId LIMIT 60",
+        "select cellvalue, tableid, rowid from alltables \
+         where rowid < 40 order by cellvalue, tableid, rowid limit 60",
+        "SELECT CellValue, TableId, RowId FROM AllTables \
+         WHERE RowId < 40.0 ORDER BY CellValue, TableId, RowId LIMIT 60",
+    ];
+
+    let engine = Arc::new(
+        SqlEngine::with_alltables(generation_fact("old"))
+            .with_parallel(Arc::new(ParallelCtx::with_admission(4, 1, 32, 2))),
+    );
+    let queue = Arc::new(ServeQueue::new(
+        engine.clone(),
+        ServeConfig {
+            depth: 64,
+            workers: 2,
+            faults: FaultPlan::none(),
+            result_cache_bytes: 4 << 20,
+            coalesce: true,
+        },
+    ));
+
+    // Warm the cache so the swap demonstrably invalidates a *hot* entry.
+    let (warm, report) = queue
+        .submit(spellings[0], Deadline::after(Duration::from_secs(20)))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(provenance(&warm.rows).unwrap(), "old");
+    assert_eq!(report.serving.unwrap().outcome, "ok");
+    assert!(queue.cached_results() >= 1, "warm-up populated the cache");
+
+    // Storm: hammer fingerprint-equal spellings, recording each request's
+    // submission time and the provenance of its bytes. The swap is
+    // synchronized with storm progress (cache hits resolve in
+    // microseconds, so a wall-clock sleep would let the whole storm
+    // finish pre-swap): the storm runs until told to stop, and the main
+    // thread stops it only after enough post-swap rounds have resolved.
+    let rounds = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel();
+    let storm_queue = queue.clone();
+    let storm_rounds = rounds.clone();
+    let storm_stop = stop.clone();
+    let storm = std::thread::spawn(move || {
+        let mut outcomes: Vec<(Instant, &'static str)> = Vec::new();
+        while !storm_stop.load(Ordering::Acquire) {
+            let round = storm_rounds.fetch_add(1, Ordering::AcqRel);
+            let sql = spellings[round % spellings.len()];
+            let submitted = Instant::now();
+            let result = storm_queue
+                .submit(sql, Deadline::after(Duration::from_secs(20)))
+                .and_then(|t| t.wait());
+            match result {
+                Ok((rs, _)) => match provenance(&rs.rows) {
+                    Ok(gen) => outcomes.push((submitted, gen)),
+                    Err(e) => panic!("round {round}: corrupt result: {e}"),
+                },
+                Err(e) => panic!("round {round}: unexpected storm error: {e}"),
+            }
+        }
+        let _ = tx.send(outcomes);
+    });
+
+    let wait_for_rounds = |target: usize| {
+        let deadline = Instant::now() + WATCHDOG;
+        while rounds.load(Ordering::Acquire) < target {
+            assert!(
+                Instant::now() < deadline,
+                "storm stalled before reaching round {target}"
+            );
+            std::thread::yield_now();
+        }
+    };
+
+    // Mid-storm rebuild: swap in the `new` generation. `replace_table`
+    // registers the table first and bumps the generation after, so once
+    // this call returns, every subsequent submission keys past the old
+    // cache entries.
+    wait_for_rounds(25);
+    engine.replace_table("alltables", generation_fact("new"));
+    let swap_done = Instant::now();
+    let post_swap_target = rounds.load(Ordering::Acquire) + 100;
+    wait_for_rounds(post_swap_target);
+    stop.store(true, Ordering::Release);
+
+    let outcomes = rx
+        .recv_timeout(WATCHDOG)
+        .expect("invalidation storm deadlocked");
+    storm.join().expect("storm thread");
+
+    let stale_after_swap = outcomes
+        .iter()
+        .filter(|(submitted, gen)| *submitted >= swap_done && *gen == "old")
+        .count();
+    assert_eq!(
+        stale_after_swap, 0,
+        "post-rebuild requests served pre-rebuild bytes"
+    );
+    let fresh = outcomes.iter().filter(|(_, gen)| *gen == "new").count();
+    assert!(
+        fresh > 0,
+        "storm never observed the new generation (swap raced past the whole storm?)"
+    );
+
+    // And at quiesce: a fingerprint-equal request is served post-rebuild
+    // data *from cache* — invalidation evicts stale entries, it does not
+    // disable memoization.
+    let (rs, report) = queue
+        .submit(spellings[1], Deadline::after(Duration::from_secs(20)))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(provenance(&rs.rows).unwrap(), "new");
+    let outcome = report.serving.unwrap().outcome;
+    assert!(
+        outcome == "cache_hit" || outcome == "ok",
+        "post-swap steady state should memoize again, got `{outcome}`"
+    );
+}

@@ -1,0 +1,228 @@
+//! Fingerprint ⇒ parity: the soundness property the serving tier's result
+//! cache and in-flight coalescing rest on. If two SQL strings canonicalize
+//! to the same [`QueryFingerprint`], executing either must produce
+//! **byte-identical** result sets — otherwise a cache hit or a coalesced
+//! delivery could hand one query another query's rows.
+//!
+//! The property is exercised over the spelling degrees of freedom the
+//! canonicalizer claims to erase (and real seeker clients actually vary):
+//!
+//! * `IN`-list literal order and duplicated literals,
+//! * conjunct order in `WHERE`,
+//! * keyword/identifier case and whitespace,
+//! * numeric literal spelling (`3` vs `3.0`, `-0.0` vs `0.0`),
+//! * `IN ()` on a never-null id column vs an explicit `1 = 0`.
+//!
+//! Each case asserts both directions: the fingerprints are equal, and the
+//! executed results are byte-identical (`ResultSet: PartialEq` compares
+//! columns and every row value).
+
+use proptest::prelude::*;
+
+use std::sync::OnceLock;
+
+use blend_sql::{fingerprint_sql, ResultSet, SqlEngine};
+use blend_storage::{build_engine, EngineKind, FactRow};
+
+const VOCAB: u64 = 8;
+
+fn engine() -> &'static SqlEngine {
+    static ENGINE: OnceLock<SqlEngine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let mut rows = Vec::new();
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for t in 0..6u32 {
+            for r in 0..30u32 {
+                let sk = ((t as u128) << 64) | ((next() as u128) & 0xFFFF_FFFF);
+                rows.push(FactRow::new(
+                    &format!("w{}", next() % VOCAB),
+                    t,
+                    0,
+                    r,
+                    sk,
+                    None,
+                ));
+                let num = next() % 50;
+                rows.push(FactRow::new(&num.to_string(), t, 1, r, sk, Some(num >= 25)));
+            }
+        }
+        SqlEngine::with_alltables(build_engine(EngineKind::Column, rows))
+    })
+}
+
+/// Assert the two spellings fingerprint identically and execute
+/// byte-identically.
+fn assert_equivalent(a: &str, b: &str) -> ResultSet {
+    let fa = fingerprint_sql(a).expect("query a fingerprints");
+    let fb = fingerprint_sql(b).expect("query b fingerprints");
+    assert_eq!(fa, fb, "fingerprints must match:\n  a: {a}\n  b: {b}");
+    let ra = engine().execute(a).expect("query a executes");
+    let rb = engine().execute(b).expect("query b executes");
+    assert_eq!(
+        ra, rb,
+        "fingerprint-equal queries must return byte-identical results:\n  a: {a}\n  b: {b}"
+    );
+    ra
+}
+
+/// Deterministic Fisher–Yates driven by a proptest-chosen seed.
+fn shuffled<T: Clone>(items: &[T], mut seed: u64) -> Vec<T> {
+    let mut out = items.to_vec();
+    for i in (1..out.len()).rev() {
+        seed ^= seed >> 12;
+        seed ^= seed << 25;
+        seed ^= seed >> 27;
+        out.swap(
+            i,
+            (seed.wrapping_mul(0x2545_F491_4F6C_DD1D) % (i as u64 + 1)) as usize,
+        );
+    }
+    out
+}
+
+fn in_list(vals: &[u64]) -> String {
+    vals.iter()
+        .map(|v| format!("'w{v}'"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shuffling the IN list, duplicating one literal, flipping conjunct
+    /// order, and mangling keyword case must not change the fingerprint or
+    /// the bytes — including for queries *without* ORDER BY, where row
+    /// order falls out of the access path the planner picks.
+    #[test]
+    fn spelling_variants_execute_byte_identically(
+        vals in proptest::collection::vec(0u64..VOCAB, 1..5),
+        dup_idx in 0usize..4,
+        rowid_bound in 1u32..30,
+        seed in any::<u64>(),
+        float_spelling in any::<bool>(),
+        swap_conjuncts in any::<bool>(),
+    ) {
+        let canonical_vals: Vec<u64> = vals.clone();
+        let mut variant_vals = shuffled(&vals, seed);
+        // Duplicate literals are set-semantics in `IN`.
+        variant_vals.push(variant_vals[dup_idx % variant_vals.len()]);
+
+        let bound_a = format!("{rowid_bound}");
+        let bound_b = if float_spelling {
+            format!("{rowid_bound}.0")
+        } else {
+            bound_a.clone()
+        };
+
+        let a = format!(
+            "SELECT TableId, RowId, CellValue FROM AllTables \
+             WHERE CellValue IN ({}) AND RowId < {}",
+            in_list(&canonical_vals), bound_a
+        );
+        let b = if swap_conjuncts {
+            format!(
+                "select tableid, rowid, cellvalue FROM alltables \
+                 WHERE ROWID < {}   and CELLVALUE in ({})",
+                bound_b, in_list(&variant_vals)
+            )
+        } else {
+            format!(
+                "select tableid, rowid, cellvalue from alltables \
+                 where cellvalue IN ({})   AND rowid < {}",
+                in_list(&variant_vals), bound_b
+            )
+        };
+        assert_equivalent(&a, &b);
+    }
+
+    /// Same property through a grouped/ordered seeker shape (the paper's
+    /// Listing-1 form), with a `TableId IN` rewrite conjunct thrown in.
+    #[test]
+    fn seeker_shape_variants_execute_byte_identically(
+        vals in proptest::collection::vec(0u64..VOCAB, 1..5),
+        tids in proptest::collection::vec(0i64..6, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let a = format!(
+            "SELECT TableId, COUNT(DISTINCT CellValue) AS n FROM AllTables \
+             WHERE CellValue IN ({}) AND TableId IN ({}) \
+             GROUP BY TableId ORDER BY n DESC, TableId LIMIT 10",
+            in_list(&vals),
+            tids.iter().map(i64::to_string).collect::<Vec<_>>().join(",")
+        );
+        let shuffled_tids = shuffled(&tids, seed.rotate_left(7));
+        let b = format!(
+            "select TABLEID, count(distinct CellValue) AS n FROM AllTables \
+             WHERE TableId IN ({}) AND CellValue IN ({}) \
+             GROUP BY TableId ORDER BY n DESC, TableId LIMIT 10",
+            shuffled_tids.iter().map(i64::to_string).collect::<Vec<_>>().join(","),
+            in_list(&shuffled(&vals, seed))
+        );
+        assert_equivalent(&a, &b);
+    }
+}
+
+/// `-0.0` and `0.0` are the same SQL value; the fingerprint must not split
+/// them (IEEE bit patterns differ) and execution must agree.
+#[test]
+fn negative_zero_folds_to_zero() {
+    let rs = assert_equivalent(
+        "SELECT TableId FROM AllTables WHERE RowId < 5 AND TableId = 0.0 AND ColumnId = 0",
+        "SELECT TableId FROM AllTables WHERE RowId < 5 AND TableId = -0.0 AND ColumnId = 0",
+    );
+    assert!(!rs.is_empty(), "table 0 rows exist below the bound");
+}
+
+/// An empty IN list on a never-null id column is unsatisfiable; spelling it
+/// `1 = 0` is the same query and must share cache entries.
+#[test]
+fn empty_in_list_equals_false() {
+    let rs = assert_equivalent(
+        "SELECT TableId FROM AllTables WHERE TableId IN ()",
+        "SELECT TableId FROM AllTables WHERE 1 = 0",
+    );
+    assert!(rs.is_empty(), "unsatisfiable predicate returns no rows");
+}
+
+/// Identifier case and whitespace are noise; `3` vs `3.0` is the same
+/// rowid bound.
+#[test]
+fn case_whitespace_and_integral_floats_are_noise() {
+    assert_equivalent(
+        "SELECT TableId, RowId FROM AllTables WHERE RowId < 3 ORDER BY TableId, RowId LIMIT 12",
+        "select   TABLEID, rowid from ALLTABLES where ROWID < 3.0 \
+         order by tableid, ROWID limit 12",
+    );
+}
+
+/// Distinct queries must stay distinct: a fingerprint that merged these
+/// would poison the cache.
+#[test]
+fn semantically_different_queries_do_not_collide() {
+    let pairs = [
+        (
+            "SELECT TableId FROM AllTables WHERE RowId < 3",
+            "SELECT TableId FROM AllTables WHERE RowId < 4",
+        ),
+        (
+            "SELECT TableId FROM AllTables WHERE CellValue IN ('w1')",
+            "SELECT TableId FROM AllTables WHERE CellValue IN ('w1','w2')",
+        ),
+        (
+            "SELECT TableId FROM AllTables WHERE RowId < 2 LIMIT 5",
+            "SELECT TableId FROM AllTables WHERE RowId < 2 LIMIT 6",
+        ),
+    ];
+    for (a, b) in pairs {
+        let fa = fingerprint_sql(a).unwrap();
+        let fb = fingerprint_sql(b).unwrap();
+        assert_ne!(fa, fb, "distinct queries collided:\n  a: {a}\n  b: {b}");
+    }
+}

@@ -4,7 +4,7 @@
 //! satisfy the conservation identity
 //!
 //! ```text
-//! shed + ok + timeout + cancelled + failed == submitted
+//! shed + ok + cache_hit + coalesced_hit + timeout + cancelled + failed == submitted
 //! ```
 //!
 //! Lives in its own integration binary with a single test: the identity is
@@ -58,6 +58,10 @@ fn post_storm_snapshot_exposes_families_and_counter_identity() {
             depth: DEPTH,
             workers: 2,
             faults: FaultPlan::none(),
+            // Explicit budget: the identity must hold with memoization on,
+            // and the storm repeats queries so hits are guaranteed.
+            result_cache_bytes: 1 << 20,
+            coalesce: true,
         },
     ));
 
@@ -110,17 +114,49 @@ fn post_storm_snapshot_exposes_families_and_counter_identity() {
         (WAVES * 2 * DEPTH) as u64,
         "metrics-level submitted counts every submission attempt"
     );
-    let outcomes: u64 = ["shed", "ok", "timeout", "cancelled", "failed"]
-        .iter()
-        .map(|o| snap.counter(&format!("blend_serve_outcomes_total{{outcome=\"{o}\"}}")))
-        .sum();
+    let outcomes: u64 = [
+        "shed",
+        "ok",
+        "cache_hit",
+        "coalesced_hit",
+        "timeout",
+        "cancelled",
+        "failed",
+    ]
+    .iter()
+    .map(|o| snap.counter(&format!("blend_serve_outcomes_total{{outcome=\"{o}\"}}")))
+    .sum();
     assert_eq!(
         outcomes, submitted,
-        "shed + ok + timeout + cancelled + failed must equal submitted"
+        "shed + ok + cache_hit + coalesced_hit + timeout + cancelled + failed \
+         must equal submitted"
     );
     assert!(
         snap.counter("blend_serve_outcomes_total{outcome=\"ok\"}") > 0,
         "storm produced no successes"
+    );
+    // The storm repeats three query templates with a warm cache: memoized
+    // deliveries must have happened, and the cache counters must agree
+    // with the serving-level outcome counters.
+    let hits = snap.counter("blend_cache_hits_total");
+    let coalesced = snap.counter("blend_cache_coalesced_total");
+    assert!(
+        hits + coalesced > 0,
+        "repeated templates produced no memoized deliveries"
+    );
+    assert_eq!(
+        hits,
+        snap.counter("blend_serve_outcomes_total{outcome=\"cache_hit\"}"),
+        "cache-level and serving-level hit counters must agree"
+    );
+    assert_eq!(
+        coalesced,
+        snap.counter("blend_serve_outcomes_total{outcome=\"coalesced_hit\"}"),
+        "cache-level and serving-level coalesced counters must agree"
+    );
+    assert!(
+        snap.counter("blend_cache_misses_total") > 0,
+        "cold executions must record misses"
     );
     assert_eq!(
         snap.gauges.get("blend_serve_queue_depth").copied(),

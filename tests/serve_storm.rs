@@ -104,6 +104,9 @@ fn storm_once(context: &str, faults: FaultPlan, tiny_deadlines: bool) {
             depth: DEPTH,
             workers: 2,
             faults,
+            // Cache budget honors BLEND_RESULT_CACHE_BYTES (the CI storm
+            // runs with a deliberately tiny budget to force evictions).
+            ..ServeConfig::default()
         },
     ));
 
@@ -150,7 +153,12 @@ fn storm_once(context: &str, faults: FaultPlan, tiny_deadlines: bool) {
                             "ok result diverged from the sequential reference"
                         );
                         let serving = report.serving.expect("serving telemetry");
-                        assert_eq!(serving.outcome, "ok");
+                        assert!(
+                            ["ok", "cache_hit", "coalesced_hit"]
+                                .contains(&serving.outcome.as_str()),
+                            "unexpected success outcome `{}`",
+                            serving.outcome
+                        );
                     }
                     Err(BlendError::Timeout(_)) => {
                         timeout += 1;
@@ -253,4 +261,113 @@ fn fault_plan_env_grammar_matches_programmatic_plan() {
     let parsed = FaultPlan::parse("dequeue:delay:5@3,exec:cancel@7,exec:poison@11").unwrap();
     assert!(!parsed.is_empty());
     storm_once("env-faults", parsed, true);
+}
+
+/// Coalesced-group leader failure: a burst of fingerprint-equal requests
+/// forms one in-flight group, the leader is killed mid-execution, and the
+/// contract is that **every waiter still resolves typed** — the earliest
+/// live waiter is promoted to re-execute, the rest are served from its
+/// result, and nobody hangs (a stranded waiter shows up as the watchdog
+/// timeout).
+fn leader_failure_storm(context: &str, leader_fault: FaultAction) {
+    const BURST: usize = 8;
+
+    let fact = build_engine(EngineKind::Column, fact_rows(5, 40, 6, 0x57012));
+    // The self-join: slow enough that the burst attaches to the leader's
+    // group even without the injected delay below.
+    let sql = queries(6)[2].clone();
+    let reference =
+        SqlEngine::with_alltables(fact.clone()).with_parallel(Arc::new(ParallelCtx::sequential()));
+    let want = reference.execute(&sql).expect("reference run");
+
+    // Hold the first execution at the exec site long enough for every
+    // other submission to attach, then kill it. Both rules fire exactly
+    // once, on the first SITE_EXEC visit — which is necessarily the
+    // group's leader (waiters never reach the exec site).
+    let faults = FaultPlan::none()
+        .with(
+            SITE_EXEC,
+            FaultAction::Delay(Duration::from_millis(100)),
+            1_000_000,
+        )
+        .with(SITE_EXEC, leader_fault, 1_000_000);
+    let engine = Arc::new(
+        SqlEngine::with_alltables(fact)
+            .with_parallel(Arc::new(ParallelCtx::with_admission(4, 1, 32, 2))),
+    );
+    let queue = Arc::new(ServeQueue::new(
+        engine,
+        ServeConfig {
+            depth: BURST,
+            workers: 2,
+            faults,
+            result_cache_bytes: 1 << 20,
+            coalesce: true,
+        },
+    ));
+
+    let (tx, rx) = mpsc::channel();
+    let storm_queue = queue.clone();
+    let want_clone = want.clone();
+    std::thread::spawn(move || {
+        let tickets: Vec<_> = (0..BURST)
+            .map(|_| {
+                storm_queue
+                    .submit(&sql, Deadline::after(Duration::from_secs(20)))
+                    .expect("queue depth covers the whole burst")
+            })
+            .collect();
+        let mut ok = 0usize;
+        let mut leader_failures = 0usize;
+        for t in tickets {
+            match t.wait() {
+                Ok((rs, report)) => {
+                    ok += 1;
+                    assert_eq!(rs, want_clone, "promoted/coalesced result diverged");
+                    let serving = report.serving.expect("serving telemetry");
+                    assert!(
+                        ["ok", "cache_hit", "coalesced_hit"].contains(&serving.outcome.as_str()),
+                        "unexpected success outcome `{}`",
+                        serving.outcome
+                    );
+                }
+                Err(BlendError::Cancelled(_)) => leader_failures += 1,
+                Err(BlendError::SqlExec(m)) if m.contains("panicked") => leader_failures += 1,
+                Err(other) => panic!("untyped outcome after leader failure: {other}"),
+            }
+        }
+        let _ = tx.send((ok, leader_failures));
+    });
+
+    let (ok, leader_failures) = rx.recv_timeout(WATCHDOG).unwrap_or_else(|_| {
+        panic!("{context}: leader-failure storm deadlocked — waiters stranded")
+    });
+    assert_eq!(
+        leader_failures, 1,
+        "{context}: exactly the killed leader fails"
+    );
+    assert_eq!(
+        ok,
+        BURST - 1,
+        "{context}: every waiter resolves with the shared result"
+    );
+    let stats = queue.stats();
+    assert!(
+        stats.coalesced_hits >= 1,
+        "{context}: burst never coalesced — promotion path untested ({stats:?})"
+    );
+}
+
+/// Leader cancelled mid-flight (a user killing their own query must not
+/// kill everyone coalesced behind it).
+#[test]
+fn cancelled_coalesced_leader_never_strands_waiters() {
+    leader_failure_storm("leader-cancel", FaultAction::Cancel);
+}
+
+/// Leader poisoned (panicking) mid-flight: the panic resolves only the
+/// leader's ticket; the group is promoted, not poisoned.
+#[test]
+fn poisoned_coalesced_leader_never_strands_waiters() {
+    leader_failure_storm("leader-poison", FaultAction::Poison);
 }
