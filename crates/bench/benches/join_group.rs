@@ -79,19 +79,19 @@ fn map_group(keys: &[u64], codes: &[u32]) -> GroupOut {
 /// The flat grouping pipeline: dense ids through `GroupIndex`, a counting
 /// pass, and per-group sort-unique over the radix-grouped code column.
 fn flat_group(keys: &[u64], codes: &[u32]) -> GroupOut {
-    let mut index: GroupIndex<u64> = GroupIndex::with_capacity(keys.len() / 16);
+    let mut index: GroupIndex<u64> = GroupIndex::with_capacity(keys.len() / 16).unwrap();
     let mut first_rows: Vec<u32> = Vec::new();
     let mut row_gids: Vec<u32> = Vec::with_capacity(keys.len());
     for (i, &k) in keys.iter().enumerate() {
         let before = index.len();
-        let gid = index.insert_or_get(k);
+        let gid = index.insert_or_get(k).unwrap();
         if index.len() != before {
             first_rows.push(i as u32);
         }
         row_gids.push(gid);
     }
     let n_groups = index.len();
-    let csr = radix_partition(&row_gids, n_groups);
+    let csr = radix_partition(&row_gids, n_groups).unwrap();
     let mut grouped: Vec<u32> = csr.items().iter().map(|&it| codes[it as usize]).collect();
     let offsets = csr.offsets();
     (0..n_groups)
@@ -148,7 +148,7 @@ fn map_join(build: &[u64], probe: &[u64]) -> (usize, u64) {
 /// The flat join: CSR `JoinTable` build (two counting passes), bucket-run
 /// probe per row.
 fn flat_join(build: &[u64], probe: &[u64]) -> (usize, u64) {
-    let table = JoinTable::build(build, None);
+    let table = JoinTable::build(build, None).unwrap();
     pair_digest(
         probe
             .iter()

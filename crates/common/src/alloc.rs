@@ -1,0 +1,72 @@
+//! Fallible allocation helpers.
+//!
+//! Hot operators (hashtable build, radix scatter, selection vectors) size
+//! their arrays up front. A bare `Vec::with_capacity` aborts the process
+//! when the OS refuses the allocation; these wrappers route the failure
+//! through `try_reserve` so it surfaces as a typed
+//! [`BlendError::MemoryExceeded`] instead — the same error the byte-budget
+//! governor raises, so callers have exactly one out-of-memory path to
+//! handle.
+
+use crate::error::{BlendError, Result};
+
+/// Allocate a fresh `Vec` with exactly `n` slots of capacity, surfacing an
+/// OS-level allocation failure as `MemoryExceeded` (tagged with the
+/// requesting `site`).
+pub fn try_vec_with_capacity<T>(n: usize, site: &str) -> Result<Vec<T>> {
+    let mut v = Vec::new();
+    try_reserve_exact(&mut v, n, site)?;
+    Ok(v)
+}
+
+/// Allocate a zero-filled `Vec<T>` of length `n` fallibly.
+pub fn try_zeroed_vec<T: Clone + Default>(n: usize, site: &str) -> Result<Vec<T>> {
+    let mut v = try_vec_with_capacity(n, site)?;
+    v.resize(n, T::default());
+    Ok(v)
+}
+
+/// `Vec::reserve` that surfaces failure as `MemoryExceeded`.
+pub fn try_reserve<T>(v: &mut Vec<T>, additional: usize, site: &str) -> Result<()> {
+    v.try_reserve(additional)
+        .map_err(|_| oom(site, additional * std::mem::size_of::<T>()))
+}
+
+/// `Vec::reserve_exact` that surfaces failure as `MemoryExceeded`.
+pub fn try_reserve_exact<T>(v: &mut Vec<T>, additional: usize, site: &str) -> Result<()> {
+    v.try_reserve_exact(additional)
+        .map_err(|_| oom(site, additional * std::mem::size_of::<T>()))
+}
+
+fn oom(site: &str, bytes: usize) -> BlendError {
+    BlendError::MemoryExceeded(format!("allocation of {bytes} bytes failed at {site}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successful_reservations_behave_like_with_capacity() {
+        let v: Vec<u32> = try_vec_with_capacity(64, "test").unwrap();
+        assert!(v.capacity() >= 64);
+        assert!(v.is_empty());
+        let z: Vec<u64> = try_zeroed_vec(8, "test").unwrap();
+        assert_eq!(z, vec![0u64; 8]);
+    }
+
+    #[test]
+    fn absurd_reservation_is_typed_not_abort() {
+        // isize::MAX bytes can never be reserved; must come back typed.
+        let err = try_vec_with_capacity::<u64>(usize::MAX / 16, "join_build").unwrap_err();
+        assert!(matches!(&err, BlendError::MemoryExceeded(m) if m.contains("join_build")));
+    }
+
+    #[test]
+    fn reserve_on_existing_vec() {
+        let mut v = vec![1u32, 2];
+        try_reserve(&mut v, 100, "sel").unwrap();
+        assert!(v.capacity() >= 102);
+        assert!(try_reserve_exact(&mut v, usize::MAX / 8, "sel").is_err());
+    }
+}

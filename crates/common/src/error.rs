@@ -34,6 +34,11 @@ pub enum BlendError {
     Cancelled(String),
     /// The serving tier shed the request: the bounded queue was full.
     Overloaded(String),
+    /// A memory reservation failed after the full degradation ladder
+    /// (cache reclaim → narrowed parallelism → sequential) was exhausted,
+    /// or an OS-level allocation failed. The request's partials were
+    /// discarded; the engine stays serviceable.
+    MemoryExceeded(String),
 }
 
 impl fmt::Display for BlendError {
@@ -49,6 +54,7 @@ impl fmt::Display for BlendError {
             BlendError::Timeout(m) => write!(f, "deadline exceeded: {m}"),
             BlendError::Cancelled(m) => write!(f, "cancelled: {m}"),
             BlendError::Overloaded(m) => write!(f, "overloaded: {m}"),
+            BlendError::MemoryExceeded(m) => write!(f, "memory budget exceeded: {m}"),
         }
     }
 }
@@ -86,6 +92,10 @@ mod tests {
         assert_eq!(
             BlendError::Overloaded("queue full (depth 4)".into()).to_string(),
             "overloaded: queue full (depth 4)"
+        );
+        assert_eq!(
+            BlendError::MemoryExceeded("join_build wanted 64 KiB".into()).to_string(),
+            "memory budget exceeded: join_build wanted 64 KiB"
         );
     }
 

@@ -18,6 +18,7 @@
 //! * [`zipf`] — a seeded Zipf sampler for the synthetic lake generators.
 //! * [`error`] — the shared [`error::BlendError`] type.
 
+pub mod alloc;
 pub mod error;
 pub mod hash;
 pub mod stats;
@@ -27,6 +28,7 @@ pub mod topk;
 pub mod value;
 pub mod zipf;
 
+pub use alloc::{try_reserve, try_reserve_exact, try_vec_with_capacity, try_zeroed_vec};
 pub use error::{BlendError, Result};
 pub use hash::{mix128, mix64, FxHashMap, FxHashSet, FxHasher};
 pub use table::{Column, ColumnId, ColumnType, RowId, Table, TableId};

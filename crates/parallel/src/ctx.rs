@@ -6,6 +6,7 @@ use blend_common::Result;
 
 use crate::admission::{Admission, AdmissionGrant, GRANTS_ENV};
 use crate::cancel::Interrupt;
+use crate::memory::{MemoryGovernor, QueryMemory};
 use crate::pool::WorkerPool;
 
 /// Environment variable overriding the worker thread count (`1` forces the
@@ -46,6 +47,10 @@ pub struct ParallelCtx {
     min_parallel: usize,
     morsel_len: usize,
     interrupt: Interrupt,
+    /// Per-query memory scope. Contexts built by constructors share one
+    /// scope on the global governor; the engine swaps in a fresh scope per
+    /// query via [`with_query_memory`](ParallelCtx::with_query_memory).
+    memory: Arc<QueryMemory>,
 }
 
 impl ParallelCtx {
@@ -96,6 +101,7 @@ impl ParallelCtx {
             min_parallel: min_parallel.max(1),
             morsel_len: morsel_len.max(1),
             interrupt: Interrupt::never(),
+            memory: Arc::new(QueryMemory::new(MemoryGovernor::global().clone())),
         }
     }
 
@@ -128,6 +134,7 @@ impl ParallelCtx {
             min_parallel: DEFAULT_MIN_PARALLEL,
             morsel_len: DEFAULT_MORSEL_LEN,
             interrupt: Interrupt::never(),
+            memory: Arc::new(QueryMemory::new(MemoryGovernor::global().clone())),
         }
     }
 
@@ -153,10 +160,41 @@ impl ParallelCtx {
         }
     }
 
+    /// Rebind this context to a different memory governor (tests with
+    /// private byte budgets — the env-configured global governor is
+    /// process-wide). Engines derive each query's fresh scope from
+    /// [`governor`](ParallelCtx::governor), so every query executed under
+    /// the returned context charges `gov`.
+    pub fn with_governor(&self, gov: Arc<MemoryGovernor>) -> ParallelCtx {
+        self.with_query_memory(Arc::new(QueryMemory::new(gov)))
+    }
+
+    /// A per-query view of this context carrying a fresh memory scope:
+    /// same pool, admission bucket, tuning, and interrupt, but
+    /// reservations charge (and peak-track) under `memory`. The engine
+    /// creates one scope per query so profile attrs and accounting are
+    /// per-query, mirroring how `with_interrupt` scopes cancellation.
+    pub fn with_query_memory(&self, memory: Arc<QueryMemory>) -> ParallelCtx {
+        ParallelCtx {
+            memory,
+            ..self.clone()
+        }
+    }
+
     /// The interrupt this context executes under (never fires unless the
     /// context came from [`with_interrupt`](ParallelCtx::with_interrupt)).
     pub fn interrupt(&self) -> &Interrupt {
         &self.interrupt
+    }
+
+    /// The memory scope operators reserve through.
+    pub fn memory(&self) -> &Arc<QueryMemory> {
+        &self.memory
+    }
+
+    /// The governor this context's reservations charge.
+    pub fn governor(&self) -> &Arc<MemoryGovernor> {
+        self.memory.governor()
     }
 
     /// Phase-boundary checkpoint: `Err(Cancelled)` / `Err(Timeout)` once
@@ -242,6 +280,18 @@ impl PhaseGrant {
     /// itself from this, so a degraded grant produces fewer partitions.
     pub fn granted(&self) -> usize {
         self.grant.tokens() + 1
+    }
+
+    /// Narrow the phase to `width` total workers (rung 2 of the memory
+    /// degradation ladder: smaller per-worker scratch). The grant keeps
+    /// its admission tokens — over-holding is safe and the phase is
+    /// already running — but the pool handle fans out to at most `width`.
+    pub fn narrowed(self, width: usize) -> PhaseGrant {
+        let width = width.clamp(1, self.granted());
+        PhaseGrant {
+            pool: self.pool.with_width(width),
+            grant: self.grant,
+        }
     }
 }
 

@@ -72,6 +72,20 @@
 //! output. `Interrupt::default()` never fires and costs one relaxed load
 //! per poll, so non-serving callers are unaffected.
 //!
+//! ## Memory governance
+//!
+//! The same graceful-degradation posture applies to bytes: a process-wide
+//! [`MemoryGovernor`] (`BLEND_MEMORY_BUDGET`, unset = unbounded) hands out
+//! hierarchical RAII [`MemoryReservation`]s — query scope
+//! ([`QueryMemory`], threaded through [`ParallelCtx::with_query_memory`]
+//! exactly like interrupts) → operator reservations at every
+//! allocation-heavy site. On reservation failure the system walks a
+//! four-rung ladder (reclaim registered pools → narrow the phase's worker
+//! width → the sequential path → typed `BlendError::MemoryExceeded`),
+//! never aborting and never leaving partial results; see the [`memory`]
+//! module docs for the full protocol and its interaction with
+//! cancellation.
+//!
 //! ## The morsel/merge model
 //!
 //! Work is split into **morsels**: small contiguous sub-ranges of ordered
@@ -114,6 +128,9 @@
 //!   from plan execution to every phase. [`ParallelCtx::shared_from_env`]
 //!   is the one context engines share, so exactly one pool exists per
 //!   process.
+//! * [`memory`] — [`MemoryGovernor`] / [`QueryMemory`] /
+//!   [`MemoryReservation`], the byte budget and its RAII grants, plus
+//!   [`reserve_laddered`] (the width-scaled degradation ladder).
 //! * [`morsel`] — [`morselize`](morsel::morselize) (segment → morsel
 //!   splitting), [`split_even`](morsel::split_even) (row-count-balanced
 //!   contiguous ranges), and [`balanced_chunks`](morsel::balanced_chunks)
@@ -128,6 +145,7 @@
 pub mod admission;
 pub mod cancel;
 pub mod ctx;
+pub mod memory;
 pub mod morsel;
 pub mod pool;
 pub mod radix;
@@ -135,6 +153,10 @@ pub mod radix;
 pub use admission::{Admission, AdmissionGrant, GRANTS_ENV};
 pub use cancel::{CancellationToken, Deadline, Interrupt};
 pub use ctx::{ParallelCtx, PhaseGrant, THREADS_ENV};
+pub use memory::{
+    reserve_laddered, GovernorStats, LadderRung, MemoryGovernor, MemoryReclaimer,
+    MemoryReservation, QueryMemory, MEMORY_ENV,
+};
 pub use morsel::{balanced_chunks, morselize, split_even, Morsel};
 pub use pool::{PoolRun, WorkerPool};
-pub use radix::{partition_count, radix_partition, RadixPartitions};
+pub use radix::{partition_count, radix_partition, radix_scratch_bytes, RadixPartitions};

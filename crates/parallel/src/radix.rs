@@ -52,14 +52,22 @@ impl RadixPartitions {
     }
 }
 
+/// Resident bytes of the CSR arrays [`radix_partition`] builds for `n`
+/// items over `n_parts` partitions (offsets + cursor + items) — the
+/// costing primitive the executor's radix-scratch reservations use.
+pub fn radix_scratch_bytes(n_items: usize, n_parts: usize) -> usize {
+    (n_parts + 1) * 4 + n_parts * 4 + n_items * 4
+}
+
 /// Group item indices `0..parts.len()` by their partition id with a two-pass
 /// counting sort. `parts[i]` must be `< n_parts`; within each partition the
 /// returned indices are ascending (see the module docs for why that order is
-/// load-bearing).
-pub fn radix_partition(parts: &[u32], n_parts: usize) -> RadixPartitions {
+/// load-bearing). The scatter arrays are allocated fallibly: an OS-level
+/// refusal surfaces as `BlendError::MemoryExceeded` instead of aborting.
+pub fn radix_partition(parts: &[u32], n_parts: usize) -> blend_common::Result<RadixPartitions> {
     debug_assert!(parts.iter().all(|&p| (p as usize) < n_parts));
     // Pass 1: count per-partition occupancy, prefix-summed into offsets.
-    let mut offsets = vec![0u32; n_parts + 1];
+    let mut offsets = blend_common::try_zeroed_vec::<u32>(n_parts + 1, "radix_offsets")?;
     for &p in parts {
         offsets[p as usize + 1] += 1;
     }
@@ -68,14 +76,15 @@ pub fn radix_partition(parts: &[u32], n_parts: usize) -> RadixPartitions {
     }
     // Pass 2: scatter item indices; walking items in input order keeps each
     // partition's slice ascending.
-    let mut cursor: Vec<u32> = offsets[..n_parts].to_vec();
-    let mut items = vec![0u32; parts.len()];
+    let mut cursor = blend_common::try_vec_with_capacity::<u32>(n_parts, "radix_cursor")?;
+    cursor.extend_from_slice(&offsets[..n_parts]);
+    let mut items = blend_common::try_zeroed_vec::<u32>(parts.len(), "radix_scatter")?;
     for (i, &p) in parts.iter().enumerate() {
         let c = &mut cursor[p as usize];
         items[*c as usize] = i as u32;
         *c += 1;
     }
-    RadixPartitions { offsets, items }
+    Ok(RadixPartitions { offsets, items })
 }
 
 /// Radix partition count for a pool of `threads` workers: 4× the thread
@@ -95,7 +104,7 @@ mod tests {
     #[test]
     fn partitions_cover_all_items_ascending() {
         let parts = [2u32, 0, 2, 1, 0, 2, 2];
-        let rp = radix_partition(&parts, 4);
+        let rp = radix_partition(&parts, 4).unwrap();
         assert_eq!(rp.n_parts(), 4);
         assert_eq!(rp.part(0), &[1, 4]);
         assert_eq!(rp.part(1), &[3]);
@@ -109,12 +118,12 @@ mod tests {
 
     #[test]
     fn empty_input_yields_empty_partitions() {
-        let rp = radix_partition(&[], 3);
+        let rp = radix_partition(&[], 3).unwrap();
         assert_eq!(rp.n_parts(), 3);
         for p in 0..3 {
             assert!(rp.part(p).is_empty());
         }
-        let rp0 = radix_partition(&[], 0);
+        let rp0 = radix_partition(&[], 0).unwrap();
         assert_eq!(rp0.n_parts(), 0);
         assert!(rp0.items().is_empty());
     }
@@ -122,7 +131,7 @@ mod tests {
     #[test]
     fn single_partition_is_identity_order() {
         let parts = vec![0u32; 9];
-        let rp = radix_partition(&parts, 1);
+        let rp = radix_partition(&parts, 1).unwrap();
         assert_eq!(rp.part(0), (0..9u32).collect::<Vec<_>>().as_slice());
     }
 

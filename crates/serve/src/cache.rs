@@ -35,6 +35,7 @@
 use std::sync::{Arc, Mutex, OnceLock};
 
 use blend_common::FxHashMap;
+use blend_parallel::{MemoryGovernor, MemoryReclaimer};
 use blend_sql::{ExecPath, QueryFingerprint, QueryReport, ResultSet};
 
 /// Shards: enough to keep lock contention off the serving threads, few
@@ -121,6 +122,9 @@ struct Slot {
     key: CacheKey,
     value: Arc<CachedResult>,
     referenced: bool,
+    /// Bytes charged for this entry: payload plus per-entry overhead
+    /// (slot, key clone, canonical text). This is what eviction releases.
+    charged: usize,
 }
 
 #[derive(Default)]
@@ -146,8 +150,8 @@ impl Shard {
             if stale {
                 let slot = self.slots[i].take().expect("checked above");
                 self.map.remove(&slot.key);
-                self.bytes -= slot.value.bytes;
-                freed += slot.value.bytes;
+                self.bytes -= slot.charged;
+                freed += slot.charged;
             }
         }
         freed
@@ -170,8 +174,8 @@ impl Shard {
                 Some(_) => {
                     let slot = self.slots[i].take().expect("matched Some");
                     self.map.remove(&slot.key);
-                    self.bytes -= slot.value.bytes;
-                    freed += slot.value.bytes;
+                    self.bytes -= slot.charged;
+                    freed += slot.charged;
                     evicted += 1;
                 }
                 None => {}
@@ -182,22 +186,46 @@ impl Shard {
 }
 
 /// Sharded CLOCK cache of memoized seeker results.
+///
+/// The cache's byte pool is a **child of the memory governor's budget**:
+/// every admitted entry is charged against the governor (entries are the
+/// reclaimable bytes that rung 1 of the degradation ladder gives back),
+/// and every eviction/purge releases its charge. Charges happen *before*
+/// any shard lock is taken — a charge can trigger a reclaim pass that
+/// sweeps these same shards, and charging under the lock would deadlock.
 pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
     shard_budget: usize,
+    governor: Arc<MemoryGovernor>,
 }
 
 impl ResultCache {
-    /// Cache with a total byte budget split evenly across shards.
-    /// `total_bytes == 0` builds a disabled cache (every lookup misses,
-    /// every insert is dropped, no metrics recorded).
+    /// Cache with a total byte budget split evenly across shards, charging
+    /// the process-global governor. `total_bytes == 0` builds a disabled
+    /// cache (every lookup misses, every insert is dropped, no metrics
+    /// recorded).
     pub fn new(total_bytes: usize) -> ResultCache {
+        ResultCache::with_governor(total_bytes, MemoryGovernor::global().clone())
+    }
+
+    /// Cache charging a specific governor (tests with private budgets).
+    pub fn with_governor(total_bytes: usize, governor: Arc<MemoryGovernor>) -> ResultCache {
         ResultCache {
             shards: (0..NUM_SHARDS)
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             shard_budget: total_bytes / NUM_SHARDS,
+            governor,
         }
+    }
+
+    /// Per-entry admission cost: payload bytes plus bookkeeping overhead
+    /// (the slot, the key clone held in it, and the canonical query text).
+    fn entry_cost(key: &CacheKey, value: &CachedResult) -> usize {
+        value.bytes
+            + std::mem::size_of::<Slot>()
+            + std::mem::size_of::<CacheKey>()
+            + key.fp.canon().len()
     }
 
     /// True when a zero budget disabled the cache.
@@ -217,6 +245,7 @@ impl ResultCache {
         let freed = shard.purge_stale(key.generation);
         if freed > 0 {
             m.bytes.add(-(freed as i64));
+            self.governor.release(freed);
         }
         match shard.map.get(key) {
             Some(&i) => {
@@ -234,27 +263,42 @@ impl ResultCache {
     }
 
     /// Admit a finished execution. Oversized entries (larger than a whole
-    /// shard's budget) are dropped; an existing entry for the same key is
-    /// kept (fingerprint-equal executions are byte-identical by contract).
+    /// shard's budget) are dropped, as are entries the memory governor
+    /// cannot fund (a cache fill is the most discretionary allocation in
+    /// the system — under pressure it simply doesn't happen); an existing
+    /// entry for the same key is kept (fingerprint-equal executions are
+    /// byte-identical by contract).
     pub fn insert(&self, key: CacheKey, value: Arc<CachedResult>) {
-        if self.is_disabled() || value.bytes > self.shard_budget {
+        if self.is_disabled() {
+            return;
+        }
+        let cost = ResultCache::entry_cost(&key, &value);
+        if cost > self.shard_budget {
+            return;
+        }
+        // Charge before the shard lock: the charge may trigger a reclaim
+        // pass that sweeps these shards (see the type-level comment).
+        if !self.governor.try_charge(cost) {
             return;
         }
         let m = cache_metrics();
         let mut shard = self.shards[key.shard()]
             .lock()
             .unwrap_or_else(|e| e.into_inner());
-        let mut delta: i64 = -(shard.purge_stale(key.generation) as i64);
+        let mut released = shard.purge_stale(key.generation);
+        let mut delta: i64 = -(released as i64);
         if !shard.map.contains_key(&key) {
-            let (freed, evicted) = shard.evict_for(value.bytes, self.shard_budget);
+            let (freed, evicted) = shard.evict_for(cost, self.shard_budget);
+            released += freed;
             delta -= freed as i64;
             m.evictions.add(evicted);
-            shard.bytes += value.bytes;
-            delta += value.bytes as i64;
+            shard.bytes += cost;
+            delta += cost as i64;
             let slot = Slot {
                 key: key.clone(),
                 value,
                 referenced: true,
+                charged: cost,
             };
             let i = match shard.slots.iter().position(Option::is_none) {
                 Some(i) => {
@@ -267,7 +311,12 @@ impl ResultCache {
                 }
             };
             shard.map.insert(key, i);
+        } else {
+            // Duplicate key: entry kept, the new charge goes straight back.
+            released += cost;
         }
+        drop(shard);
+        self.governor.release(released);
         if delta != 0 {
             m.bytes.add(delta);
         }
@@ -292,6 +341,55 @@ impl ResultCache {
             .iter()
             .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).bytes)
             .sum()
+    }
+
+    /// Drop every entry and release its governor charge. Used when the
+    /// serving tier shuts down and by tests proving reserved bytes drain
+    /// to zero.
+    pub fn purge_all(&self) {
+        let m = cache_metrics();
+        for shard in &self.shards {
+            let mut s = shard.lock().unwrap_or_else(|e| e.into_inner());
+            // A zero budget makes the CLOCK sweep run until the shard is
+            // empty (second-chance laps included).
+            let (freed, _) = s.evict_for(0, 0);
+            drop(s);
+            if freed > 0 {
+                m.bytes.add(-(freed as i64));
+                self.governor.release(freed);
+            }
+        }
+    }
+}
+
+/// Rung 1 of the degradation ladder: when a query's reservation fails,
+/// the governor asks this cache to give bytes back. Sweep shards with the
+/// same CLOCK policy as admission eviction until `needed` bytes are freed
+/// (or the cache is empty).
+impl MemoryReclaimer for ResultCache {
+    fn reclaim(&self, needed: usize) -> usize {
+        if self.is_disabled() || needed == 0 {
+            return 0;
+        }
+        let m = cache_metrics();
+        let mut freed = 0usize;
+        for shard in &self.shards {
+            if freed >= needed {
+                break;
+            }
+            let mut s = shard.lock().unwrap_or_else(|e| e.into_inner());
+            let want = needed - freed;
+            let target = s.bytes.saturating_sub(want);
+            let (f, evicted) = s.evict_for(0, target);
+            drop(s);
+            if f > 0 {
+                m.evictions.add(evicted);
+                m.bytes.add(-(f as i64));
+                self.governor.release(f);
+                freed += f;
+            }
+        }
+        freed
     }
 }
 
@@ -355,17 +453,58 @@ mod tests {
 
     #[test]
     fn byte_budget_forces_eviction() {
-        // Budget fits roughly one entry per shard.
+        // Budget fits roughly one entry (payload + per-entry overhead)
+        // per shard.
         let one = entry(64, "fill");
-        let cache = ResultCache::new(one.bytes * NUM_SHARDS + NUM_SHARDS);
+        let cost = ResultCache::entry_cost(&key("SELECT TableId FROM AllTables LIMIT 0", 1), &one);
+        let budget = (cost + 64) * NUM_SHARDS;
+        let cache = ResultCache::new(budget);
         for i in 0..64 {
             cache.insert(
                 key(&format!("SELECT TableId FROM AllTables LIMIT {i}"), 1),
                 entry(64, "fill"),
             );
         }
-        assert!(cache.bytes() <= one.bytes * NUM_SHARDS + NUM_SHARDS);
+        assert!(cache.bytes() <= budget);
+        assert!(!cache.is_empty(), "small entries must be admitted");
         assert!(cache.len() < 64, "evictions must have occurred");
+    }
+
+    #[test]
+    fn entries_charge_the_governor_and_reclaim_releases() {
+        let gov = Arc::new(MemoryGovernor::with_budget(1 << 20));
+        let cache = ResultCache::with_governor(1 << 19, gov.clone());
+        for i in 0..8 {
+            cache.insert(
+                key(&format!("SELECT TableId FROM AllTables LIMIT {i}"), 1),
+                entry(16, "g"),
+            );
+        }
+        assert!(!cache.is_empty());
+        assert_eq!(
+            gov.reserved_bytes(),
+            cache.bytes(),
+            "every resident byte is charged against the governor"
+        );
+
+        // Rung 1: asking for bytes evicts entries and releases charges.
+        let freed = cache.reclaim(1);
+        assert!(freed > 0);
+        assert_eq!(gov.reserved_bytes(), cache.bytes());
+
+        cache.purge_all();
+        assert!(cache.is_empty());
+        assert_eq!(gov.reserved_bytes(), 0, "purge drains the pool");
+    }
+
+    #[test]
+    fn insert_is_dropped_when_the_governor_cannot_fund_it() {
+        let gov = Arc::new(MemoryGovernor::with_budget(64));
+        let cache = ResultCache::with_governor(1 << 19, gov.clone());
+        let k = key("SELECT TableId FROM AllTables", 1);
+        cache.insert(k.clone(), entry(16, "x"));
+        assert!(cache.get(&k).is_none(), "entry over the memory budget");
+        assert_eq!(gov.reserved_bytes(), 0, "failed charge fully rolled back");
     }
 
     #[test]

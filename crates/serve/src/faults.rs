@@ -39,6 +39,9 @@
 //! e.g. `BLEND_FAULTS="dequeue:delay:20@2,exec:cancel@5,exec:poison@7"`
 //! delays every 2nd dequeue by 20 ms, cancels every 5th request at the
 //! exec site, and poisons every 7th. `@every` defaults to 1 (always).
+//! The special rule `alloc:fail[@every]` (site [`SITE_ALLOC`]) takes no
+//! millis and injects synthetic memory-reservation failures via the
+//! engine's memory governor instead of firing at a pipeline site.
 //! Rule counters are per-site-visit and atomic, so concurrent serving
 //! threads see a deterministic *rate* of faults.
 
@@ -55,6 +58,13 @@ pub const SITE_CACHE: &str = "cache";
 pub const SITE_COALESCE: &str = "coalesce";
 /// Fault site: admission slot held, about to execute the request.
 pub const SITE_EXEC: &str = "exec";
+/// Fault site: a memory-governor charge. Unlike the other sites this one
+/// is not visited by the serving loop — the [`crate::ServeQueue`] arms the
+/// engine's [`blend_parallel::MemoryGovernor`] with the rule's rate and
+/// the governor fails every N-th `try_charge` with a synthetic reservation
+/// failure, exercising the degradation ladder (narrow → sequential →
+/// typed `MemoryExceeded`) without needing a tiny byte budget.
+pub const SITE_ALLOC: &str = "alloc";
 
 /// What an injected fault does at its site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +75,8 @@ pub enum FaultAction {
     Cancel,
     /// Panic at the site (caught by the serving thread).
     Poison,
+    /// Fail a memory-governor charge (only meaningful at [`SITE_ALLOC`]).
+    FailAlloc,
 }
 
 #[derive(Debug)]
@@ -143,6 +155,7 @@ impl FaultPlan {
                 }
                 "cancel" => FaultAction::Cancel,
                 "poison" => FaultAction::Poison,
+                "fail" if site == SITE_ALLOC => FaultAction::FailAlloc,
                 _ => return Err(bad()),
             };
             if parts.next().is_some() {
@@ -151,6 +164,16 @@ impl FaultPlan {
             plan = plan.with(site, action, every);
         }
         Ok(plan)
+    }
+
+    /// The `every` rate of the first `alloc:fail` rule, if any. The
+    /// serving tier uses this to arm the engine's memory governor rather
+    /// than firing the rule at a pipeline site.
+    pub fn alloc_fail_every(&self) -> Option<usize> {
+        self.rules
+            .iter()
+            .find(|r| r.site == SITE_ALLOC && r.action == FaultAction::FailAlloc)
+            .map(|r| r.every)
     }
 
     /// Actions to apply for this visit to `site`, in rule order.
@@ -187,9 +210,29 @@ mod tests {
             "x:cancel@y",
             ":cancel",
             "a:b",
+            "exec:fail",      // `fail` only parses at the alloc site
+            "alloc:fail:20",  // no millis on alloc:fail
+            "alloc:fail@2@3", // nonsense every
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
         }
+    }
+
+    #[test]
+    fn alloc_fail_rule_parses_and_reports_rate() {
+        let plan = FaultPlan::parse("exec:cancel@5,alloc:fail@7").unwrap();
+        assert_eq!(plan.alloc_fail_every(), Some(7));
+        // The alloc rule does not leak into the pipeline sites.
+        assert!(plan
+            .fire(SITE_EXEC)
+            .iter()
+            .all(|a| *a != FaultAction::FailAlloc));
+        let plan = FaultPlan::parse("alloc:fail").unwrap();
+        assert_eq!(plan.alloc_fail_every(), Some(1));
+        assert_eq!(
+            FaultPlan::parse("exec:poison").unwrap().alloc_fail_every(),
+            None
+        );
     }
 
     #[test]

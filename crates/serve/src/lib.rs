@@ -53,8 +53,9 @@
 //! counters and a resident-bytes gauge) for the fleet-level view — note
 //! the metrics-level `blend_serve_submitted_total` counts *every*
 //! submission attempt including shed ones, so `shed + ok + cache_hit +
-//! coalesced_hit + timeout + cancelled + failed == submitted` holds there,
-//! while `ServeStats::submitted` counts accepted requests only.
+//! coalesced_hit + timeout + cancelled + mem_exceeded + failed ==
+//! submitted` holds there, while `ServeStats::submitted` counts accepted
+//! requests only.
 //!
 //! ## Coalescing and the result cache
 //!
@@ -127,23 +128,52 @@
 //!   byte-identically to a sequential run or returns exactly one typed
 //!   error and no data.
 //!
+//! ## Memory pressure
+//!
+//! The engine's [`blend_parallel::MemoryGovernor`] bounds what queries may
+//! allocate (`BLEND_MEMORY_BUDGET`); the serving tier participates on
+//! three fronts:
+//!
+//! * **The result cache is a child pool of the budget.** Every admitted
+//!   entry is charged against the governor (payload + per-entry
+//!   overhead), every eviction/purge releases its charge, and the cache
+//!   registers as the governor's [`blend_parallel::MemoryReclaimer`] —
+//!   when a query's reservation fails, rung 1 of the degradation ladder
+//!   evicts cached results to fund it. Under pressure a cache fill that
+//!   the governor cannot fund is simply skipped.
+//! * **Admission tightens during reclaim.** While a reclaim pass is in
+//!   flight ([`blend_parallel::MemoryGovernor::reclaiming`]) `submit`
+//!   halves the effective queue depth, so new work queues or sheds
+//!   instead of piling onto a system that is actively giving bytes back.
+//! * **`mem_exceeded` is a first-class outcome.** A request whose
+//!   execution exhausts the ladder (narrowed parallelism → sequential →
+//!   still over budget) resolves `Err(BlendError::MemoryExceeded)`,
+//!   counted separately from generic failures in [`ServeStats`] and the
+//!   `blend_serve_outcomes_total` family so the conservation identity
+//!   above stays exact under memory storms.
+//!
 //! ## Fault injection
 //!
 //! [`faults::FaultPlan`] injects delays, cancellations, and poisoned
 //! (panicking) requests at named serving sites, driven programmatically or
 //! by `BLEND_FAULTS`. Serving threads wrap execution in `catch_unwind`, so
 //! a poisoned request resolves its own ticket with `Err(SqlExec)` and the
-//! thread lives on. The storm test drives 2× queue-depth load through an
-//! undersized queue with faults enabled and asserts liveness: no deadlock,
-//! every ticket resolves, deadline overshoot stays bounded, and `Ok`
-//! results are byte-identical to sequential references.
+//! thread lives on. An `alloc:fail[@every]` rule ([`SITE_ALLOC`]) arms the
+//! memory governor with synthetic reservation failures instead of firing
+//! at a pipeline site, so storms can prove every ladder rung fires without
+//! a precisely tuned byte budget. The storm test drives 2× queue-depth
+//! load through an undersized queue with faults enabled and asserts
+//! liveness: no deadlock, every ticket resolves, deadline overshoot stays
+//! bounded, and `Ok` results are byte-identical to sequential references.
 
 pub mod cache;
 pub mod faults;
 pub mod queue;
 
 pub use cache::{cache_bytes_from_env, CacheKey, CachedResult, ResultCache, DEFAULT_CACHE_BYTES};
-pub use faults::{FaultAction, FaultPlan, SITE_CACHE, SITE_COALESCE, SITE_DEQUEUE, SITE_EXEC};
+pub use faults::{
+    FaultAction, FaultPlan, SITE_ALLOC, SITE_CACHE, SITE_COALESCE, SITE_DEQUEUE, SITE_EXEC,
+};
 pub use queue::{ServeConfig, ServeQueue, ServeStats, Ticket};
 
 pub use blend_common::{BlendError, Result};

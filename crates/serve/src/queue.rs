@@ -23,8 +23,8 @@ use crate::faults::{FaultAction, FaultPlan, SITE_CACHE, SITE_COALESCE, SITE_DEQU
 /// every queue. Unlike [`ServeStats::submitted`] (accepted requests
 /// only), `blend_serve_submitted_total` counts every submission attempt,
 /// so the counter identity `shed + ok + cache_hit + coalesced_hit +
-/// timeouts + cancellations + failures == submitted` holds at any
-/// quiesce point.
+/// timeouts + cancellations + mem_exceeded + failures == submitted`
+/// holds at any quiesce point.
 struct ServeMetrics {
     submitted: Arc<blend_obs::Counter>,
     shed: Arc<blend_obs::Counter>,
@@ -33,6 +33,7 @@ struct ServeMetrics {
     coalesced_hits: Arc<blend_obs::Counter>,
     timeouts: Arc<blend_obs::Counter>,
     cancellations: Arc<blend_obs::Counter>,
+    mem_exceeded: Arc<blend_obs::Counter>,
     failures: Arc<blend_obs::Counter>,
     /// Requests accepted and not yet dequeued.
     queue_depth: Arc<blend_obs::Gauge>,
@@ -54,6 +55,7 @@ fn serve_metrics() -> &'static ServeMetrics {
             coalesced_hits: r.counter("blend_serve_outcomes_total{outcome=\"coalesced_hit\"}"),
             timeouts: r.counter("blend_serve_outcomes_total{outcome=\"timeout\"}"),
             cancellations: r.counter("blend_serve_outcomes_total{outcome=\"cancelled\"}"),
+            mem_exceeded: r.counter("blend_serve_outcomes_total{outcome=\"mem_exceeded\"}"),
             failures: r.counter("blend_serve_outcomes_total{outcome=\"failed\"}"),
             queue_depth: r.gauge("blend_serve_queue_depth"),
             queue_wait: r.histogram("blend_serve_queue_wait_nanos"),
@@ -111,6 +113,9 @@ pub struct ServeStats {
     pub timeouts: u64,
     /// Requests that resolved `Err(Cancelled)`.
     pub cancellations: u64,
+    /// Requests shed by the memory governor (`Err(MemoryExceeded)`) after
+    /// the degradation ladder was exhausted.
+    pub mem_exceeded: u64,
     /// Requests that resolved with any other error (incl. poisoned).
     pub failures: u64,
 }
@@ -124,6 +129,7 @@ struct StatCells {
     coalesced_hits: AtomicU64,
     timeouts: AtomicU64,
     cancellations: AtomicU64,
+    mem_exceeded: AtomicU64,
     failures: AtomicU64,
 }
 
@@ -229,7 +235,10 @@ struct Core {
     faults: FaultPlan,
     stats: StatCells,
     /// Memoized results keyed on fingerprint + generation + exec path.
-    cache: ResultCache,
+    /// `Arc` so the engine's memory governor can hold it (weakly) as a
+    /// [`blend_parallel::MemoryReclaimer`] — rung 1 of the degradation
+    /// ladder evicts from this cache.
+    cache: Arc<ResultCache>,
     /// In-flight executions open for coalescing: key → waiters attached so
     /// far (the leader is not in the list). An entry exists only while the
     /// leader's execution is running; it is removed — under this lock, so
@@ -263,8 +272,23 @@ pub struct ServeQueue {
 }
 
 impl ServeQueue {
-    /// Spawn the serving threads for `engine` with the given config.
+    /// Spawn the serving threads for `engine` with the given config. The
+    /// result cache charges the engine's memory governor (its byte pool is
+    /// a child of `BLEND_MEMORY_BUDGET`) and registers as that governor's
+    /// reclaimer; an `alloc:fail` rule in the fault plan arms the governor
+    /// with synthetic reservation failures.
     pub fn new(engine: Arc<SqlEngine>, config: ServeConfig) -> ServeQueue {
+        let governor = engine.parallel_ctx().governor().clone();
+        let cache = Arc::new(ResultCache::with_governor(
+            config.result_cache_bytes,
+            governor.clone(),
+        ));
+        governor.register_reclaimer(
+            Arc::downgrade(&cache) as std::sync::Weak<dyn blend_parallel::MemoryReclaimer>
+        );
+        if let Some(every) = config.faults.alloc_fail_every() {
+            governor.set_alloc_fail_every(every);
+        }
         let core = Arc::new(Core {
             engine,
             state: Mutex::new(QueueState {
@@ -275,7 +299,7 @@ impl ServeQueue {
             depth: config.depth.max(1),
             faults: config.faults,
             stats: StatCells::default(),
-            cache: ResultCache::new(config.result_cache_bytes),
+            cache,
             inflight: Mutex::new(FxHashMap::default()),
             coalesce: config.coalesce,
         });
@@ -334,13 +358,20 @@ impl ServeQueue {
                 m.cancellations.inc();
                 return Err(BlendError::Cancelled("serve queue shut down".into()));
             }
-            if st.queue.len() >= self.core.depth {
+            // While the governor is reclaiming bytes the system is actively
+            // shedding memory; halve the effective depth so new work queues
+            // up (or sheds) instead of piling onto it.
+            let depth = if self.core.engine.parallel_ctx().governor().reclaiming() {
+                (self.core.depth / 2).max(1)
+            } else {
+                self.core.depth
+            };
+            if st.queue.len() >= depth {
                 self.core.stats.shed.fetch_add(1, Ordering::Relaxed);
                 m.shed.inc();
                 return Err(BlendError::Overloaded(format!(
-                    "serve queue full ({} queued, depth {})",
+                    "serve queue full ({} queued, effective depth {depth})",
                     st.queue.len(),
-                    self.core.depth
                 )));
             }
             st.queue.push_back(req.clone());
@@ -362,6 +393,7 @@ impl ServeQueue {
             coalesced_hits: s.coalesced_hits.load(Ordering::Relaxed),
             timeouts: s.timeouts.load(Ordering::Relaxed),
             cancellations: s.cancellations.load(Ordering::Relaxed),
+            mem_exceeded: s.mem_exceeded.load(Ordering::Relaxed),
             failures: s.failures.load(Ordering::Relaxed),
         }
     }
@@ -413,6 +445,9 @@ impl Drop for ServeQueue {
             m.queue_depth.dec();
             req.resolve(Err(BlendError::Cancelled("serve queue shut down".into())));
         }
+        // Give cached bytes back to the memory governor: the cache dies
+        // with this queue and its charges must not outlive it.
+        self.core.cache.purge_all();
     }
 }
 
@@ -703,6 +738,10 @@ fn finish_err(core: &Core, req: &Request, e: BlendError, _exec: Duration) {
             s.cancellations.fetch_add(1, Ordering::Relaxed);
             m.cancellations.inc();
         }
+        BlendError::MemoryExceeded(_) => {
+            s.mem_exceeded.fetch_add(1, Ordering::Relaxed);
+            m.mem_exceeded.inc();
+        }
         _ => {
             s.failures.fetch_add(1, Ordering::Relaxed);
             m.failures.inc();
@@ -760,6 +799,9 @@ fn apply_faults(core: &Core, site: &str, req: &Request) -> bool {
             FaultAction::Delay(d) => std::thread::sleep(d),
             FaultAction::Cancel => req.interrupt.token().cancel(),
             FaultAction::Poison => poison = true,
+            // Alloc faults are armed on the governor at queue construction,
+            // not fired at a pipeline site.
+            FaultAction::FailAlloc => {}
         }
     }
     poison

@@ -3,7 +3,7 @@
 use std::sync::{Arc, OnceLock, RwLock};
 
 use blend_common::{FxHashMap, Result};
-use blend_parallel::{Interrupt, ParallelCtx};
+use blend_parallel::{Interrupt, ParallelCtx, QueryMemory};
 use blend_storage::FactTable;
 
 use crate::exec::{execute_plan_path, QueryReport, ResultSet, ServingStats};
@@ -231,17 +231,30 @@ impl SqlEngine {
         // The root span of this query's profile tree: every phase span the
         // executors record below nests under it.
         let trace = blend_obs::trace_begin("query");
+        // Fresh per-query memory scope on the shared governor: operator
+        // reservations charge through it, and its high-water mark lands on
+        // the profile root below. Dropping the scope (with every
+        // reservation) on any exit path returns the bytes.
+        let memory = Arc::new(QueryMemory::new(self.parallel.governor().clone()));
         let outcome = (|| {
             let plan = plan_query(ast, &self.db)?;
-            let par = self.parallel.with_interrupt(interrupt);
+            let par = self
+                .parallel
+                .with_interrupt(interrupt)
+                .with_query_memory(memory.clone());
             let mut report = QueryReport::default();
             let rs = execute_plan_path(&plan, &mut report, path == ExecPath::Auto, &par)?;
-            Ok((rs, report))
+            // Charge the materialized result rows; a result too large for
+            // the remaining budget resolves typed like any other site, and
+            // the rows are discarded with the reservation.
+            let result_mem = memory.try_reserve("result_rows", rs.approx_bytes())?;
+            Ok((rs, report, result_mem))
         })();
         let m = sql_metrics();
         match outcome {
-            Ok((rs, mut report)) => {
+            Ok((rs, mut report, _result_mem)) => {
                 trace.attr_str("path", report.path.clone());
+                trace.attr_u64("mem_peak_bytes", memory.peak_bytes() as u64);
                 report.profile = trace.finish();
                 if report.path == "positional" {
                     m.queries_positional.inc();

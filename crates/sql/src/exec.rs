@@ -183,23 +183,30 @@ impl ResultSet {
         self.rows.get(row)?.get(self.col(col)?)?.as_str()
     }
 
-    /// Approximate heap footprint in bytes, the admission cost a memoized
-    /// copy of this result charges against a cache's byte budget. Counts
-    /// column labels, per-row vector overhead, and value payloads
-    /// (`Text`/`U128` payloads dominate real seeker results) — the same
-    /// per-value accounting style as the storage engines'
-    /// `memory_breakdown`.
+    /// Approximate heap footprint in bytes: the admission cost a memoized
+    /// copy of this result charges against a cache's byte budget and the
+    /// bytes the memory governor reserves for a materialized result.
+    /// Counts *capacities*, not lengths — spare `Vec` capacity and string
+    /// over-allocation are resident bytes too — plus the `Arc<str>` heap
+    /// header on text payloads (`Text`/`U128` payloads dominate real
+    /// seeker results). Same per-value accounting style as the storage
+    /// engines' `memory_breakdown`.
     pub fn approx_bytes(&self) -> usize {
         use std::mem::size_of;
+        // An `Arc<str>` allocation carries strong + weak counts ahead of
+        // the string bytes.
+        const ARC_HEADER: usize = 2 * size_of::<usize>();
         let mut bytes = size_of::<Self>();
+        bytes += self.columns.capacity() * size_of::<String>();
         for c in &self.columns {
-            bytes += size_of::<String>() + c.len();
+            bytes += c.capacity();
         }
+        bytes += self.rows.capacity() * size_of::<Tuple>();
         for row in &self.rows {
-            bytes += size_of::<Tuple>() + row.capacity() * size_of::<SqlValue>();
+            bytes += row.capacity() * size_of::<SqlValue>();
             for v in row {
                 if let SqlValue::Text(s) = v {
-                    bytes += s.len();
+                    bytes += ARC_HEADER + s.len();
                 }
             }
         }
@@ -767,6 +774,43 @@ mod tests {
         assert_eq!(rs.column_u32("tableid"), vec![3, 7]);
         assert_eq!(rs.len(), 2);
         assert!(rs.str(0, "tableid").is_none());
+    }
+
+    #[test]
+    fn approx_bytes_counts_capacities_and_arc_headers() {
+        use std::mem::size_of;
+        // Over-allocated vectors: the spare capacity is resident and must
+        // be charged, or a budget check under-admits real memory use.
+        let mut rows: Vec<Tuple> = Vec::with_capacity(8);
+        let mut row: Tuple = Vec::with_capacity(4);
+        row.push(SqlValue::Int(1));
+        row.push(SqlValue::Text(std::sync::Arc::from("hello")));
+        rows.push(row);
+        let mut columns: Vec<String> = Vec::with_capacity(3);
+        let mut label = String::with_capacity(16);
+        label.push_str("id");
+        columns.push(label);
+        columns.push("v".to_string());
+        let rs = ResultSet { columns, rows };
+
+        let expect = size_of::<ResultSet>()
+            + 3 * size_of::<String>()            // columns vec capacity
+            + 16 + 1                             // label capacities
+            + 8 * size_of::<Tuple>()             // rows vec capacity
+            + 4 * size_of::<SqlValue>()          // row capacity
+            + 2 * size_of::<usize>() + 5; // Arc<str> header + "hello"
+        assert_eq!(rs.approx_bytes(), expect);
+
+        // Tightening capacities can only shrink the estimate, never below
+        // the length-based floor.
+        let floor = size_of::<ResultSet>()
+            + 2 * size_of::<String>()
+            + 3
+            + size_of::<Tuple>()
+            + 2 * size_of::<SqlValue>()
+            + 2 * size_of::<usize>()
+            + 5;
+        assert!(rs.approx_bytes() >= floor);
     }
 
     #[test]

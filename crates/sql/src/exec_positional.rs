@@ -109,14 +109,38 @@
 //! merges make invisible in the output. Pool-backed phases record
 //! partition counts, granted workers, and per-worker timings in
 //! [`QueryReport::parallel`].
+//!
+//! ## Memory governance
+//!
+//! Every allocation-heavy site reserves bytes from the query's
+//! [`blend_parallel::QueryMemory`] scope *before* allocating (see the
+//! `blend_parallel::memory` crate docs for the reservation protocol and
+//! degradation ladder):
+//!
+//! * each intermediate [`PosBatch`] **carries the reservation covering its
+//!   position data** — consuming a batch (a join input, a filtered
+//!   rebuild) or abandoning it on an error drops the reservation with it,
+//!   so accounting follows batch lifetime with no explicit release;
+//! * the join build and group index reserve through
+//!   [`blend_parallel::reserve_laddered`] with a width-parameterized cost
+//!   (`JoinTable::estimate_bytes` / `GroupIndex::estimate_bytes` plus
+//!   radix scratch): on failure the phase retries at half width, then
+//!   sequentially, and the chosen width feeds the partition math — the
+//!   byte-identical-across-widths contract above is what makes ladder
+//!   narrowing invisible in results;
+//! * scratch (per-worker selection vectors, radix arrays, gathered key and
+//!   aggregate columns) and outputs are reserved post-sizing; a failed
+//!   reservation propagates `BlendError::MemoryExceeded` through the same
+//!   typed-error channel as cancellation, and the no-partial-results
+//!   machinery discards partials via `Drop`.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use blend_common::{FxHashMap, FxHashSet};
 use blend_parallel::{
-    morselize, partition_count, radix_partition, split_even, Interrupt, Morsel, ParallelCtx,
-    RadixPartitions,
+    morselize, partition_count, radix_partition, radix_scratch_bytes, reserve_laddered, split_even,
+    Interrupt, MemoryReservation, Morsel, ParallelCtx, RadixPartitions,
 };
 use blend_storage::{FactTable, ScanScratch, ValueProbe};
 
@@ -565,10 +589,15 @@ fn build_node<'p>(tree: &'p Tree, leaves: &mut Vec<&'p ScanPlan>) -> Option<PosN
 // ---- execution -------------------------------------------------------------
 
 /// A batch of positional rows: `stride` positions per row, one per leaf of
-/// the producing subtree, stored flat.
+/// the producing subtree, stored flat. Each batch carries the memory
+/// reservation covering its `data`, so intermediate results stay accounted
+/// against the query's budget for exactly as long as they are alive —
+/// dropping a batch (consumed by a join, discarded on error) releases its
+/// bytes automatically.
 struct PosBatch {
     stride: usize,
     data: Vec<u32>,
+    mem: Option<MemoryReservation>,
 }
 
 impl PosBatch {
@@ -628,9 +657,17 @@ pub(crate) fn execute(
                 data.extend_from_slice(row);
             }
         }
+        // The surviving rows fit under the input batch's reservation;
+        // shrink it to the compacted size instead of re-reserving.
+        let dropped = batch.data.len() - data.len();
+        let mut mem = batch.mem.take();
+        if let Some(m) = &mut mem {
+            m.shrink(dropped * 4);
+        }
         batch = PosBatch {
             stride: batch.stride,
             data,
+            mem,
         };
     }
 
@@ -777,9 +814,11 @@ fn exec_scan(
             scanned: out.len(),
             emitted: out.len(),
         });
+        let mem = Some(par.memory().try_reserve("scan_out", out.capacity() * 4)?);
         return Ok(PosBatch {
             stride: 1,
             data: out,
+            mem,
         });
     }
 
@@ -849,6 +888,13 @@ fn exec_scan(
         (morsels.len() > 1).then_some((grant, morsels))
     });
     let intr = par.interrupt();
+    // Selection-vector scratch: one morsel-sized vector per participating
+    // worker (or one total on the sequential path). Held only for the
+    // duration of the scan.
+    let scratch_width = admitted.as_ref().map_or(1, |(g, _)| g.granted());
+    let _scratch_mem = par
+        .memory()
+        .try_reserve("scan_scratch", scratch_width * par.morsel_len() * 4)?;
     match admitted {
         Some((grant, morsels)) => {
             // Per-worker scratch: selection-vector capacity is allocated
@@ -902,9 +948,11 @@ fn exec_scan(
         scanned,
         emitted: out.len(),
     });
+    let mem = Some(par.memory().try_reserve("scan_out", out.capacity() * 4)?);
     Ok(PosBatch {
         stride: 1,
         data: out,
+        mem,
     })
 }
 
@@ -1049,7 +1097,14 @@ fn exec_join(
     }?;
     let stride = left.stride + right.stride;
     report.joins.push((build.len(), probe.len(), n_out));
-    Ok(PosBatch { stride, data: out })
+    // The joined batch gets its own reservation; the input batches drop at
+    // the end of this call, releasing theirs.
+    let mem = Some(par.memory().try_reserve("join_out", out.capacity() * 4)?);
+    Ok(PosBatch {
+        stride,
+        data: out,
+        mem,
+    })
 }
 
 /// The key-width-generic core of [`exec_join`]: build flat tables over the
@@ -1072,19 +1127,43 @@ fn join_flat<K: JoinKey>(
     let build_span = blend_obs::span("join.build");
     build_span.attr_u64("rows", n_build as u64);
     let t0 = Instant::now();
+    // The packed key arrays were allocated by the caller; account for them
+    // for the duration of the join.
+    let _key_mem = par.memory().try_reserve(
+        "join_keys",
+        (build_keys.len() + probe_keys.len()) * std::mem::size_of::<K>(),
+    )?;
     // Admission for the build phase: the radix fanout is sized from the
     // *granted* worker count, so a degraded grant builds fewer partitions
     // (the output is partition-count-invariant either way). The grant is
     // released when `build_grant` drops, before the probe phase asks for
     // its own.
+    //
+    // Memory ladder: price the build at the granted width (the parallel
+    // path additionally hashes every row and radix-scatters it); under
+    // pressure retry at half width, then the sequential single-table path,
+    // and only then resolve `MemoryExceeded`. Output stays byte-identical
+    // at every width because the merge is partition-count-invariant.
     let build_grant = par.admit(n_build);
+    let desired = build_grant.as_ref().map_or(1, |g| g.granted());
+    let (_build_mem, build_width, _rung) =
+        reserve_laddered(par.memory(), "join_build", desired, |w| {
+            let mut bytes = JoinTable::estimate_bytes(n_build);
+            if w > 1 {
+                bytes += n_build * 12 + radix_scratch_bytes(n_build, partition_count(w));
+            }
+            bytes
+        })?;
+    let build_grant = build_grant
+        .filter(|_| build_width > 1)
+        .map(|g| g.narrowed(build_width));
     let n_parts = build_grant
         .as_ref()
-        .map_or(1, |g| partition_count(g.granted()));
+        .map_or(1, |_| partition_count(build_width));
     let pmask = (n_parts - 1) as u64;
 
     let flat_tables: Vec<JoinTable> = if n_parts == 1 {
-        vec![JoinTable::build(build_keys, None)]
+        vec![JoinTable::build(build_keys, None)?]
     } else {
         let grant = build_grant
             .as_ref()
@@ -1093,9 +1172,11 @@ fn join_flat<K: JoinKey>(
         // row list is ascending, so per-key match runs stay ascending.
         let hashes: Vec<u64> = build_keys.iter().map(|k| k.hash64()).collect();
         let parts: Vec<u32> = hashes.iter().map(|&h| (h & pmask) as u32).collect();
-        let rp = radix_partition(&parts, n_parts);
+        let rp = radix_partition(&parts, n_parts)?;
         // Workers poll the interrupt per partition: an interrupted build
-        // produces empty tables, which the check below throws away.
+        // produces empty tables, which the check below throws away. A
+        // worker whose table build fails its allocation surfaces the typed
+        // error here, discarding every partial the same way.
         let run = grant.pool().run(n_parts, |p| {
             let part = if intr.is_set() { &[][..] } else { rp.part(p) };
             JoinTable::build_prehashed(&hashes, Some(part))
@@ -1103,10 +1184,10 @@ fn join_flat<K: JoinKey>(
         report.parallel.push(ParallelPhase {
             phase: "join-build".to_string(),
             partitions: n_parts,
-            granted: grant.granted(),
+            granted: build_width,
             worker_nanos: run.worker_nanos,
         });
-        run.results
+        run.results.into_iter().collect::<Result<Vec<_>>>()?
     };
     drop(build_grant);
     par.check_interrupt()?;
@@ -1265,6 +1346,18 @@ fn exec_group<'a>(
         })
         .collect();
 
+    // Account for the gathered key/argument columns for the duration of
+    // the grouping phase.
+    let gather_bytes = key_cols.iter().map(|c| c.len() * 4).sum::<usize>()
+        + spec_data
+            .iter()
+            .map(|d| match d {
+                SpecData::None => 0,
+                SpecData::Codes(v) | SpecData::Positions(v) | SpecData::Ints(v) => v.len() * 4,
+            })
+            .sum::<usize>();
+    let _gather_mem = par.memory().try_reserve("group_gather", gather_bytes)?;
+
     if shape.keys.is_empty() {
         return group_global(shape, agg_plans, &spec_data, batch, tables, report, par);
     }
@@ -1303,13 +1396,33 @@ fn group_keyed<'a, K: JoinKey>(
     let t0 = Instant::now();
     // Admission for the grouping phase: fanout follows the granted worker
     // count; an empty grant takes the single-partition sequential path.
+    //
+    // Memory ladder: price the group state (row→gid map, group index,
+    // packed keys) at the granted width — the parallel path additionally
+    // hashes every row and radix-scatters it — narrowing to half width and
+    // then the sequential single-partition loop under pressure. Group
+    // output is partition-count-invariant, so degraded widths stay
+    // byte-identical.
     let grant = par.admit(n_rows);
-    let n_parts = grant.as_ref().map_or(1, |g| partition_count(g.granted()));
+    let desired = grant.as_ref().map_or(1, |g| g.granted());
+    let (_group_mem, group_width, _rung) =
+        reserve_laddered(par.memory(), "group_build", desired, |w| {
+            let mut bytes = n_rows * (4 + std::mem::size_of::<K>())
+                + GroupIndex::<K>::estimate_bytes((n_rows / 4).min(1 << 16));
+            if w > 1 {
+                bytes += n_rows * 12 + radix_scratch_bytes(n_rows, partition_count(w));
+            }
+            bytes
+        })?;
+    let grant = grant
+        .filter(|_| group_width > 1)
+        .map(|g| g.narrowed(group_width));
+    let n_parts = grant.as_ref().map_or(1, |_| partition_count(group_width));
 
     if n_parts == 1 {
         let (groups, slots, max_probe) = group_partition(
             packed, None, None, shape, agg_plans, spec_data, key_cols, batch, tables, intr,
-        );
+        )?;
         par.check_interrupt()?;
         span.attr_u64("groups", groups.len() as u64);
         span.attr_u64("partitions", 1);
@@ -1332,7 +1445,7 @@ fn group_keyed<'a, K: JoinKey>(
     let pmask = (n_parts - 1) as u64;
     let hashes: Vec<u64> = packed.iter().map(|k| k.hash64()).collect();
     let parts: Vec<u32> = hashes.iter().map(|&h| (h & pmask) as u32).collect();
-    let rp = radix_partition(&parts, n_parts);
+    let rp = radix_partition(&parts, n_parts)?;
     let run = grant.pool().run(n_parts, |p| {
         group_partition(
             packed,
@@ -1350,7 +1463,7 @@ fn group_keyed<'a, K: JoinKey>(
     report.parallel.push(ParallelPhase {
         phase: "group".to_string(),
         partitions: n_parts,
-        granted: grant.granted(),
+        granted: group_width,
         worker_nanos: run.worker_nanos,
     });
     par.check_interrupt()?;
@@ -1358,7 +1471,10 @@ fn group_keyed<'a, K: JoinKey>(
     let mut slots = 0usize;
     let mut max_probe = 0usize;
     let mut all: Vec<(u32, Tuple)> = Vec::new();
-    for (groups, part_slots, part_probe) in run.results {
+    for part in run.results {
+        // A partition whose index growth failed its allocation surfaces
+        // the typed error here; every other partial is discarded with it.
+        let (groups, part_slots, part_probe) = part?;
         slots += part_slots;
         max_probe = max_probe.max(part_probe);
         all.extend(groups);
@@ -1379,11 +1495,14 @@ fn group_keyed<'a, K: JoinKey>(
     Ok(all.into_iter().map(|(_, t)| t).collect())
 }
 
+/// One partition's grouped output: `(first-seen row, output tuple)` pairs
+/// plus the group index's slot count and max probe length (telemetry).
+type GroupedPartition = (Vec<(u32, Tuple)>, usize, usize);
+
 /// Group one partition's rows (`None` = all rows): assign dense group ids
 /// through a flat [`GroupIndex`], then run one column-at-a-time
 /// accumulation pass per aggregate into struct-of-arrays state. Returns
-/// `(first-seen row, output tuple)` per group in first-seen order, plus the
-/// index's slot count and max probe length (telemetry).
+/// one [`GroupedPartition`] in first-seen order.
 #[allow(clippy::too_many_arguments)]
 fn group_partition<'a, K: JoinKey>(
     packed: &[K],
@@ -1396,7 +1515,7 @@ fn group_partition<'a, K: JoinKey>(
     batch: &PosBatch,
     tables: &'a [&'a dyn FactTable],
     intr: &Interrupt,
-) -> (Vec<(u32, Tuple)>, usize, usize) {
+) -> Result<GroupedPartition> {
     let part_n = rows.map_or(packed.len(), <[u32]>::len);
     let row_at = |idx: usize| -> usize {
         match rows {
@@ -1406,22 +1525,22 @@ fn group_partition<'a, K: JoinKey>(
     };
 
     // Pass 1: dense group ids in first-seen order + first row per group.
-    let mut index: GroupIndex<K> = GroupIndex::with_capacity((part_n / 4).min(1 << 16));
+    let mut index: GroupIndex<K> = GroupIndex::with_capacity((part_n / 4).min(1 << 16))?;
     let mut first_rows: Vec<u32> = Vec::new();
-    let mut row_gids: Vec<u32> = Vec::with_capacity(part_n);
+    let mut row_gids: Vec<u32> = blend_common::try_vec_with_capacity(part_n, "group_row_gids")?;
     for idx in 0..part_n {
         // Cooperative bail: an interrupted partition returns no groups;
         // the caller's post-run check discards every partial.
         if poll_every(idx) && intr.is_set() {
-            return (Vec::new(), 0, 0);
+            return Ok((Vec::new(), 0, 0));
         }
         let i = row_at(idx);
         let before = index.len();
         // The radix path already hashed every key to pick partitions;
         // reuse that hash instead of paying a second one per row.
         let gid = match hashes {
-            Some(h) => index.insert_or_get_hashed(packed[i], h[i]),
-            None => index.insert_or_get(packed[i]),
+            Some(h) => index.insert_or_get_hashed(packed[i], h[i])?,
+            None => index.insert_or_get(packed[i])?,
         };
         if index.len() != before {
             first_rows.push(i as u32);
@@ -1430,7 +1549,7 @@ fn group_partition<'a, K: JoinKey>(
     }
     let n_groups = index.len();
     if intr.is_set() {
-        return (Vec::new(), 0, 0);
+        return Ok((Vec::new(), 0, 0));
     }
 
     // Pass 2: accumulate each aggregate column-at-a-time into flat
@@ -1448,7 +1567,10 @@ fn group_partition<'a, K: JoinKey>(
                 counts.into_iter().map(SqlValue::Int).collect()
             }
             (PosAggSpec::DistinctValue { .. }, SpecData::Codes(codes)) => {
-                let csr = gid_csr.get_or_insert_with(|| radix_partition(&row_gids, n_groups));
+                let csr = match &mut gid_csr {
+                    Some(c) => c,
+                    none => none.insert(radix_partition(&row_gids, n_groups)?),
+                };
                 distinct_counts(csr, n_groups, |idx| codes[row_at(idx)])
             }
             (PosAggSpec::DistinctValue { leaf }, SpecData::Positions(positions)) => {
@@ -1463,7 +1585,10 @@ fn group_partition<'a, K: JoinKey>(
                         *ids.entry(s).or_insert(next)
                     })
                     .collect();
-                let csr = gid_csr.get_or_insert_with(|| radix_partition(&row_gids, n_groups));
+                let csr = match &mut gid_csr {
+                    Some(c) => c,
+                    none => none.insert(radix_partition(&row_gids, n_groups)?),
+                };
                 distinct_counts(csr, n_groups, |idx| str_ids[idx])
             }
             (PosAggSpec::MinCol { .. }, SpecData::Ints(col)) => {
@@ -1521,7 +1646,7 @@ fn group_partition<'a, K: JoinKey>(
             (first_row, row)
         })
         .collect();
-    (out, index.slot_count(), index.max_probe())
+    Ok((out, index.slot_count(), index.max_probe()))
 }
 
 /// `COUNT(DISTINCT ...)` over pre-gathered u32 codes: the code column is

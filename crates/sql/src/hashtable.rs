@@ -91,23 +91,36 @@ pub struct JoinTable {
 impl JoinTable {
     /// Build over `rows` (`None` = all of `keys`, `Some` = a radix
     /// partition's ascending row-id slice; ids index into `keys`). Buckets
-    /// are sized to ~0.5 load factor.
-    pub fn build<K: JoinKey>(keys: &[K], rows: Option<&[u32]>) -> JoinTable {
+    /// are sized to ~0.5 load factor. Fails typed
+    /// (`BlendError::MemoryExceeded`) if the scratch/CSR arrays cannot be
+    /// allocated.
+    pub fn build<K: JoinKey>(keys: &[K], rows: Option<&[u32]>) -> blend_common::Result<JoinTable> {
         Self::build_inner(|r| keys[r].hash64(), keys.len(), rows)
     }
 
     /// [`build`](JoinTable::build) over precomputed per-row hashes — the
     /// radix path already hashed every key to pick partitions, so partition
     /// builds must not pay a second hash per row.
-    pub fn build_prehashed(hashes: &[u64], rows: Option<&[u32]>) -> JoinTable {
+    pub fn build_prehashed(
+        hashes: &[u64],
+        rows: Option<&[u32]>,
+    ) -> blend_common::Result<JoinTable> {
         Self::build_inner(|r| hashes[r], hashes.len(), rows)
+    }
+
+    /// Resident bytes a [`build`](JoinTable::build) over `n_rows` rows
+    /// allocates (hash scratch + CSR bucket arrays) — the costing primitive
+    /// the executor's join-build reservations use.
+    pub fn estimate_bytes(n_rows: usize) -> usize {
+        let buckets = n_rows.saturating_mul(2).next_power_of_two().max(1);
+        n_rows * 4 + blend_parallel::radix_scratch_bytes(n_rows, buckets)
     }
 
     fn build_inner(
         hash_of: impl Fn(usize) -> u64,
         n_keys: usize,
         rows: Option<&[u32]>,
-    ) -> JoinTable {
+    ) -> blend_common::Result<JoinTable> {
         let n = rows.map_or(n_keys, <[u32]>::len);
         let row_at = |idx: usize| -> u32 {
             match rows {
@@ -119,7 +132,7 @@ impl JoinTable {
         let mask = (buckets - 1) as u64;
 
         // Hash every build row once; the counting sort reuses it.
-        let mut bucket_ids: Vec<u32> = Vec::with_capacity(n);
+        let mut bucket_ids: Vec<u32> = blend_common::try_vec_with_capacity(n, "join_bucket_ids")?;
         for idx in 0..n {
             let h = hash_of(row_at(idx) as usize);
             bucket_ids.push(bucket_of(h, mask) as u32);
@@ -128,18 +141,18 @@ impl JoinTable {
         // two-pass counting sort yields CSR offsets (heads) and in-order
         // items — ascending within each bucket, the invariant probes need.
         let (heads, mut entries) =
-            blend_parallel::radix_partition(&bucket_ids, buckets).into_parts();
+            blend_parallel::radix_partition(&bucket_ids, buckets)?.into_parts();
         if rows.is_some() {
             // Map partition-local indices back to the caller's row ids.
             for e in &mut entries {
                 *e = row_at(*e as usize);
             }
         }
-        JoinTable {
+        Ok(JoinTable {
             mask,
             heads,
             entries,
-        }
+        })
     }
 
     /// Build rows matching `key`, in ascending build-row order. `keys` must
@@ -219,30 +232,45 @@ pub struct GroupIndex<K: JoinKey> {
 }
 
 impl<K: JoinKey> GroupIndex<K> {
-    /// Index pre-sized for an expected group count.
-    pub fn with_capacity(groups: usize) -> Self {
-        let slots = groups.saturating_mul(2).next_power_of_two().max(16);
-        GroupIndex {
-            slots: vec![EMPTY; slots],
-            keys: Vec::with_capacity(groups),
-            mask: slots - 1,
+    /// Index pre-sized for an expected group count. Fails typed
+    /// (`BlendError::MemoryExceeded`) if the slot/key arrays cannot be
+    /// allocated.
+    pub fn with_capacity(groups: usize) -> blend_common::Result<Self> {
+        let slots_len = groups.saturating_mul(2).next_power_of_two().max(16);
+        let mut slots = blend_common::try_vec_with_capacity::<u32>(slots_len, "group_slots")?;
+        slots.resize(slots_len, EMPTY);
+        let keys = blend_common::try_vec_with_capacity::<K>(groups, "group_keys")?;
+        Ok(GroupIndex {
+            slots,
+            keys,
+            mask: slots_len - 1,
             max_probe: 0,
-        }
+        })
+    }
+
+    /// Resident bytes an index sized for `groups` groups over key type `K`
+    /// holds (slot array + dense key storage) — the costing primitive the
+    /// executor's group-state reservations use.
+    pub fn estimate_bytes(groups: usize) -> usize {
+        let slots = groups.saturating_mul(2).next_power_of_two().max(16);
+        slots * 4 + groups * std::mem::size_of::<K>()
     }
 
     /// The dense id of `key`, inserting a fresh group (id = current
     /// [`len`](GroupIndex::len)) on first sight.
     #[inline]
-    pub fn insert_or_get(&mut self, key: K) -> u32 {
+    pub fn insert_or_get(&mut self, key: K) -> blend_common::Result<u32> {
         self.insert_or_get_hashed(key, key.hash64())
     }
 
     /// [`insert_or_get`](GroupIndex::insert_or_get) with the key's hash
     /// precomputed (the radix path already hashed it to pick partitions).
+    /// The only fallible step is growth — lookups of existing keys and
+    /// inserts below the load-factor threshold never allocate.
     #[inline]
-    pub fn insert_or_get_hashed(&mut self, key: K, hash: u64) -> u32 {
+    pub fn insert_or_get_hashed(&mut self, key: K, hash: u64) -> blend_common::Result<u32> {
         if self.keys.len() * 2 >= self.slots.len() {
-            self.grow();
+            self.grow()?;
         }
         let mut slot = ((hash >> 32) as usize) & self.mask;
         let mut probe = 1usize;
@@ -250,25 +278,33 @@ impl<K: JoinKey> GroupIndex<K> {
             let id = self.slots[slot];
             if id == EMPTY {
                 let gid = self.keys.len() as u32;
+                if self.keys.len() == self.keys.capacity() {
+                    let extra = self.keys.capacity().max(16);
+                    blend_common::try_reserve(&mut self.keys, extra, "group_keys")?;
+                }
                 self.slots[slot] = gid;
                 self.keys.push(key);
                 self.max_probe = self.max_probe.max(probe);
-                return gid;
+                return Ok(gid);
             }
             if self.keys[id as usize] == key {
-                return id;
+                return Ok(id);
             }
             slot = (slot + 1) & self.mask;
             probe += 1;
         }
     }
 
-    /// Double the slot array and re-scatter the dense ids.
-    fn grow(&mut self) {
+    /// Double the slot array and re-scatter the dense ids. The doubled
+    /// array is allocated fallibly *before* the old one is released, so a
+    /// failed grow leaves the index intact (the caller's groups survive and
+    /// the error propagates typed).
+    fn grow(&mut self) -> blend_common::Result<()> {
         let new_len = self.slots.len() * 2;
+        let mut slots = blend_common::try_vec_with_capacity::<u32>(new_len, "group_slots")?;
+        slots.resize(new_len, EMPTY);
         self.mask = new_len - 1;
-        self.slots.clear();
-        self.slots.resize(new_len, EMPTY);
+        self.slots = slots;
         for (id, key) in self.keys.iter().enumerate() {
             let mut slot = ((key.hash64() >> 32) as usize) & self.mask;
             let mut probe = 1usize;
@@ -279,6 +315,7 @@ impl<K: JoinKey> GroupIndex<K> {
             self.slots[slot] = id as u32;
             self.max_probe = self.max_probe.max(probe);
         }
+        Ok(())
     }
 
     /// Number of distinct groups.
@@ -358,7 +395,7 @@ mod tests {
     use super::*;
 
     fn flat_pairs<K: JoinKey>(build: &[K], probe: &[K]) -> Vec<(u32, u32)> {
-        let table = JoinTable::build(build, None);
+        let table = JoinTable::build(build, None).unwrap();
         let mut out = Vec::new();
         for (i, &k) in probe.iter().enumerate() {
             for b in table.matches(build, k) {
@@ -393,7 +430,7 @@ mod tests {
         let keys: Vec<u64> = vec![10, 20, 10, 30, 20, 10];
         // A "partition" owning rows {0, 2, 4, 5}.
         let rows = [0u32, 2, 4, 5];
-        let table = JoinTable::build(&keys, Some(&rows));
+        let table = JoinTable::build(&keys, Some(&rows)).unwrap();
         assert_eq!(table.len(), 4);
         let m10: Vec<u32> = table.matches(&keys, 10).collect();
         assert_eq!(m10, vec![0, 2, 5]);
@@ -405,7 +442,7 @@ mod tests {
     #[test]
     fn empty_join_table() {
         let keys: Vec<u64> = Vec::new();
-        let table = JoinTable::build(&keys, None);
+        let table = JoinTable::build(&keys, None).unwrap();
         assert!(table.is_empty());
         assert_eq!(table.max_chain(), 0);
         assert!(table.matches(&keys, 42).next().is_none());
@@ -414,7 +451,7 @@ mod tests {
     #[test]
     fn join_table_telemetry_is_consistent() {
         let keys: Vec<u64> = (0..1000).map(|i| i % 37).collect();
-        let table = JoinTable::build(&keys, None);
+        let table = JoinTable::build(&keys, None).unwrap();
         assert!(table.buckets().is_power_of_two());
         assert!(table.buckets() >= 1000);
         // 37 distinct keys over 1000 rows: the fullest bucket holds at
@@ -435,14 +472,14 @@ mod tests {
     fn group_index_matches_oracle_and_first_seen_order() {
         let keys: Vec<u64> = vec![7, 7, 3, 9, 3, 7, 11, 9];
         let (want_gids, want_first) = oracle::group_ids(&keys);
-        let mut index: GroupIndex<u64> = GroupIndex::with_capacity(4);
+        let mut index: GroupIndex<u64> = GroupIndex::with_capacity(4).unwrap();
         let mut first_rows = Vec::new();
         let gids: Vec<u32> = keys
             .iter()
             .enumerate()
             .map(|(i, &k)| {
                 let before = index.len();
-                let gid = index.insert_or_get(k);
+                let gid = index.insert_or_get(k).unwrap();
                 if index.len() != before {
                     first_rows.push(i as u32);
                 }
@@ -457,16 +494,16 @@ mod tests {
 
     #[test]
     fn group_index_grows_past_initial_capacity() {
-        let mut index: GroupIndex<u128> = GroupIndex::with_capacity(0);
+        let mut index: GroupIndex<u128> = GroupIndex::with_capacity(0).unwrap();
         for i in 0..5000u128 {
-            assert_eq!(index.insert_or_get(i << 64 | 1), i as u32);
+            assert_eq!(index.insert_or_get(i << 64 | 1).unwrap(), i as u32);
         }
         assert_eq!(index.len(), 5000);
         assert!(index.slot_count().is_power_of_two());
         assert!(index.slot_count() >= 10_000);
         // Lookups after growth still resolve to the original dense ids.
         for i in (0..5000u128).rev() {
-            assert_eq!(index.insert_or_get(i << 64 | 1), i as u32);
+            assert_eq!(index.insert_or_get(i << 64 | 1).unwrap(), i as u32);
         }
         assert_eq!(index.len(), 5000);
     }

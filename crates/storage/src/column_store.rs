@@ -354,11 +354,17 @@ impl FactTable for ColumnStore {
         // the payload the pre-kernel estimate missed.
         let dict_index: usize = self.dict_index.keys().map(|k| k.len() + box_str + 16).sum();
         let columns = self.codes.len() * (4 + 4 + 4 + 4 + 16 + 1);
+        // Posting vectors are push-grown: their spare capacity is resident
+        // memory too, so charge capacity, not length (the pre-governor
+        // accounting undercounted by the growth slack). The outer Vec's
+        // own slack is charged the same way.
         let postings: usize = self
             .postings_by_code
             .iter()
-            .map(|v| v.len() * 4 + std::mem::size_of::<Vec<u32>>())
-            .sum();
+            .map(|v| v.capacity() * 4 + std::mem::size_of::<Vec<u32>>())
+            .sum::<usize>()
+            + (self.postings_by_code.capacity() - self.postings_by_code.len())
+                * std::mem::size_of::<Vec<u32>>();
         MemoryBreakdown {
             engine: "Column",
             components: vec![

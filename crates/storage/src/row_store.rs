@@ -224,13 +224,15 @@ impl FactTable for RowStore {
     }
 
     fn memory_breakdown(&self) -> MemoryBreakdown {
-        // Tuples: struct + heap string per row.
-        let tuples = self.rows.len() * std::mem::size_of::<FactRow>() + self.string_bytes;
-        // Inverted index: key strings + posting vectors + bucket overhead.
+        // Tuples: struct + heap string per row, plus spare capacity in the
+        // row vector itself (push-grown, so up to ~2x the live length).
+        let tuples = self.rows.capacity() * std::mem::size_of::<FactRow>() + self.string_bytes;
+        // Inverted index: key strings + posting vectors (capacity, not len —
+        // push-grown vectors carry spare capacity) + bucket overhead.
         let inverted: usize = self
             .inverted
             .iter()
-            .map(|(k, v)| k.len() + std::mem::size_of::<Box<str>>() + v.len() * 4 + 48)
+            .map(|(k, v)| k.len() + std::mem::size_of::<Box<str>>() + v.capacity() * 4 + 48)
             .sum();
         MemoryBreakdown {
             engine: "Row",

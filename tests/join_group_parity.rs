@@ -23,7 +23,7 @@ const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
 
 /// Flat-table join: (probe row, build row) pairs in probe order.
 fn flat_pairs<K: JoinKey>(build: &[K], probe: &[K]) -> Vec<(u32, u32)> {
-    let table = JoinTable::build(build, None);
+    let table = JoinTable::build(build, None).unwrap();
     let mut out = Vec::new();
     for (i, &k) in probe.iter().enumerate() {
         for b in table.matches(build, k) {
@@ -35,14 +35,14 @@ fn flat_pairs<K: JoinKey>(build: &[K], probe: &[K]) -> Vec<(u32, u32)> {
 
 /// Flat group index: (gid per row, first row per group) like the oracle.
 fn flat_group_ids<K: JoinKey>(keys: &[K]) -> (Vec<u32>, Vec<u32>) {
-    let mut index: GroupIndex<K> = GroupIndex::with_capacity(8);
+    let mut index: GroupIndex<K> = GroupIndex::with_capacity(8).unwrap();
     let mut first_rows = Vec::new();
     let gids = keys
         .iter()
         .enumerate()
         .map(|(i, &k)| {
             let before = index.len();
-            let gid = index.insert_or_get(k);
+            let gid = index.insert_or_get(k).unwrap();
             if index.len() != before {
                 first_rows.push(i as u32);
             }

@@ -1,0 +1,411 @@
+//! Memory-governor pressure suite: byte-budgeted execution resolves every
+//! request typed, degrades along the ladder, and never leaks reserved
+//! bytes.
+//!
+//! The contract under test (see `blend_parallel::memory`):
+//!
+//! 1. **Typed outcomes** — under any byte budget, a query either completes
+//!    or resolves `Err(BlendError::MemoryExceeded)`; nothing aborts, no
+//!    partial results escape.
+//! 2. **Invisible degradation** — results produced at narrowed or
+//!    sequential ladder rungs are byte-identical to an unbudgeted run
+//!    (the executor's partition-count invariance makes width changes
+//!    unobservable in output).
+//! 3. **Accounting** — reserved bytes never exceed the budget, drain to
+//!    zero after every query, and the serving tier's outcome conservation
+//!    identity extends with `mem_exceeded`.
+//! 4. **Ladder coverage** — full → narrowed → sequential → typed shed all
+//!    fire: real budgets exercise rungs 2–3, injected `alloc:fail` faults
+//!    exercise rung 4 deterministically.
+
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use blend_common::BlendError;
+use blend_parallel::{
+    reserve_laddered, Deadline, LadderRung, MemoryGovernor, ParallelCtx, QueryMemory,
+};
+use blend_serve::{FaultPlan, ServeConfig, ServeQueue};
+use blend_sql::{ResultSet, SqlEngine};
+use blend_storage::{build_engine, EngineKind, FactRow, FactTable};
+
+/// Watchdog budget for the storms. A deadlock (e.g. a reclaim pass
+/// deadlocking against a cache shard lock) shows up as a timeout here
+/// instead of a hung suite.
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+fn fact_rows(n_tables: u32, rows_per: u32, vocab: u32, seed: u64) -> Vec<FactRow> {
+    let mut rows = Vec::new();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for t in 0..n_tables {
+        for r in 0..rows_per {
+            let sk = ((t as u128) << 64) | ((next() as u128) & 0xFFFF_FFFF);
+            let key = format!("w{}", next() % vocab as u64);
+            rows.push(FactRow::new(&key, t, 0, r, sk, None));
+            let num = next() % 100;
+            rows.push(FactRow::new(&num.to_string(), t, 1, r, sk, Some(num >= 50)));
+        }
+    }
+    rows
+}
+
+/// Query mix covering the allocation-heavy phases: scan output, join
+/// build + probe output, and grouped aggregation state.
+fn queries(vocab: u32) -> Vec<String> {
+    let in_list: Vec<String> = (0..4).map(|i| format!("'w{}'", i % vocab)).collect();
+    vec![
+        format!(
+            "SELECT TableId, COUNT(DISTINCT CellValue) AS n FROM AllTables \
+             WHERE CellValue IN ({}) GROUP BY TableId ORDER BY n DESC, TableId LIMIT 10",
+            in_list.join(",")
+        ),
+        "SELECT TableId, RowId, CellValue FROM AllTables \
+         WHERE ColumnId = 0 ORDER BY TableId, RowId, CellValue LIMIT 40"
+            .to_string(),
+        "SELECT a.TableId, COUNT(*) AS n FROM AllTables a \
+         INNER JOIN AllTables b ON a.CellValue = b.CellValue \
+         WHERE b.ColumnId = 0 GROUP BY a.TableId ORDER BY n DESC, a.TableId LIMIT 10"
+            .to_string(),
+        "SELECT TableId, ColumnId, COUNT(*) AS n FROM AllTables \
+         GROUP BY TableId, ColumnId ORDER BY n DESC, TableId, ColumnId LIMIT 20"
+            .to_string(),
+    ]
+}
+
+fn storm_fact() -> Arc<dyn FactTable> {
+    build_engine(EngineKind::Column, fact_rows(5, 40, 6, 0x9E377))
+}
+
+/// Unbudgeted sequential references: the parity oracle for `Ok` results.
+/// Pinned to an explicitly unbounded governor so a `BLEND_MEMORY_BUDGET`
+/// in the environment (as in CI's constrained steps) cannot starve the
+/// oracle itself.
+fn references(fact: &Arc<dyn FactTable>, queries: &[String]) -> Vec<ResultSet> {
+    let ctx = ParallelCtx::sequential().with_governor(Arc::new(MemoryGovernor::unbounded()));
+    let reference = SqlEngine::with_alltables(fact.clone()).with_parallel(Arc::new(ctx));
+    queries
+        .iter()
+        .map(|sql| reference.execute(sql).expect("unbudgeted reference run"))
+        .collect()
+}
+
+/// Engine charging a private governor (the env-configured global governor
+/// is process-wide, so budgets under test must be private).
+fn budgeted_engine(fact: &Arc<dyn FactTable>, gov: &Arc<MemoryGovernor>) -> Arc<SqlEngine> {
+    let ctx = ParallelCtx::with_admission(4, 1, 32, 2).with_governor(gov.clone());
+    Arc::new(SqlEngine::with_alltables(fact.clone()).with_parallel(Arc::new(ctx)))
+}
+
+/// Rungs 1–4 fire deterministically at the reservation API: full width,
+/// narrowed, sequential, typed shed — with nothing leaked at any rung.
+#[test]
+fn every_ladder_rung_fires() {
+    // cost(w) = w KiB: full 8 → 8 KiB, narrowed 4 → 4 KiB, seq → 1 KiB.
+    let cost = |w: usize| w * 1024;
+    let rungs = [
+        (16 * 1024, 8, LadderRung::Full),
+        (5 * 1024, 4, LadderRung::Narrowed),
+        (2 * 1024, 1, LadderRung::Sequential),
+    ];
+    for (budget, want_width, want_rung) in rungs {
+        let gov = Arc::new(MemoryGovernor::with_budget(budget));
+        let qm = Arc::new(QueryMemory::new(gov.clone()));
+        let (res, width, rung) = reserve_laddered(&qm, "storm_op", 8, cost).unwrap();
+        assert_eq!(
+            (width, rung),
+            (want_width, want_rung),
+            "budget {budget} should land on {want_rung:?}"
+        );
+        drop(res);
+        assert_eq!(gov.reserved_bytes(), 0, "rung {want_rung:?} leaked bytes");
+    }
+    // Rung 4: even the sequential footprint does not fit.
+    let gov = Arc::new(MemoryGovernor::with_budget(512));
+    let qm = Arc::new(QueryMemory::new(gov.clone()));
+    let err = reserve_laddered(&qm, "storm_op", 8, cost).unwrap_err();
+    assert!(matches!(err, BlendError::MemoryExceeded(_)));
+    assert_eq!(gov.stats().exceeded, 1);
+    assert_eq!(gov.reserved_bytes(), 0, "shed rung leaked bytes");
+}
+
+/// Sweep budgets from comfortable to impossible at the engine level:
+/// every run resolves typed, `Ok` results are byte-identical to the
+/// unbudgeted reference, reservations drain to zero after every query,
+/// and somewhere in the sweep the ladder demonstrably degraded
+/// (narrowed or sequential) before budgets small enough to shed.
+#[test]
+fn budget_sweep_degrades_gracefully_with_parity() {
+    let fact = storm_fact();
+    let queries = queries(6);
+    let want = references(&fact, &queries);
+
+    let mut ok_under_budget = 0usize;
+    let mut exceeded = 0usize;
+    let mut degraded = false;
+    for shift in [22usize, 16, 15, 14, 13, 12, 11, 10, 9, 8] {
+        let budget = 1usize << shift;
+        let gov = Arc::new(MemoryGovernor::with_budget(budget));
+        let engine = budgeted_engine(&fact, &gov);
+        for (qi, sql) in queries.iter().enumerate() {
+            match engine.execute(sql) {
+                Ok(rs) => {
+                    ok_under_budget += 1;
+                    assert_eq!(
+                        rs, want[qi],
+                        "budget {budget}: result diverged from unbudgeted reference"
+                    );
+                }
+                Err(BlendError::MemoryExceeded(_)) => exceeded += 1,
+                Err(other) => panic!("budget {budget}: untyped outcome {other}"),
+            }
+            assert!(
+                gov.reserved_bytes() <= budget,
+                "budget {budget}: accounting exceeded the budget"
+            );
+            assert_eq!(
+                gov.reserved_bytes(),
+                0,
+                "budget {budget}: reservations must drain after each query"
+            );
+        }
+        let stats = gov.stats();
+        if stats.narrowed > 0 || stats.sequential_fallbacks > 0 {
+            degraded = true;
+        }
+    }
+    assert!(ok_under_budget > 0, "no query succeeded under any budget");
+    assert!(exceeded > 0, "no budget was small enough to shed");
+    assert!(
+        degraded,
+        "no budget exercised the narrowed/sequential rungs"
+    );
+}
+
+/// The serving-tier storm under a tight byte budget: mixed waves through
+/// an undersized queue, watchdog-guarded. Every request resolves typed,
+/// `Ok` results match the unbudgeted references, the extended conservation
+/// identity (`ok + cache_hit + coalesced_hit + timeout + cancelled +
+/// mem_exceeded + failed == submitted`) holds post-storm, and the
+/// governor's reserved-bytes gauge drains to zero once the queue is gone.
+#[test]
+fn storm_under_memory_budget_resolves_typed_with_conservation() {
+    const DEPTH: usize = 4;
+    const WAVES: usize = 4;
+    const BUDGET: usize = 12 * 1024;
+
+    let fact = storm_fact();
+    let queries = queries(6);
+    let want = references(&fact, &queries);
+
+    let gov = Arc::new(MemoryGovernor::with_budget(BUDGET));
+    let engine = budgeted_engine(&fact, &gov);
+    let queue = Arc::new(ServeQueue::new(
+        engine,
+        ServeConfig {
+            depth: DEPTH,
+            workers: 2,
+            // The cache pool is a child of the same budget: fills the
+            // governor cannot fund are skipped, and reclaim evicts here.
+            result_cache_bytes: 16 * 1024,
+            coalesce: true,
+            faults: FaultPlan::none(),
+        },
+    ));
+
+    let (tx, rx) = mpsc::channel();
+    let storm_queue = queue.clone();
+    let storm_gov = gov.clone();
+    let storm_queries = queries.clone();
+    let storm_want = want.clone();
+    std::thread::spawn(move || {
+        let (queries, want) = (storm_queries, storm_want);
+        let mut ok = 0usize;
+        let mut shed = 0usize;
+        let mut mem_exceeded = 0usize;
+        for wave in 0..WAVES {
+            let tickets: Vec<_> = (0..2 * DEPTH)
+                .map(|i| {
+                    let qi = (i + wave) % queries.len();
+                    (qi, storm_queue.submit(&queries[qi], Deadline::none()))
+                })
+                .collect();
+            for (qi, ticket) in tickets {
+                let outcome = match ticket {
+                    Ok(t) => t.wait(),
+                    Err(e) => Err(e),
+                };
+                match outcome {
+                    Ok((rs, _)) => {
+                        ok += 1;
+                        assert_eq!(
+                            rs, want[qi],
+                            "budgeted Ok result diverged from unbudgeted reference"
+                        );
+                    }
+                    Err(BlendError::Overloaded(_)) => shed += 1,
+                    Err(BlendError::MemoryExceeded(_)) => mem_exceeded += 1,
+                    Err(other) => panic!("untyped storm outcome: {other}"),
+                }
+            }
+            assert!(
+                storm_gov.reserved_bytes() <= BUDGET,
+                "accounted bytes exceeded the budget mid-storm"
+            );
+        }
+        let _ = tx.send((ok, shed, mem_exceeded));
+    });
+
+    let (ok, shed, mem_exceeded) = rx
+        .recv_timeout(WATCHDOG)
+        .expect("memory-pressure storm deadlocked");
+    assert_eq!(
+        ok + shed + mem_exceeded,
+        WAVES * 2 * DEPTH,
+        "every submission must resolve exactly once"
+    );
+    assert!(ok > 0, "storm produced no successful results under budget");
+    assert!(
+        mem_exceeded > 0,
+        "budget below the storm working set must shed at least one request \
+         (ok {ok}, shed {shed}, mem_exceeded {mem_exceeded})"
+    );
+
+    // Extended conservation identity at quiesce, and client/queue
+    // agreement on the mem_exceeded count.
+    let s = queue.stats();
+    assert_eq!(
+        s.ok + s.cache_hits
+            + s.coalesced_hits
+            + s.timeouts
+            + s.cancellations
+            + s.mem_exceeded
+            + s.failures,
+        s.submitted,
+        "outcome conservation identity violated: {s:?}"
+    );
+    assert_eq!(s.shed as usize, shed, "shed accounting");
+    assert_eq!(
+        s.mem_exceeded as usize, mem_exceeded,
+        "mem_exceeded accounting"
+    );
+
+    // Post-storm: dropping the queue purges the cache pool; nothing may
+    // remain charged against the budget.
+    drop(queue);
+    assert_eq!(
+        gov.reserved_bytes(),
+        0,
+        "reserved bytes failed to drain to zero post-storm"
+    );
+}
+
+/// Injected `alloc:fail` faults (rung-4 forcing: reclaim cannot rescue a
+/// synthetic failure) drive typed `MemoryExceeded` outcomes through the
+/// serving tier without any real budget, the conservation identity holds,
+/// and the engine recovers to full service once disarmed.
+#[test]
+fn alloc_fault_storm_sheds_typed_and_recovers() {
+    const DEPTH: usize = 8;
+    const WAVES: usize = 3;
+
+    let fact = storm_fact();
+    let queries = queries(6);
+    let want = references(&fact, &queries);
+
+    let gov = Arc::new(MemoryGovernor::unbounded());
+    let engine = budgeted_engine(&fact, &gov);
+    // The env grammar round-trips: CI arms the same storm with
+    // BLEND_FAULTS=alloc:fail@7.
+    let faults = FaultPlan::parse("alloc:fail@7").unwrap();
+    assert_eq!(faults.alloc_fail_every(), Some(7));
+    let queue = Arc::new(ServeQueue::new(
+        engine,
+        ServeConfig {
+            depth: DEPTH,
+            workers: 2,
+            result_cache_bytes: 1 << 20,
+            coalesce: false,
+            faults,
+        },
+    ));
+
+    let (tx, rx) = mpsc::channel();
+    let storm_queue = queue.clone();
+    let storm_queries = queries.clone();
+    let storm_want = want.clone();
+    std::thread::spawn(move || {
+        let (queries, want) = (storm_queries, storm_want);
+        let mut ok = 0usize;
+        let mut shed = 0usize;
+        let mut mem_exceeded = 0usize;
+        for wave in 0..WAVES {
+            let tickets: Vec<_> = (0..DEPTH)
+                .map(|i| {
+                    let qi = (i + wave) % queries.len();
+                    (qi, storm_queue.submit(&queries[qi], Deadline::none()))
+                })
+                .collect();
+            for (qi, ticket) in tickets {
+                let outcome = match ticket {
+                    Ok(t) => t.wait(),
+                    Err(e) => Err(e),
+                };
+                match outcome {
+                    Ok((rs, _)) => {
+                        ok += 1;
+                        assert_eq!(rs, want[qi], "faulted Ok result diverged");
+                    }
+                    Err(BlendError::Overloaded(_)) => shed += 1,
+                    Err(BlendError::MemoryExceeded(_)) => mem_exceeded += 1,
+                    Err(other) => panic!("untyped fault-storm outcome: {other}"),
+                }
+            }
+        }
+        let _ = tx.send((ok, shed, mem_exceeded));
+    });
+
+    let (ok, shed, mem_exceeded) = rx
+        .recv_timeout(WATCHDOG)
+        .expect("alloc-fault storm deadlocked");
+    assert_eq!(ok + shed + mem_exceeded, WAVES * DEPTH);
+    assert!(
+        mem_exceeded > 0,
+        "alloc faults at rate 7 must shed at least one request"
+    );
+    assert!(
+        gov.stats().reservation_fails > 0,
+        "injected failures must be counted as reservation failures"
+    );
+
+    let s = queue.stats();
+    assert_eq!(
+        s.ok + s.cache_hits
+            + s.coalesced_hits
+            + s.timeouts
+            + s.cancellations
+            + s.mem_exceeded
+            + s.failures,
+        s.submitted,
+        "conservation identity under injected alloc faults: {s:?}"
+    );
+    assert_eq!(s.mem_exceeded as usize, mem_exceeded);
+
+    // Disarm and prove the tier recovered: a fresh request completes with
+    // full parity (no lingering degradation, no leaked reservations).
+    gov.set_alloc_fail_every(0);
+    let (rs, _) = queue
+        .submit(&queries[2], Deadline::none())
+        .expect("post-storm submit")
+        .wait()
+        .expect("post-storm request must succeed once disarmed");
+    assert_eq!(rs, want[2], "post-recovery result diverged");
+
+    drop(queue);
+    assert_eq!(gov.reserved_bytes(), 0, "reserved bytes drain to zero");
+}

@@ -4,7 +4,8 @@
 //! satisfy the conservation identity
 //!
 //! ```text
-//! shed + ok + cache_hit + coalesced_hit + timeout + cancelled + failed == submitted
+//! shed + ok + cache_hit + coalesced_hit + timeout + cancelled
+//!     + mem_exceeded + failed == submitted
 //! ```
 //!
 //! Lives in its own integration binary with a single test: the identity is
@@ -121,6 +122,7 @@ fn post_storm_snapshot_exposes_families_and_counter_identity() {
         "coalesced_hit",
         "timeout",
         "cancelled",
+        "mem_exceeded",
         "failed",
     ]
     .iter()
@@ -128,8 +130,8 @@ fn post_storm_snapshot_exposes_families_and_counter_identity() {
     .sum();
     assert_eq!(
         outcomes, submitted,
-        "shed + ok + cache_hit + coalesced_hit + timeout + cancelled + failed \
-         must equal submitted"
+        "shed + ok + cache_hit + coalesced_hit + timeout + cancelled + \
+         mem_exceeded + failed must equal submitted"
     );
     assert!(
         snap.counter("blend_serve_outcomes_total{outcome=\"ok\"}") > 0,

@@ -122,6 +122,7 @@ fn storm_once(context: &str, faults: FaultPlan, tiny_deadlines: bool) {
         let mut timeout = 0usize;
         let mut cancelled = 0usize;
         let mut overloaded = 0usize;
+        let mut mem_exceeded = 0usize;
         let mut poisoned = 0usize;
         // Each wave offers 2× queue depth concurrently.
         for wave in 0..WAVES {
@@ -170,19 +171,22 @@ fn storm_once(context: &str, faults: FaultPlan, tiny_deadlines: bool) {
                     }
                     Err(BlendError::Cancelled(_)) => cancelled += 1,
                     Err(BlendError::Overloaded(_)) => overloaded += 1,
+                    // Under a constrained BLEND_MEMORY_BUDGET (the CI
+                    // storm) the governor may shed requests typed.
+                    Err(BlendError::MemoryExceeded(_)) => mem_exceeded += 1,
                     Err(BlendError::SqlExec(m)) if m.contains("panicked") => poisoned += 1,
                     Err(other) => panic!("untyped storm outcome: {other}"),
                 }
             }
         }
-        let _ = tx.send((ok, timeout, cancelled, overloaded, poisoned));
+        let _ = tx.send((ok, timeout, cancelled, overloaded, mem_exceeded, poisoned));
     });
 
-    let (ok, timeout, cancelled, overloaded, poisoned) = rx
+    let (ok, timeout, cancelled, overloaded, mem_exceeded, poisoned) = rx
         .recv_timeout(WATCHDOG)
         .unwrap_or_else(|_| panic!("{context}: serving storm deadlocked"));
 
-    let total = ok + timeout + cancelled + overloaded + poisoned;
+    let total = ok + timeout + cancelled + overloaded + mem_exceeded + poisoned;
     assert_eq!(
         total,
         WAVES * 2 * DEPTH,
@@ -216,7 +220,8 @@ fn storm_once(context: &str, faults: FaultPlan, tiny_deadlines: bool) {
         // is acceptable, a hang or panic is not.
         Err(BlendError::Timeout(_))
         | Err(BlendError::Cancelled(_))
-        | Err(BlendError::Overloaded(_)) => {}
+        | Err(BlendError::Overloaded(_))
+        | Err(BlendError::MemoryExceeded(_)) => {}
         Err(BlendError::SqlExec(m)) if m.contains("panicked") => {}
         Err(other) => panic!("{context}: post-storm request failed oddly: {other}"),
     }
