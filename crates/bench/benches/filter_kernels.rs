@@ -70,11 +70,18 @@ struct CaseResult {
     survivors: usize,
     scalar_ns: u64,
     batch_ns: u64,
+    simd_on_ns: u64,
+    simd_off_ns: u64,
 }
 
 impl CaseResult {
     fn speedup(&self) -> f64 {
         self.scalar_ns as f64 / self.batch_ns.max(1) as f64
+    }
+
+    /// SIMD-on vs SIMD-off speedup of the batched kernel itself.
+    fn simd_speedup(&self) -> f64 {
+        self.simd_off_ns as f64 / self.simd_on_ns.max(1) as f64
     }
 }
 
@@ -118,6 +125,20 @@ fn main() {
                 "{}/{filter}: kernel diverged from oracle",
                 kind.label()
             );
+            // Parity under both forced dispatch paths: the SIMD block
+            // kernels and their scalar twins must agree byte-for-byte.
+            for vector in [false, true] {
+                blend_simd::force(Some(vector));
+                sel.clear();
+                table.filter_range(&kernel, 0, n_rows, &mut sel);
+                assert_eq!(
+                    sel,
+                    want,
+                    "{}/{filter}: vector={vector} kernel diverged from oracle",
+                    kind.label()
+                );
+            }
+            blend_simd::force(None);
 
             let label = kind.label().to_lowercase();
             let scalar_ns = time_ns(iters, || scalar().len());
@@ -125,6 +146,13 @@ fn main() {
                 sel.clear();
                 table.filter_range(&kernel, 0, n_rows, &mut sel);
                 sel.len()
+            });
+            // SIMD A/B on the batched kernel: interleaved forced-on /
+            // forced-off medians of the same pass.
+            let (simd_on_ns, simd_off_ns) = blend_bench::simd_ab_ns(iters, || {
+                sel.clear();
+                table.filter_range(&kernel, 0, n_rows, &mut sel);
+                std::hint::black_box(sel.len());
             });
             if !smoke {
                 group.bench_function(format!("{label}_{filter}_scalar"), |b| {
@@ -144,15 +172,21 @@ fn main() {
                 survivors: want.len(),
                 scalar_ns,
                 batch_ns,
+                simd_on_ns,
+                simd_off_ns,
             };
             println!(
                 "  -> {label}/{filter}: {} survivors, compiled kernel {} B, \
-                 scalar {:.3}ms, batch {:.3}ms, speedup {:.2}x",
+                 scalar {:.3}ms, batch {:.3}ms, speedup {:.2}x, \
+                 simd on {:.3}ms / off {:.3}ms ({:.2}x)",
                 r.survivors,
                 kernel.memory_bytes(),
                 r.scalar_ns as f64 / 1e6,
                 r.batch_ns as f64 / 1e6,
-                r.speedup()
+                r.speedup(),
+                r.simd_on_ns as f64 / 1e6,
+                r.simd_off_ns as f64 / 1e6,
+                r.simd_speedup()
             );
             results.push(r);
         }
@@ -169,6 +203,29 @@ fn main() {
         selective_col.speedup() >= 2.0,
         "selective column-store kernel speedup {:.2}x < 2x",
         selective_col.speedup()
+    );
+
+    // SIMD acceptance bar: the vector kernels beat their scalar twins by
+    // at least 1.3x on at least one shape. Smoke mode on shared CI
+    // runners only rejects outright regressions (parity already held
+    // above); full runs hold the real bar.
+    let best_simd = results
+        .iter()
+        .max_by(|a, b| a.simd_speedup().total_cmp(&b.simd_speedup()))
+        .expect("cases ran");
+    let simd_bar = if smoke { 0.5 } else { 1.3 };
+    println!(
+        "  -> best simd speedup: {}/{} at {:.2}x",
+        best_simd.engine,
+        best_simd.filter,
+        best_simd.simd_speedup()
+    );
+    assert!(
+        best_simd.simd_speedup() >= simd_bar,
+        "best SIMD-on/off speedup {:.2}x < {simd_bar}x ({}/{})",
+        best_simd.simd_speedup(),
+        best_simd.engine,
+        best_simd.filter
     );
 
     // Observability overhead bar: the instrumented engine path (root
@@ -207,13 +264,17 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"engine\": \"{}\", \"filter\": \"{}\", \"survivors\": {}, \
-             \"scalar_ns\": {}, \"batch_ns\": {}, \"speedup\": {:.3}}}{}",
+             \"scalar_ns\": {}, \"batch_ns\": {}, \"speedup\": {:.3}, \
+             \"simd_on_ns\": {}, \"simd_off_ns\": {}, \"simd_speedup\": {:.3}}}{}",
             r.engine,
             r.filter,
             r.survivors,
             r.scalar_ns,
             r.batch_ns,
             r.speedup(),
+            r.simd_on_ns,
+            r.simd_off_ns,
+            r.simd_speedup(),
             if i + 1 < results.len() { "," } else { "" }
         );
     }

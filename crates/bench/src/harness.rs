@@ -63,6 +63,37 @@ pub fn obs_overhead_ns(iters: usize, mut f: impl FnMut()) -> (u64, u64) {
     (on_ns[on_ns.len() / 2], off_ns[off_ns.len() / 2])
 }
 
+/// Interleaved A/B medians of one workload with the SIMD kernel layer
+/// forced on vs off ([`blend_simd::force`]). Same alternation scheme as
+/// [`obs_overhead_ns`]: samples alternate (on, off, on, off, ...) so
+/// drift lands on both sides equally, one unmeasured warmup pair, each
+/// side's median returned as `(simd_on_ns, simd_off_ns)`. Env-driven
+/// dispatch is restored on return.
+///
+/// This is the measurement behind the benches' SIMD speedup acceptance
+/// bar (the vector kernels must beat their scalar twins on the hot
+/// shapes) and the `simd_on_ns`/`simd_off_ns` fields in the bench JSON.
+pub fn simd_ab_ns(iters: usize, mut f: impl FnMut()) -> (u64, u64) {
+    let mut sample = |on: bool| -> u64 {
+        blend_simd::force(Some(on));
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_nanos() as u64
+    };
+    sample(true);
+    sample(false);
+    let mut on_ns: Vec<u64> = Vec::with_capacity(iters);
+    let mut off_ns: Vec<u64> = Vec::with_capacity(iters);
+    for _ in 0..iters.max(1) {
+        on_ns.push(sample(true));
+        off_ns.push(sample(false));
+    }
+    blend_simd::force(None);
+    on_ns.sort_unstable();
+    off_ns.sort_unstable();
+    (on_ns[on_ns.len() / 2], off_ns[off_ns.len() / 2])
+}
+
 /// Accumulates durations and reports mean/total.
 #[derive(Debug, Default, Clone)]
 pub struct Timer {

@@ -477,6 +477,30 @@ mod tests {
     }
 
     #[test]
+    fn extremes_land_in_terminal_buckets_without_overflow() {
+        // `record(0)` must hit the first bucket and `record(u64::MAX)` the
+        // last — the bit-length bucket map has no shift that could
+        // overflow at either end, and this pins that.
+        crate::set_enabled(true);
+        let h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[HIST_BUCKETS - 1], 2);
+        assert_eq!(s.count, 3);
+        // The sum cell wraps rather than panics on overflow.
+        assert_eq!(s.sum, u64::MAX.wrapping_add(u64::MAX));
+        // Quantiles at the extremes resolve to the terminal bounds.
+        assert_eq!(s.quantile(0.0), bucket_upper_bound(0));
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        // And the boundary around the last bucket's lower edge is exact.
+        assert_eq!(bucket_of((1u64 << 62) - 1), HIST_BUCKETS - 2);
+        assert_eq!(bucket_of(1u64 << 62), HIST_BUCKETS - 1);
+    }
+
+    #[test]
     fn bucket_bounds_are_log2() {
         assert_eq!(bucket_of(0), 0);
         assert_eq!(bucket_of(1), 1);

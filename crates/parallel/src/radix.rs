@@ -66,35 +66,48 @@ pub fn radix_scratch_bytes(n_items: usize, n_parts: usize) -> usize {
 /// refusal surfaces as `BlendError::MemoryExceeded` instead of aborting.
 pub fn radix_partition(parts: &[u32], n_parts: usize) -> blend_common::Result<RadixPartitions> {
     debug_assert!(parts.iter().all(|&p| (p as usize) < n_parts));
-    // Pass 1: count per-partition occupancy, prefix-summed into offsets.
+    // Pass 1: count per-partition occupancy (striped multi-histogram on the
+    // vector path — see `blend_simd::hist`), prefix-summed into offsets.
     let mut offsets = blend_common::try_zeroed_vec::<u32>(n_parts + 1, "radix_offsets")?;
-    for &p in parts {
-        offsets[p as usize + 1] += 1;
-    }
+    blend_simd::count_parts(parts, &mut offsets[1..]);
     for p in 0..n_parts {
         offsets[p + 1] += offsets[p];
     }
     // Pass 2: scatter item indices; walking items in input order keeps each
-    // partition's slice ascending.
+    // partition's slice ascending (the shared kernel preserves exactly
+    // that order — it is the invariant everything downstream leans on).
     let mut cursor = blend_common::try_vec_with_capacity::<u32>(n_parts, "radix_cursor")?;
     cursor.extend_from_slice(&offsets[..n_parts]);
     let mut items = blend_common::try_zeroed_vec::<u32>(parts.len(), "radix_scatter")?;
-    for (i, &p) in parts.iter().enumerate() {
-        let c = &mut cursor[p as usize];
-        items[*c as usize] = i as u32;
-        *c += 1;
-    }
+    blend_simd::scatter_parts(parts, &mut cursor, &mut items);
     Ok(RadixPartitions { offsets, items })
 }
 
-/// Radix partition count for a pool of `threads` workers: 4× the thread
-/// count rounded up to a power of two (the partition selector is a hash
-/// mask), capped so per-partition fixed costs stay negligible. The 4×
-/// over-decomposition lets the pool's dynamic task claiming balance skewed
-/// key distributions — with exactly one partition per worker, the worker
-/// that draws the hottest keys would serialize the phase.
-pub fn partition_count(threads: usize) -> usize {
-    threads.saturating_mul(4).next_power_of_two().clamp(1, 256)
+/// Radix partition count for a pool of `threads` workers over `items`
+/// rows: 4× the thread count rounded up to a power of two (the partition
+/// selector is a hash mask), capped so per-partition fixed costs stay
+/// negligible. The 4× over-decomposition lets the pool's dynamic task
+/// claiming balance skewed key distributions — with exactly one partition
+/// per worker, the worker that draws the hottest keys would serialize the
+/// phase.
+///
+/// Degenerate inputs shrink the count instead of emitting zero-sized CSR
+/// buckets: a width-1 grant has no workers to balance across (one
+/// partition), and fewer rows than partitions would leave most buckets
+/// empty while still paying the full offsets/cursor allocation per
+/// bucket — so the count halves until every partition can hold at least
+/// one row. Shrinking (rather than collapsing straight to one) keeps
+/// small-but-parallel inputs on the pool: a 12-row group at 4 threads
+/// still fans out across 8 partitions instead of silently serializing.
+pub fn partition_count(threads: usize, items: usize) -> usize {
+    if threads <= 1 || items < 2 {
+        return 1;
+    }
+    let mut parts = threads.saturating_mul(4).next_power_of_two().clamp(1, 256);
+    while parts > 1 && items < parts {
+        parts >>= 1;
+    }
+    parts
 }
 
 #[cfg(test)]
@@ -137,14 +150,67 @@ mod tests {
 
     #[test]
     fn partition_count_is_a_bounded_power_of_two() {
-        assert_eq!(partition_count(1), 4);
-        assert_eq!(partition_count(2), 8);
-        assert_eq!(partition_count(3), 16);
-        assert_eq!(partition_count(8), 32);
-        assert_eq!(partition_count(1000), 256);
-        assert!(partition_count(0) >= 1);
+        const MANY: usize = 1 << 20;
+        assert_eq!(partition_count(2, MANY), 8);
+        assert_eq!(partition_count(3, MANY), 16);
+        assert_eq!(partition_count(8, MANY), 32);
+        assert_eq!(partition_count(1000, MANY), 256);
         for t in 0..100 {
-            assert!(partition_count(t).is_power_of_two());
+            assert!(partition_count(t, MANY).is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn partition_count_shrinks_degenerate_inputs() {
+        const MANY: usize = 1 << 20;
+        // Width-1 grants (and the no-grant width 0) have no workers to
+        // balance across.
+        assert_eq!(partition_count(0, MANY), 1);
+        assert_eq!(partition_count(1, MANY), 1);
+        // Empty and single-row inputs collapse all the way to one.
+        assert_eq!(partition_count(8, 0), 1);
+        assert_eq!(partition_count(8, 1), 1);
+        // Fewer rows than the 4×-thread fanout halves the count until
+        // every bucket can hold a row — small inputs stay parallel.
+        assert_eq!(partition_count(8, 31), 16);
+        assert_eq!(partition_count(8, 16), 16);
+        assert_eq!(partition_count(8, 15), 8);
+        assert_eq!(partition_count(8, 2), 2);
+        // At or above `parts` rows the full fanout survives.
+        assert_eq!(partition_count(8, 32), 32);
+    }
+
+    #[test]
+    fn radix_partition_degenerate_single_partition_shapes() {
+        // Single row, one partition: one bucket holding item 0.
+        let rp = radix_partition(&[0], 1).unwrap();
+        assert_eq!(rp.n_parts(), 1);
+        assert_eq!(rp.part(0), &[0]);
+        assert_eq!(rp.offsets(), &[0, 1]);
+        // The collapsed count (`partition_count(1, _)` / rows < parts)
+        // composes with `radix_partition` into the identity layout.
+        let n = 9usize;
+        let parts = vec![0u32; n];
+        let rp = radix_partition(&parts, partition_count(1, n)).unwrap();
+        assert_eq!(rp.n_parts(), 1);
+        assert_eq!(rp.part(0), (0..n as u32).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn radix_partition_matches_scalar_counting_on_long_skewed_input() {
+        // Long enough to engage the striped counting kernel; heavily
+        // skewed so the stripes actually disagree with a naive split.
+        let parts: Vec<u32> = (0..5000u32)
+            .map(|i| if i % 7 == 0 { i % 4 } else { 3 })
+            .collect();
+        let rp = radix_partition(&parts, 4).unwrap();
+        let mut counts = [0usize; 4];
+        for &p in &parts {
+            counts[p as usize] += 1;
+        }
+        for (p, &want) in counts.iter().enumerate() {
+            assert_eq!(rp.part(p).len(), want);
+            assert!(rp.part(p).windows(2).all(|w| w[0] < w[1]));
         }
     }
 }

@@ -145,7 +145,7 @@ use blend_parallel::{
 use blend_storage::{FactTable, ScanScratch, ValueProbe};
 
 use crate::exec::HashTableStats;
-use crate::hashtable::{GroupIndex, JoinKey, JoinTable};
+use crate::hashtable::{GroupIndex, JoinKey, JoinTable, PROBE_BLOCK};
 
 use crate::ast::{AggFunc, BinOp, UnaryOp};
 use crate::exec::{self, AggState, ParallelPhase, QueryReport, ResultSet, ScanReport, Tuple};
@@ -159,6 +159,11 @@ use blend_common::Result;
 
 /// Width of the canonical fact tuple.
 const FACT_WIDTH: usize = 6;
+
+/// Slot-count floor below which the group upsert skips slot prefetching:
+/// a table this small lives in cache already, so the prefetch would be
+/// pure overhead.
+const PREFETCH_MIN_SLOTS: usize = 1 << 14;
 
 /// The three u32-valued fact columns usable as join/group keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -682,6 +687,44 @@ pub(crate) fn execute(
                 .as_ref()
                 .expect("non-grouped positional plan carries a projection");
             // Late materialization: SqlValue rows exist only here.
+            // Superkey and Quadrant output columns are pre-gathered in bulk
+            // through the fact tables' `gather_*` kernels (one virtual
+            // dispatch per column instead of one per row, and the column
+            // stores read their flat arrays sequentially); every other
+            // expression still evaluates row at a time below.
+            enum PreCol {
+                Superkeys(Vec<u128>),
+                Quadrants(Vec<Option<bool>>),
+            }
+            let mut cache = ColCache::new(&batch);
+            let mut pre_gather = |e: &PExpr| -> Option<PreCol> {
+                match e {
+                    PExpr::Superkey(leaf) => {
+                        let mut v = Vec::with_capacity(batch.len());
+                        tables[*leaf].gather_superkeys(cache.positions(*leaf), &mut v);
+                        Some(PreCol::Superkeys(v))
+                    }
+                    PExpr::Quadrant(leaf) => {
+                        let mut v = Vec::with_capacity(batch.len());
+                        tables[*leaf].gather_quadrants(cache.positions(*leaf), &mut v);
+                        Some(PreCol::Quadrants(v))
+                    }
+                    _ => None,
+                }
+            };
+            let expr_pre: Vec<Option<PreCol>> = project.exprs.iter().map(&mut pre_gather).collect();
+            let order_pre: Vec<Option<PreCol>> =
+                project.order.iter().map(&mut pre_gather).collect();
+            // Pre-gathered columns must materialize exactly what
+            // `PExpr::eval` would have (see its Superkey/Quadrant arms).
+            let materialize = |pre: &Option<PreCol>, e: &PExpr, i: usize, row: &[u32]| match pre {
+                Some(PreCol::Superkeys(v)) => SqlValue::U128(v[i]),
+                Some(PreCol::Quadrants(v)) => match v[i] {
+                    None => SqlValue::Null,
+                    Some(b) => SqlValue::Int(b as i64),
+                },
+                None => e.eval(&tables, 0, row),
+            };
             let mut decorated: Vec<(Vec<SqlValue>, Tuple)> = Vec::with_capacity(batch.len());
             for i in 0..batch.len() {
                 if poll_every(i) {
@@ -691,12 +734,14 @@ pub(crate) fn execute(
                 let out: Tuple = project
                     .exprs
                     .iter()
-                    .map(|e| e.eval(&tables, 0, row))
+                    .zip(&expr_pre)
+                    .map(|(e, pre)| materialize(pre, e, i, row))
                     .collect();
                 let keys: Vec<SqlValue> = project
                     .order
                     .iter()
-                    .map(|e| e.eval(&tables, 0, row))
+                    .zip(&order_pre)
+                    .map(|(e, pre)| materialize(pre, e, i, row))
                     .collect();
                 decorated.push((keys, out));
             }
@@ -958,29 +1003,56 @@ fn exec_scan(
 
 /// Pack 1–2 u32 key columns into one `u64` per row (shift-fold, so a
 /// single column packs to its plain value).
+///
+/// The common arities get dedicated zip loops over the column slices —
+/// straight-line widen/shift/or chains the auto-vectorizer handles — with
+/// the generic shift-fold kept as the fallback (and the shape the
+/// specializations must match bit for bit).
 fn pack_rows64(cols: &[Vec<u32>], n: usize) -> Vec<u64> {
-    (0..n)
-        .map(|i| {
-            let mut key = 0u64;
-            for col in cols {
-                key = (key << 32) | col[i] as u64;
-            }
-            key
-        })
-        .collect()
+    match cols {
+        [a] => a[..n].iter().map(|&x| x as u64).collect(),
+        [a, b] => a[..n]
+            .iter()
+            .zip(&b[..n])
+            .map(|(&x, &y)| ((x as u64) << 32) | y as u64)
+            .collect(),
+        _ => (0..n)
+            .map(|i| {
+                let mut key = 0u64;
+                for col in cols {
+                    key = (key << 32) | col[i] as u64;
+                }
+                key
+            })
+            .collect(),
+    }
 }
 
-/// Pack 3–4 u32 key columns into one `u128` per row.
+/// Pack 3–4 u32 key columns into one `u128` per row (same shift-fold and
+/// specialization scheme as [`pack_rows64`], one lane wider).
 fn pack_rows128(cols: &[Vec<u32>], n: usize) -> Vec<u128> {
-    (0..n)
-        .map(|i| {
-            let mut key = 0u128;
-            for col in cols {
-                key = (key << 32) | col[i] as u128;
-            }
-            key
-        })
-        .collect()
+    match cols {
+        [a, b, c] => (0..n)
+            .map(|i| ((a[i] as u128) << 64) | ((b[i] as u128) << 32) | c[i] as u128)
+            .collect(),
+        [a, b, c, d] => (0..n)
+            .map(|i| {
+                ((a[i] as u128) << 96)
+                    | ((b[i] as u128) << 64)
+                    | ((c[i] as u128) << 32)
+                    | d[i] as u128
+            })
+            .collect(),
+        _ => (0..n)
+            .map(|i| {
+                let mut key = 0u128;
+                for col in cols {
+                    key = (key << 32) | col[i] as u128;
+                }
+                key
+            })
+            .collect(),
+    }
 }
 
 /// Per-leaf position columns of a batch, extracted at most once. The MC
@@ -1150,7 +1222,7 @@ fn join_flat<K: JoinKey>(
         reserve_laddered(par.memory(), "join_build", desired, |w| {
             let mut bytes = JoinTable::estimate_bytes(n_build);
             if w > 1 {
-                bytes += n_build * 12 + radix_scratch_bytes(n_build, partition_count(w));
+                bytes += n_build * 12 + radix_scratch_bytes(n_build, partition_count(w, n_build));
             }
             bytes
         })?;
@@ -1159,7 +1231,7 @@ fn join_flat<K: JoinKey>(
         .map(|g| g.narrowed(build_width));
     let n_parts = build_grant
         .as_ref()
-        .map_or(1, |_| partition_count(build_width));
+        .map_or(1, |_| partition_count(build_width, n_build));
     let pmask = (n_parts - 1) as u64;
 
     let flat_tables: Vec<JoinTable> = if n_parts == 1 {
@@ -1170,7 +1242,9 @@ fn join_flat<K: JoinKey>(
             .expect("n_parts > 1 only under a grant");
         // Radix-partition build rows by the low hash bits; each partition's
         // row list is ascending, so per-key match runs stay ascending.
-        let hashes: Vec<u64> = build_keys.iter().map(|k| k.hash64()).collect();
+        // `hash_all` runs the batched 8-lane mixers on the vector path and
+        // the per-key loop otherwise — identical values either way.
+        let hashes: Vec<u64> = K::hash_all(build_keys, "join_build_hashes")?;
         let parts: Vec<u32> = hashes.iter().map(|&h| (h & pmask) as u32).collect();
         let rp = radix_partition(&parts, n_parts)?;
         // Workers poll the interrupt per partition: an interrupted build
@@ -1210,33 +1284,72 @@ fn join_flat<K: JoinKey>(
     });
 
     let stride = build.stride + probe.stride;
+    // Probe rows are consumed in [`PROBE_BLOCK`]-row blocks. On the vector
+    // path each block's keys go through the batched 8-lane mixers and the
+    // destination buckets are prefetched (heads first, then the entry runs
+    // the heads name) before any row walks its chain, so `matches_hashed`
+    // mostly hits cache. The scalar path hashes the same block one key at a
+    // time and skips the prefetch — the oracle shape. Blocking never
+    // reorders anything: rows are still probed front to back, so the output
+    // runs are byte-identical on both paths.
     let probe_chunk = |range: std::ops::Range<usize>| -> (Vec<u32>, usize) {
         let mut out: Vec<u32> = Vec::new();
         let mut joined: Vec<u32> = vec![0; stride];
         let mut n_out = 0usize;
-        for i in range {
-            if poll_every(i) && intr.is_set() {
-                break;
-            }
-            let key = probe_keys[i];
-            // One hash per probe row selects both the radix partition (low
-            // bits) and, inside `matches_hashed`, the bucket (bits 32..).
-            let hash = key.hash64();
-            let flat = &flat_tables[(hash & pmask) as usize];
-            let pt = probe.row(i);
-            for bi in flat.matches_hashed(build_keys, key, hash) {
-                let bt = build.row(bi as usize);
-                let (lt, rt) = if build_left { (bt, pt) } else { (pt, bt) };
-                joined[..lt.len()].copy_from_slice(lt);
-                joined[lt.len()..].copy_from_slice(rt);
-                if let Some(res) = residual {
-                    if !res.eval_predicate(tables, base, &joined) {
-                        continue;
+        let vector = blend_simd::enabled();
+        let mut hash_buf = [0u64; PROBE_BLOCK];
+        let mut start = range.start;
+        'blocks: while start < range.end {
+            let end = (start + PROBE_BLOCK).min(range.end);
+            let keys = &probe_keys[start..end];
+            let hashes = &mut hash_buf[..keys.len()];
+            if vector {
+                K::hash_block(keys, hashes);
+                if n_parts == 1 {
+                    let flat = &flat_tables[0];
+                    for &h in hashes.iter() {
+                        flat.prefetch(h);
+                    }
+                    for &h in hashes.iter() {
+                        flat.prefetch_entries(h);
+                    }
+                } else {
+                    // Partitioned tables are small; pulling just the bucket
+                    // heads ahead of the walk is the win here.
+                    for &h in hashes.iter() {
+                        flat_tables[(h & pmask) as usize].prefetch(h);
                     }
                 }
-                out.extend_from_slice(&joined);
-                n_out += 1;
+            } else {
+                for (o, k) in hashes.iter_mut().zip(keys) {
+                    *o = k.hash64();
+                }
             }
+            for (j, (&key, &hash)) in keys.iter().zip(hashes.iter()).enumerate() {
+                let i = start + j;
+                if poll_every(i) && intr.is_set() {
+                    break 'blocks;
+                }
+                // One hash per probe row selects both the radix partition
+                // (low bits) and, inside `matches_hashed`, the bucket
+                // (bits 32..).
+                let flat = &flat_tables[(hash & pmask) as usize];
+                let pt = probe.row(i);
+                for bi in flat.matches_hashed(build_keys, key, hash) {
+                    let bt = build.row(bi as usize);
+                    let (lt, rt) = if build_left { (bt, pt) } else { (pt, bt) };
+                    joined[..lt.len()].copy_from_slice(lt);
+                    joined[lt.len()..].copy_from_slice(rt);
+                    if let Some(res) = residual {
+                        if !res.eval_predicate(tables, base, &joined) {
+                            continue;
+                        }
+                    }
+                    out.extend_from_slice(&joined);
+                    n_out += 1;
+                }
+            }
+            start = end;
         }
         (out, n_out)
     };
@@ -1410,14 +1523,16 @@ fn group_keyed<'a, K: JoinKey>(
             let mut bytes = n_rows * (4 + std::mem::size_of::<K>())
                 + GroupIndex::<K>::estimate_bytes((n_rows / 4).min(1 << 16));
             if w > 1 {
-                bytes += n_rows * 12 + radix_scratch_bytes(n_rows, partition_count(w));
+                bytes += n_rows * 12 + radix_scratch_bytes(n_rows, partition_count(w, n_rows));
             }
             bytes
         })?;
     let grant = grant
         .filter(|_| group_width > 1)
         .map(|g| g.narrowed(group_width));
-    let n_parts = grant.as_ref().map_or(1, |_| partition_count(group_width));
+    let n_parts = grant
+        .as_ref()
+        .map_or(1, |_| partition_count(group_width, n_rows));
 
     if n_parts == 1 {
         let (groups, slots, max_probe) = group_partition(
@@ -1443,7 +1558,7 @@ fn group_keyed<'a, K: JoinKey>(
     // sequence.
     let grant = grant.expect("n_parts > 1 only under a grant");
     let pmask = (n_parts - 1) as u64;
-    let hashes: Vec<u64> = packed.iter().map(|k| k.hash64()).collect();
+    let hashes: Vec<u64> = K::hash_all(packed, "group_hashes")?;
     let parts: Vec<u32> = hashes.iter().map(|&h| (h & pmask) as u32).collect();
     let rp = radix_partition(&parts, n_parts)?;
     let run = grant.pool().run(n_parts, |p| {
@@ -1525,27 +1640,74 @@ fn group_partition<'a, K: JoinKey>(
     };
 
     // Pass 1: dense group ids in first-seen order + first row per group.
+    // Rows upsert in [`PROBE_BLOCK`]-row blocks: the vector path hashes
+    // each block through the batched mixers (or gathers the radix pass's
+    // precomputed hashes) and prefetches the destination slots before any
+    // upsert runs, so the open-addressing walk mostly hits cache. Insert
+    // order — and with it gid assignment and first-seen rows — is
+    // untouched: rows still upsert front to back.
     let mut index: GroupIndex<K> = GroupIndex::with_capacity((part_n / 4).min(1 << 16))?;
     let mut first_rows: Vec<u32> = Vec::new();
     let mut row_gids: Vec<u32> = blend_common::try_vec_with_capacity(part_n, "group_row_gids")?;
-    for idx in 0..part_n {
-        // Cooperative bail: an interrupted partition returns no groups;
-        // the caller's post-run check discards every partial.
-        if poll_every(idx) && intr.is_set() {
-            return Ok((Vec::new(), 0, 0));
+    let vector = blend_simd::enabled();
+    let mut hash_buf = [0u64; PROBE_BLOCK];
+    let mut key_buf: Vec<K> = Vec::with_capacity(if vector { PROBE_BLOCK } else { 0 });
+    let mut start = 0usize;
+    while start < part_n {
+        let end = (start + PROBE_BLOCK).min(part_n);
+        let bl = end - start;
+        if vector {
+            // The radix path already hashed every key to pick partitions;
+            // gather those instead of paying a second hash per row.
+            match hashes {
+                Some(h) => {
+                    for (j, hb) in hash_buf[..bl].iter_mut().enumerate() {
+                        *hb = h[row_at(start + j)];
+                    }
+                }
+                None => {
+                    key_buf.clear();
+                    key_buf.extend((start..end).map(|idx| packed[row_at(idx)]));
+                    K::hash_block(&key_buf, &mut hash_buf[..bl]);
+                }
+            }
+            // Only worth priming once the table has outgrown cache. An
+            // upsert below may grow the table mid-block, turning the rest
+            // of the block's prefetches stale — merely useless, never
+            // wrong.
+            if index.slot_count() >= PREFETCH_MIN_SLOTS {
+                for &h in &hash_buf[..bl] {
+                    index.prefetch_slot(h);
+                }
+            }
         }
-        let i = row_at(idx);
-        let before = index.len();
-        // The radix path already hashed every key to pick partitions;
-        // reuse that hash instead of paying a second one per row.
-        let gid = match hashes {
-            Some(h) => index.insert_or_get_hashed(packed[i], h[i])?,
-            None => index.insert_or_get(packed[i])?,
-        };
-        if index.len() != before {
-            first_rows.push(i as u32);
+        for (j, &hb) in hash_buf[..bl].iter().enumerate() {
+            let idx = start + j;
+            // Cooperative bail: an interrupted partition returns no groups;
+            // the caller's post-run check discards every partial.
+            if poll_every(idx) && intr.is_set() {
+                return Ok((Vec::new(), 0, 0));
+            }
+            let i = row_at(idx);
+            let before = index.len();
+            // Three hash sources, same values: the block buffer (vector,
+            // where stage 1 above filled it), the radix pass's precomputed
+            // array, or `insert_or_get`'s own per-key hash (scalar
+            // sequential).
+            let gid = if vector {
+                index.insert_or_get_hashed(packed[i], hb)?
+            } else {
+                match hashes {
+                    Some(h) => index.insert_or_get_hashed(packed[i], h[i])?,
+                    None => index.insert_or_get(packed[i])?,
+                }
+            };
+            if index.len() != before {
+                first_rows.push(i as u32);
+            }
+            row_gids.push(gid);
         }
-        row_gids.push(gid);
+        start = end;
     }
     let n_groups = index.len();
     if intr.is_set() {

@@ -33,7 +33,7 @@
 //! since the timed baselines also track counts/first-rows the oracle
 //! functions don't return).
 
-use blend_common::{mix128, mix64};
+use blend_common::{mix128, mix128x8, mix64, mix64x8, MIX_LANES};
 
 /// A packed join/group key: `Copy`, comparable, and hashable to 64 bits
 /// without `Hasher` state. Implemented for `u64` (1–2 packed u32 columns)
@@ -43,6 +43,28 @@ pub trait JoinKey: Copy + Eq + std::hash::Hash + Send + Sync {
     /// partition, bits 32.. select the bucket — both sides of that split
     /// must be uniform.
     fn hash64(self) -> u64;
+
+    /// Hash a block of keys into `out` (`out.len() == keys.len()`). The
+    /// per-width impls run [`MIX_LANES`] keys per call through the batched
+    /// mixers on the vector path; the default (and the scalar path) is the
+    /// per-key loop. Values are identical either way — the batched mixers
+    /// are exact stage-by-stage restatements of `hash64`.
+    fn hash_block(keys: &[Self], out: &mut [u64]) {
+        debug_assert_eq!(keys.len(), out.len());
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = k.hash64();
+        }
+    }
+
+    /// [`hash_block`](JoinKey::hash_block) into a fresh `Vec` — the
+    /// executor's drop-in for `keys.iter().map(hash64).collect()`, with a
+    /// typed allocation failure.
+    fn hash_all(keys: &[Self], label: &'static str) -> blend_common::Result<Vec<u64>> {
+        let mut out = blend_common::try_vec_with_capacity::<u64>(keys.len(), label)?;
+        out.resize(keys.len(), 0);
+        Self::hash_block(keys, &mut out);
+        Ok(out)
+    }
 }
 
 impl JoinKey for u64 {
@@ -50,12 +72,48 @@ impl JoinKey for u64 {
     fn hash64(self) -> u64 {
         mix64(self)
     }
+
+    fn hash_block(keys: &[u64], out: &mut [u64]) {
+        debug_assert_eq!(keys.len(), out.len());
+        if blend_simd::enabled() {
+            let mut kc = keys.chunks_exact(MIX_LANES);
+            let mut oc = out.chunks_exact_mut(MIX_LANES);
+            for (k, o) in (&mut kc).zip(&mut oc) {
+                o.copy_from_slice(&mix64x8(k.try_into().expect("exact chunk")));
+            }
+            for (o, &k) in oc.into_remainder().iter_mut().zip(kc.remainder()) {
+                *o = mix64(k);
+            }
+        } else {
+            for (o, &k) in out.iter_mut().zip(keys) {
+                *o = mix64(k);
+            }
+        }
+    }
 }
 
 impl JoinKey for u128 {
     #[inline]
     fn hash64(self) -> u64 {
         mix128(self)
+    }
+
+    fn hash_block(keys: &[u128], out: &mut [u64]) {
+        debug_assert_eq!(keys.len(), out.len());
+        if blend_simd::enabled() {
+            let mut kc = keys.chunks_exact(MIX_LANES);
+            let mut oc = out.chunks_exact_mut(MIX_LANES);
+            for (k, o) in (&mut kc).zip(&mut oc) {
+                o.copy_from_slice(&mix128x8(k.try_into().expect("exact chunk")));
+            }
+            for (o, &k) in oc.into_remainder().iter_mut().zip(kc.remainder()) {
+                *o = mix128(k);
+            }
+        } else {
+            for (o, &k) in out.iter_mut().zip(keys) {
+                *o = mix128(k);
+            }
+        }
     }
 }
 
@@ -65,6 +123,14 @@ impl JoinKey for u128 {
 fn bucket_of(hash: u64, mask: u64) -> usize {
     ((hash >> 32) & mask) as usize
 }
+
+/// Keys per batched probe/upsert block: hashes land in one stack buffer,
+/// bucket heads get prefetched a block ahead of the probe that reads them.
+/// Sized so a block of independent accesses outlasts a last-level-cache
+/// miss (the pipelined probe's prefetch distance is one full block) while
+/// the per-block stack buffers stay within a few cache lines' worth of
+/// stack.
+pub const PROBE_BLOCK: usize = 64;
 
 /// Flat hash join table: CSR bucket runs over a power-of-two bucket array.
 ///
@@ -182,6 +248,168 @@ impl JoinTable {
             .iter()
             .copied()
             .filter(move |&r| keys[r as usize] == key)
+    }
+
+    /// Best-effort prefetch of the CSR bucket bounds a probe with this
+    /// hash will read. Batched probe loops issue this a block ahead so the
+    /// bucket-head cache miss overlaps the hashing of later keys.
+    #[inline]
+    pub fn prefetch(&self, hash: u64) {
+        blend_simd::prefetch_read(&self.heads, bucket_of(hash, self.mask));
+    }
+
+    /// Best-effort prefetch of the first entry of this hash's bucket run
+    /// (reads the — by now resident — bucket head to find it).
+    #[inline]
+    pub fn prefetch_entries(&self, hash: u64) {
+        let b = bucket_of(hash, self.mask);
+        blend_simd::prefetch_read(&self.entries, self.heads[b] as usize);
+    }
+
+    /// Probe every key of `probe_keys` in row order, invoking
+    /// `on_match(probe_row, build_row)` for each match (ascending build
+    /// rows within a probe row — the executor's output contract).
+    /// Dispatches on `blend_simd::enabled()`; the scalar twin is the plain
+    /// hash-and-probe-per-row loop, and match order and count are
+    /// identical on both paths.
+    ///
+    /// The vector path picks its shape by the table's working set. A
+    /// table resident in the private caches (heads + entries + build keys
+    /// within the L2 budget) uses the **hash-ahead** form: batch-hash
+    /// block `k+1` and prefetch its bucket heads while probing block `k` —
+    /// prefetching buys little when every line already sits in L2, so the
+    /// cheap two-buffer form wins. A table that spills the private caches
+    /// uses a **three-stage software pipeline** over [`PROBE_BLOCK`]-key
+    /// blocks, so every random access has a full block of independent
+    /// work between its prefetch and its use:
+    ///
+    /// 1. **Hash + head prefetch** for block `k+1` (batched mixers, then
+    ///    one bucket-head prefetch per key);
+    /// 2. **Bounds + entry prefetch** for block `k`: its heads arrived a
+    ///    block ago, so reading them is cheap — stash each key's CSR run
+    ///    bounds and prefetch the run's first/last entry lines;
+    /// 3. **Walk** block `k-1`, whose entry runs arrived a block ago: one
+    ///    sweep prefetches the matched build keys, the second compares
+    ///    and emits.
+    pub fn probe_all<K: JoinKey>(
+        &self,
+        build_keys: &[K],
+        probe_keys: &[K],
+        mut on_match: impl FnMut(u32, u32),
+    ) {
+        if !blend_simd::enabled() {
+            for (i, &key) in probe_keys.iter().enumerate() {
+                for b in self.matches(build_keys, key) {
+                    on_match(i as u32, b);
+                }
+            }
+            return;
+        }
+        let n = probe_keys.len();
+        if n == 0 {
+            return;
+        }
+        let n_blocks = n.div_ceil(PROBE_BLOCK);
+        let block = |k: usize| -> std::ops::Range<usize> {
+            k * PROBE_BLOCK..(k * PROBE_BLOCK + PROBE_BLOCK).min(n)
+        };
+        // Bytes the probe's random accesses can touch: CSR arrays plus the
+        // build-key gathers. Below the private-cache budget the deeper
+        // pipeline only adds overhead.
+        let table_bytes =
+            self.heads.len() * 4 + self.entries.len() * 4 + std::mem::size_of_val(build_keys);
+        const PIPELINE_BYTES: usize = 2 << 20;
+        if table_bytes <= PIPELINE_BYTES {
+            let mut hash_cur = [0u64; PROBE_BLOCK];
+            let mut hash_next = [0u64; PROBE_BLOCK];
+            let prime = block(0);
+            K::hash_block(&probe_keys[prime.clone()], &mut hash_cur[..prime.len()]);
+            for &h in &hash_cur[..prime.len()] {
+                self.prefetch(h);
+            }
+            for k in 0..n_blocks {
+                if k + 1 < n_blocks {
+                    let next = block(k + 1);
+                    K::hash_block(&probe_keys[next.clone()], &mut hash_next[..next.len()]);
+                    for &h in &hash_next[..next.len()] {
+                        self.prefetch(h);
+                    }
+                }
+                let cur = block(k);
+                for (j, &h) in hash_cur[..cur.len()].iter().enumerate() {
+                    let key = probe_keys[cur.start + j];
+                    for b in self.matches_hashed(build_keys, key, h) {
+                        on_match((cur.start + j) as u32, b);
+                    }
+                }
+                std::mem::swap(&mut hash_cur, &mut hash_next);
+            }
+            return;
+        }
+        // `hash_cur` holds block k's hashes (stage 2 input, written by
+        // stage 1 last iteration); `bounds_prev` holds block k-1's run
+        // bounds (stage 3 input, written by stage 2 last iteration).
+        let mut hash_cur = [0u64; PROBE_BLOCK];
+        let mut hash_next = [0u64; PROBE_BLOCK];
+        let mut bounds_cur = [(0u32, 0u32); PROBE_BLOCK];
+        let mut bounds_prev = [(0u32, 0u32); PROBE_BLOCK];
+
+        let prime = block(0);
+        K::hash_block(&probe_keys[prime.clone()], &mut hash_cur[..prime.len()]);
+        for &h in &hash_cur[..prime.len()] {
+            self.prefetch(h);
+        }
+        let walk = |range: std::ops::Range<usize>,
+                    bounds: &[(u32, u32)],
+                    on_match: &mut dyn FnMut(u32, u32)| {
+            // Sweep 1: the entry runs are resident; prefetch the build
+            // keys they point at.
+            for &(lo, hi) in &bounds[..range.len()] {
+                for &r in &self.entries[lo as usize..hi as usize] {
+                    blend_simd::prefetch_read(build_keys, r as usize);
+                }
+            }
+            // Sweep 2: compare and emit, in row order.
+            for (j, &(lo, hi)) in bounds[..range.len()].iter().enumerate() {
+                let key = probe_keys[range.start + j];
+                for &r in &self.entries[lo as usize..hi as usize] {
+                    if build_keys[r as usize] == key {
+                        on_match((range.start + j) as u32, r);
+                    }
+                }
+            }
+        };
+        for k in 0..n_blocks {
+            // Stage 1: hash block k+1, prefetch its bucket heads.
+            if k + 1 < n_blocks {
+                let next = block(k + 1);
+                K::hash_block(&probe_keys[next.clone()], &mut hash_next[..next.len()]);
+                for &h in &hash_next[..next.len()] {
+                    self.prefetch(h);
+                }
+            }
+            // Stage 2: block k's heads arrived; stash run bounds and
+            // prefetch the first/last entry line of each run (runs are
+            // short — the load factor keeps chains near one).
+            let cur = block(k);
+            for (j, &h) in hash_cur[..cur.len()].iter().enumerate() {
+                let b = bucket_of(h, self.mask);
+                let (lo, hi) = (self.heads[b], self.heads[b + 1]);
+                bounds_cur[j] = (lo, hi);
+                if lo < hi {
+                    blend_simd::prefetch_read(&self.entries, lo as usize);
+                    blend_simd::prefetch_read(&self.entries, hi as usize - 1);
+                }
+            }
+            // Stage 3: walk block k-1, whose entry runs arrived a block ago.
+            if k > 0 {
+                walk(block(k - 1), &bounds_prev, &mut on_match);
+            }
+            std::mem::swap(&mut hash_cur, &mut hash_next);
+            std::mem::swap(&mut bounds_prev, &mut bounds_cur);
+        }
+        // Drain: the last block's walk.
+        walk(block(n_blocks - 1), &bounds_prev, &mut on_match);
     }
 
     /// Number of build rows in the table.
@@ -316,6 +544,16 @@ impl<K: JoinKey> GroupIndex<K> {
             self.max_probe = self.max_probe.max(probe);
         }
         Ok(())
+    }
+
+    /// Best-effort prefetch of the slot this hash's probe sequence starts
+    /// at. The executor's grouping pass issues it one [`PROBE_BLOCK`]
+    /// ahead of the upserts so slot-array misses overlap the batched
+    /// hashing. Worth issuing only once the slot array has outgrown cache;
+    /// callers gate on [`slot_count`](GroupIndex::slot_count).
+    #[inline]
+    pub fn prefetch_slot(&self, hash: u64) {
+        blend_simd::prefetch_read(&self.slots, ((hash >> 32) as usize) & self.mask);
     }
 
     /// Number of distinct groups.
@@ -490,6 +728,72 @@ mod tests {
         assert_eq!(first_rows, want_first);
         assert_eq!(index.keys(), &[7, 3, 9, 11]);
         assert!(index.max_probe() >= 1);
+    }
+
+    /// Serializes the tests that flip the process-global `blend_simd`
+    /// dispatch override, so each one deterministically covers both paths.
+    static FORCE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn hash_block_matches_per_key_hash64_on_both_paths() {
+        let _g = FORCE_LOCK.lock().unwrap();
+        let k64: Vec<u64> = (0..100u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+        let k128: Vec<u128> = (0..100u128).map(|i| (i << 93) | i).collect();
+        for forced in [Some(false), Some(true)] {
+            blend_simd::force(forced);
+            let mut h64 = vec![0u64; k64.len()];
+            u64::hash_block(&k64, &mut h64);
+            assert_eq!(h64, k64.iter().map(|&k| k.hash64()).collect::<Vec<_>>());
+            let mut h128 = vec![0u64; k128.len()];
+            u128::hash_block(&k128, &mut h128);
+            assert_eq!(h128, k128.iter().map(|&k| k.hash64()).collect::<Vec<_>>());
+            // Short (sub-lane) and empty blocks.
+            let mut h3 = vec![0u64; 3];
+            u64::hash_block(&k64[..3], &mut h3);
+            assert_eq!(h3, k64[..3].iter().map(|&k| k.hash64()).collect::<Vec<_>>());
+            u64::hash_block(&[], &mut []);
+        }
+        blend_simd::force(None);
+    }
+
+    #[test]
+    fn probe_all_matches_oracle_on_both_paths() {
+        let _g = FORCE_LOCK.lock().unwrap();
+        let build: Vec<u64> = (0..500u64).map(|i| i % 91).collect();
+        let probe: Vec<u64> = (0..333u64).map(|i| i % 131).collect();
+        let want = oracle::join_pairs(&build, &probe);
+        let table = JoinTable::build(&build, None).unwrap();
+        for forced in [Some(false), Some(true)] {
+            blend_simd::force(forced);
+            let mut got = Vec::new();
+            table.probe_all(&build, &probe, |p, b| got.push((p, b)));
+            assert_eq!(got, want, "forced={forced:?}");
+        }
+        blend_simd::force(None);
+    }
+
+    #[test]
+    fn probe_all_pipeline_path_matches_oracle() {
+        // A build side large enough that the vector dispatch takes the
+        // three-stage pipeline (working set past the private-cache gate),
+        // not the hash-ahead form the small-table tests cover. Probe keys
+        // include misses, multi-match runs, and a non-block-multiple tail.
+        let _g = FORCE_LOCK.lock().unwrap();
+        let build: Vec<u64> = (0..150_000u64)
+            .map(|i| i.wrapping_mul(0x9e37) % 70_001)
+            .collect();
+        let probe: Vec<u64> = (0..10_037u64)
+            .map(|i| i.wrapping_mul(0x85eb) % 90_001)
+            .collect();
+        let want = oracle::join_pairs(&build, &probe);
+        let table = JoinTable::build(&build, None).unwrap();
+        for forced in [Some(false), Some(true)] {
+            blend_simd::force(forced);
+            let mut got = Vec::new();
+            table.probe_all(&build, &probe, |p, b| got.push((p, b)));
+            assert_eq!(got, want, "forced={forced:?}");
+        }
+        blend_simd::force(None);
     }
 
     #[test]

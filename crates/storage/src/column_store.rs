@@ -118,10 +118,12 @@ impl ColumnStore {
     }
 
     /// Run the remaining predicates of a kernel as compaction passes over
-    /// `sel[start..]`, one tight branch-free loop per predicate, each
-    /// indexing its contiguous column array directly. `skip` names the
-    /// predicate a range pass already consumed (see
-    /// [`FactTable::filter_range`]); [`Pass::None`] runs them all.
+    /// `sel[start..]`, one tight loop per predicate, each indexing its
+    /// contiguous column array directly — dispatched through the
+    /// `blend_simd` block-mask kernels ([`compact_by`] keeps the scalar
+    /// twin alive as the parity oracle). `skip` names the predicate a
+    /// range pass already consumed (see [`FactTable::filter_range`]);
+    /// [`Pass::None`] runs them all.
     fn kernel_passes(&self, kernel: &FilterKernel, skip: Pass, sel: &mut Vec<u32>, start: usize) {
         if let Some(bound) = kernel.rowid_lt {
             if skip != Pass::RowId {
@@ -287,6 +289,18 @@ impl FactTable for ColumnStore {
         true
     }
 
+    fn gather_superkeys(&self, positions: &[u32], out: &mut Vec<u128>) {
+        out.extend(positions.iter().map(|&p| self.superkeys[p as usize]));
+    }
+
+    fn gather_quadrants(&self, positions: &[u32], out: &mut Vec<Option<bool>>) {
+        out.extend(
+            positions
+                .iter()
+                .map(|&p| decode_quadrant(self.quadrants[p as usize])),
+        );
+    }
+
     /// Column-at-a-time kernel evaluation: candidates land in the selection
     /// vector once, then each predicate compacts it with a branch-free pass
     /// indexing the contiguous `rows`/`tables`/`quadrants`/`codes` arrays
@@ -309,27 +323,33 @@ impl FactTable for ColumnStore {
             return;
         }
         let start = sel.len();
+        // The first active predicate streams survivors straight off its
+        // column slice through the value-form kernel (`extend_range_over`):
+        // block loads come off the contiguous array, the keep-mask build
+        // auto-vectorizes, and rejected candidates cost no store at all.
         let first = if let Some(bound) = kernel.rowid_lt {
-            let rows = &self.rows;
-            extend_filtered_range(sel, lo, hi, |p| rows[p as usize] < bound);
+            blend_simd::extend_range_over(sel, lo, hi, &self.rows, |r| r < bound);
             Pass::RowId
         } else if let Some(set) = &kernel.table_in {
-            let tables = &self.tables;
-            extend_filtered_range(sel, lo, hi, |p| set.contains(tables[p as usize]));
+            blend_simd::extend_range_over(sel, lo, hi, &self.tables, |t| set.contains(t));
             Pass::TableIn
         } else if let Some(set) = &kernel.table_not_in {
-            let tables = &self.tables;
-            extend_filtered_range(sel, lo, hi, |p| !set.contains(tables[p as usize]));
+            blend_simd::extend_range_over(sel, lo, hi, &self.tables, |t| !set.contains(t));
             Pass::TableNotIn
         } else if let Some(want_null) = kernel.quadrant_null {
-            let quads = &self.quadrants;
-            extend_filtered_range(sel, lo, hi, |p| {
-                (quads[p as usize] == QUADRANT_NULL) == want_null
+            blend_simd::extend_range_over(sel, lo, hi, &self.quadrants, |q| {
+                (q == QUADRANT_NULL) == want_null
             });
             Pass::Quadrant
         } else if let Some(set) = Self::code_set(kernel) {
-            let codes = &self.codes;
-            extend_filtered_range(sel, lo, hi, |p| set.contains(codes[p as usize]));
+            // Short IN-lists (the common SC probe: a handful of dictionary
+            // codes) hand their padded needle block straight to the
+            // broadcast-compare kernel — no per-element set probe at all.
+            if let Some(needles) = set.small_needles() {
+                blend_simd::extend_range_in8(sel, lo, hi, &self.codes, &needles);
+            } else {
+                blend_simd::extend_range_over(sel, lo, hi, &self.codes, |c| set.contains(c));
+            }
             Pass::Value
         } else if let Some(ValuePred::Strings(set)) = &kernel.value {
             extend_filtered_range(sel, lo, hi, |p| set.contains(self.value_at(p as usize)));
@@ -439,5 +459,43 @@ mod tests {
         assert_eq!(s.len(), 0);
         assert_eq!(s.dict_len(), 0);
         assert!(s.postings("x").is_empty());
+    }
+
+    #[test]
+    fn filter_degenerate_ranges_append_nothing_and_keep_prefix() {
+        let s = ColumnStore::build(sample_rows());
+        let kernel = FilterKernel {
+            rowid_lt: Some(u32::MAX),
+            ..FilterKernel::empty()
+        };
+        // lo == hi and reversed ranges: no-ops that never touch sel[..start].
+        let mut sel = vec![7u32, 8];
+        s.filter_range(&kernel, 3, 3, &mut sel);
+        s.filter_range(&kernel, 5, 2, &mut sel);
+        assert_eq!(sel, vec![7, 8]);
+        // Empty position batch: same contract.
+        s.filter_batch(&kernel, &[], &mut sel);
+        assert_eq!(sel, vec![7, 8]);
+        // A selection vector already at capacity must keep its prefix
+        // bytes across the (reallocating) append.
+        let mut sel: Vec<u32> = Vec::with_capacity(2);
+        sel.extend([7u32, 8]);
+        s.filter_range(&kernel, 0, s.len(), &mut sel);
+        assert_eq!(&sel[..2], &[7, 8]);
+        assert_eq!(sel.len(), 2 + s.len());
+    }
+
+    #[test]
+    fn gather_superkeys_and_quadrants_match_scalar_accessors() {
+        let s = ColumnStore::build(sample_rows());
+        let positions: Vec<u32> = (0..s.len() as u32).rev().collect();
+        let mut sks = Vec::new();
+        s.gather_superkeys(&positions, &mut sks);
+        let mut quads = Vec::new();
+        s.gather_quadrants(&positions, &mut quads);
+        for (i, &p) in positions.iter().enumerate() {
+            assert_eq!(sks[i], s.superkey_at(p as usize));
+            assert_eq!(quads[i], s.quadrant_at(p as usize));
+        }
     }
 }

@@ -202,6 +202,19 @@ pub trait FactTable: Send + Sync {
         false
     }
 
+    /// Batch accessor: append `SuperKey` for each position to `out` — the
+    /// projection path's wide gather (16 bytes per row), specialized by the
+    /// column store into a straight slice-indexed loop.
+    fn gather_superkeys(&self, positions: &[u32], out: &mut Vec<u128>) {
+        out.extend(positions.iter().map(|&p| self.superkey_at(p as usize)));
+    }
+
+    /// Batch accessor: append `Quadrant` (`None` = SQL NULL) for each
+    /// position to `out`.
+    fn gather_quadrants(&self, positions: &[u32], out: &mut Vec<Option<bool>>) {
+        out.extend(positions.iter().map(|&p| self.quadrant_at(p as usize)));
+    }
+
     /// Split the physical position space `0..len()` into at most `parts`
     /// contiguous ranges whose lengths differ by at most one — the
     /// row-count-balanced partitions a parallel scan hands its workers.

@@ -99,6 +99,40 @@ impl IdSet {
         }
     }
 
+    /// The set's ids padded to a fixed 8-lane probe block (the first id
+    /// repeated into unused lanes, so duplicate lanes never change the OR
+    /// of the compares), when the set is small enough (1..=8 ids) for the
+    /// `blend_simd` unrolled broadcast-compare kernel. Empty and larger
+    /// sets return `None` and take the generic per-element probe.
+    pub fn small_needles(&self) -> Option<[u32; 8]> {
+        if self.is_empty() || self.len() > LINEAR_PROBE_MAX {
+            return None;
+        }
+        let mut out = [0u32; 8];
+        let mut n = 0usize;
+        match self {
+            IdSet::Sorted(s) => {
+                for &id in s.iter() {
+                    out[n] = id;
+                    n += 1;
+                }
+            }
+            IdSet::Bitmap { words, .. } => {
+                for (w, &word) in words.iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        out[n] = (w as u32) * 64 + word.trailing_zeros();
+                        n += 1;
+                        word &= word - 1;
+                    }
+                }
+            }
+        }
+        let first = out[0];
+        out[n..].fill(first);
+        Some(out)
+    }
+
     /// Number of distinct ids.
     pub fn len(&self) -> usize {
         match self {
@@ -218,47 +252,31 @@ impl FilterKernel {
 }
 
 /// Stable in-place compaction of `sel[start..]`: survivors of `keep` slide
-/// to the front, order preserved. The loop writes every element back
-/// unconditionally and advances the cursor by the predicate's boolean —
-/// no data-dependent branch, which is what lets one pass per predicate
-/// stream at memory speed over an unpredictable filter.
+/// to the front, order preserved, `sel[..start]` untouched. Dispatches
+/// through the `blend_simd` kernel layer: the vector path evaluates the
+/// predicate into 64-wide keep-masks and moves only survivors (all-drop
+/// blocks cost zero stores), the scalar twin is the branch-free
+/// write-all/advance-on-keep loop — byte-identical output either way,
+/// pinned by `tests/simd_parity.rs`.
 #[inline]
-pub fn compact_by(sel: &mut Vec<u32>, start: usize, mut keep: impl FnMut(u32) -> bool) {
-    let mut n = start;
-    for i in start..sel.len() {
-        let p = sel[i];
-        sel[n] = p;
-        n += keep(p) as usize;
-    }
-    sel.truncate(n);
+pub fn compact_by(sel: &mut Vec<u32>, start: usize, keep: impl FnMut(u32) -> bool) {
+    blend_simd::compact(sel, start, keep);
 }
 
 /// Append the survivors of the contiguous position range `lo..hi` to `sel`
-/// without ever materializing the candidate list: the range streams through
-/// `keep` with the same branch-free write-all / advance-on-keep pattern as
-/// [`compact_by`].
-///
-/// The `resize` pre-pass zero-fills the window before the filter loop
-/// overwrites it — one streaming memset, a deliberate tradeoff: the only
-/// way to elide it is `spare_capacity_mut` + `set_len`, and this workspace
-/// stays `unsafe`-free. It is a small fraction of a pass (the kernels
-/// clear the ≥2× bar with it included).
+/// without ever materializing the candidate list. Dispatches through
+/// `blend_simd`: the vector path builds 64-wide keep-masks and appends
+/// only survivors — eliding both the per-candidate stores and the `resize`
+/// memset the scalar twin pays up front. `lo >= hi` appends nothing and
+/// `sel[..start]` is never touched on either path.
 #[inline]
 pub fn extend_filtered_range(
     sel: &mut Vec<u32>,
     lo: usize,
     hi: usize,
-    mut keep: impl FnMut(u32) -> bool,
+    keep: impl FnMut(u32) -> bool,
 ) {
-    let start = sel.len();
-    sel.resize(start + hi.saturating_sub(lo), 0);
-    let mut n = start;
-    for pos in lo..hi {
-        let p = pos as u32;
-        sel[n] = p;
-        n += keep(p) as usize;
-    }
-    sel.truncate(n);
+    blend_simd::extend_range(sel, lo, hi, keep);
 }
 
 /// Per-worker reusable scan buffers.

@@ -188,27 +188,26 @@ impl FactTable for RowStore {
         out.extend(positions.iter().map(|&p| self.rows[p as usize].row));
     }
 
-    /// Single fused pass: each candidate position is written to the
-    /// selection vector unconditionally and the cursor advances by the
-    /// fused tuple check's boolean (see [`keep_fact_row`]) — the same
-    /// branch-free write-all/advance-on-keep pattern as
-    /// [`extend_filtered_range`], with no separate gather-then-compact
-    /// passes (the old two-pass form wrote and re-read every candidate
-    /// once more than necessary, which is why the row store trailed the
-    /// column store so badly on selective scans).
+    fn gather_superkeys(&self, positions: &[u32], out: &mut Vec<u128>) {
+        out.extend(positions.iter().map(|&p| self.rows[p as usize].superkey));
+    }
+
+    fn gather_quadrants(&self, positions: &[u32], out: &mut Vec<Option<bool>>) {
+        out.extend(positions.iter().map(|&p| self.rows[p as usize].quadrant));
+    }
+
+    /// Single fused pass: every predicate is evaluated in one tuple check
+    /// per candidate (see [`keep_fact_row`]) — one pointer chase to the
+    /// `FactRow`, all fields adjacent, instead of one virtual accessor
+    /// call per predicate — streamed through the `blend_simd` candidate
+    /// kernel (block keep-masks on the vector path, write-all/advance-on-
+    /// keep on the scalar twin; byte-identical either way).
     fn filter_batch(&self, kernel: &FilterKernel, positions: &[u32], sel: &mut Vec<u32>) {
         if kernel.never_matches() {
             return;
         }
         let rows = &self.rows;
-        let start = sel.len();
-        sel.resize(start + positions.len(), 0);
-        let mut n = start;
-        for &p in positions {
-            sel[n] = p;
-            n += keep_fact_row(kernel, &rows[p as usize]) as usize;
-        }
-        sel.truncate(n);
+        blend_simd::extend_filtered(sel, positions, |p| keep_fact_row(kernel, &rows[p as usize]));
     }
 
     fn filter_range(&self, kernel: &FilterKernel, lo: usize, hi: usize, sel: &mut Vec<u32>) {
@@ -303,5 +302,43 @@ mod tests {
         assert_eq!(s.n_tables(), 0);
         assert!(s.postings("x").is_empty());
         assert_eq!(s.size_bytes(), 0);
+    }
+
+    #[test]
+    fn filter_degenerate_ranges_append_nothing_and_keep_prefix() {
+        let s = RowStore::build(sample_rows());
+        let kernel = FilterKernel {
+            rowid_lt: Some(u32::MAX),
+            ..FilterKernel::default()
+        };
+        // lo == hi and reversed ranges: no-ops that never touch sel[..start].
+        let mut sel = vec![7u32, 8];
+        s.filter_range(&kernel, 3, 3, &mut sel);
+        s.filter_range(&kernel, 5, 2, &mut sel);
+        assert_eq!(sel, vec![7, 8]);
+        // Empty position batch: same contract.
+        s.filter_batch(&kernel, &[], &mut sel);
+        assert_eq!(sel, vec![7, 8]);
+        // A selection vector already at capacity must keep its prefix
+        // bytes across the (reallocating) append.
+        let mut sel: Vec<u32> = Vec::with_capacity(2);
+        sel.extend([7u32, 8]);
+        s.filter_range(&kernel, 0, s.len(), &mut sel);
+        assert_eq!(&sel[..2], &[7, 8]);
+        assert_eq!(sel.len(), 2 + s.len());
+    }
+
+    #[test]
+    fn gather_superkeys_and_quadrants_match_scalar_accessors() {
+        let s = RowStore::build(sample_rows());
+        let positions: Vec<u32> = (0..s.len() as u32).rev().collect();
+        let mut sks = Vec::new();
+        s.gather_superkeys(&positions, &mut sks);
+        let mut quads = Vec::new();
+        s.gather_quadrants(&positions, &mut quads);
+        for (i, &p) in positions.iter().enumerate() {
+            assert_eq!(sks[i], s.superkey_at(p as usize));
+            assert_eq!(quads[i], s.quadrant_at(p as usize));
+        }
     }
 }

@@ -16,6 +16,7 @@ pub use blend_lake;
 pub use blend_mate;
 pub use blend_parallel;
 pub use blend_qcr;
+pub use blend_simd;
 pub use blend_sql;
 pub use blend_starmie;
 pub use blend_storage;

@@ -48,9 +48,17 @@ proptest! {
 
     #[test]
     fn concurrent_hammer_conserves_counts(
-        values in proptest::collection::vec(0u64..1_000_000, 1..200),
+        base in proptest::collection::vec(0u64..1_000_000, 1..200),
+        extreme_picks in proptest::collection::vec(0usize..6, 0..6),
         threads in 2usize..6,
     ) {
+        // Mix boundary values (0 → first bucket, u64::MAX → last, the
+        // 2^62 edge of the overflow bucket) into every case: conservation
+        // and the wrapping sum must hold at the extremes too.
+        const EXTREMES: [u64; 6] =
+            [0, 1, (1 << 62) - 1, 1 << 62, u64::MAX - 1, u64::MAX];
+        let mut values = base;
+        values.extend(extreme_picks.iter().map(|&i| EXTREMES[i]));
         let counter_name = unique_name("obs_test_hammer_total");
         let hist_name = unique_name("obs_test_hammer_nanos");
         let counter = blend_obs::registry().counter(&counter_name);
